@@ -1,0 +1,188 @@
+// Package barrier implements the classic software barrier algorithms:
+// the central sense-reversing barrier, the combining-tree barrier, and the
+// dissemination barrier (Hensgen–Finkel–Manber / Mellor-Crummey–Scott).
+//
+// A barrier synchronises n parties at a phase boundary: nobody proceeds to
+// phase k+1 until everyone finished phase k. The survey's point is the
+// communication pattern: a central counter costs O(n) serialised updates on
+// one hot line per episode; a combining tree spreads arrival across O(n)
+// nodes with O(log n) depth; dissemination replaces arrival/release with
+// log n rounds of point-to-point flags, with no hot spot at all.
+// Experiment F10 regenerates the episode-latency comparison.
+//
+// All barriers are reusable (sense-reversing) and hand out per-party
+// handles: each participating goroutine must own exactly one handle and
+// call Wait on it once per episode.
+package barrier
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+func spinUntil(cond func() bool) {
+	spins := 0
+	for !cond() {
+		spins++
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Sense is the central sense-reversing barrier: one shared counter counts
+// arrivals, and the last arriver flips a shared sense flag that releases
+// the spinners. Every episode serialises n counter updates on one cache
+// line — the baseline the scalable barriers beat.
+type Sense struct {
+	count atomic.Int32
+	_     pad.CacheLinePad
+	sense atomic.Uint32
+	_     pad.CacheLinePad
+	n     int32
+	made  atomic.Int32
+}
+
+// NewSense returns a reusable sense-reversing barrier for n parties.
+// n must be positive.
+func NewSense(n int) *Sense {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: NewSense n must be positive, got %d", n))
+	}
+	return &Sense{n: int32(n)}
+}
+
+// Handle returns a per-party handle. Exactly n handles may be used per
+// barrier, each by one goroutine at a time.
+func (b *Sense) Handle() *SenseHandle {
+	if b.made.Add(1) > b.n {
+		panic("barrier: more Sense handles than parties")
+	}
+	return &SenseHandle{b: b}
+}
+
+// SenseHandle is one party's view of a Sense barrier.
+type SenseHandle struct {
+	b       *Sense
+	mySense uint32
+}
+
+// Wait blocks until all n parties have called Wait for this episode.
+func (h *SenseHandle) Wait() {
+	h.mySense ^= 1
+	if h.b.count.Add(1) == h.b.n {
+		h.b.count.Store(0)
+		h.b.sense.Store(h.mySense) // release everyone
+		return
+	}
+	sense := &h.b.sense
+	want := h.mySense
+	spinUntil(func() bool { return sense.Load() == want })
+}
+
+// Tree is the combining-tree barrier: parties arrive at leaves (two per
+// leaf); the last arriver at each node propagates the arrival upward, and
+// the root arrival flips a global sense. Arrival traffic is spread over
+// n/2 leaf counters instead of one, at the cost of log n propagation depth.
+type Tree struct {
+	root   *treeNode
+	leaves []*treeNode
+	sense  atomic.Uint32
+	n      int
+	made   atomic.Int32
+}
+
+type treeNode struct {
+	count    atomic.Int32
+	_        pad.CacheLinePad
+	fanIn    int32
+	parent   *treeNode
+	children [2]*treeNode
+}
+
+// NewTree returns a reusable combining-tree barrier for n parties.
+// n must be positive.
+func NewTree(n int) *Tree {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: NewTree n must be positive, got %d", n))
+	}
+	b := &Tree{n: n}
+	b.root = &treeNode{}
+	level := []*treeNode{b.root}
+	// Grow until the leaves can host all parties at two per leaf.
+	for 2*len(level) < n {
+		next := make([]*treeNode, 0, 2*len(level))
+		for _, p := range level {
+			l := &treeNode{parent: p}
+			r := &treeNode{parent: p}
+			p.children = [2]*treeNode{l, r}
+			next = append(next, l, r)
+		}
+		level = next
+	}
+	b.leaves = level
+
+	// Leaf fan-in: how many parties are assigned to each leaf.
+	assigned := make(map[*treeNode]int32, len(level))
+	for i := 0; i < n; i++ {
+		assigned[b.leaves[(i/2)%len(b.leaves)]]++
+	}
+	// Interior fan-in: number of children whose subtrees have any parties.
+	// Subtrees with fan-in zero never propagate and must not be counted.
+	var wire func(*treeNode) int32
+	wire = func(nd *treeNode) int32 {
+		if nd.children[0] == nil {
+			nd.fanIn = assigned[nd]
+			return nd.fanIn
+		}
+		var active int32
+		for _, child := range nd.children {
+			if wire(child) > 0 {
+				active++
+			}
+		}
+		nd.fanIn = active
+		return nd.fanIn
+	}
+	wire(b.root)
+	return b
+}
+
+// Handle returns a per-party handle (at most n).
+func (b *Tree) Handle() *TreeHandle {
+	id := int(b.made.Add(1)) - 1
+	if id >= b.n {
+		panic("barrier: more Tree handles than parties")
+	}
+	return &TreeHandle{b: b, leaf: b.leaves[(id/2)%len(b.leaves)]}
+}
+
+// TreeHandle is one party's view of a Tree barrier.
+type TreeHandle struct {
+	b       *Tree
+	leaf    *treeNode
+	mySense uint32
+}
+
+// Wait blocks until all n parties have called Wait for this episode.
+func (h *TreeHandle) Wait() {
+	h.mySense ^= 1
+	h.arrive(h.leaf)
+	sense := &h.b.sense
+	want := h.mySense
+	spinUntil(func() bool { return sense.Load() == want })
+}
+
+func (h *TreeHandle) arrive(n *treeNode) {
+	if n.count.Add(1) == n.fanIn {
+		n.count.Store(0)
+		if n.parent != nil {
+			h.arrive(n.parent)
+			return
+		}
+		h.b.sense.Store(h.mySense) // root: release all parties
+	}
+}

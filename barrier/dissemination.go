@@ -1,0 +1,84 @@
+package barrier
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// Dissemination is the dissemination barrier (Hensgen, Finkel & Manber;
+// flag layout per Mellor-Crummey & Scott). There is no arrival tree and no
+// release broadcast: in round r each party signals the party 2^r positions
+// ahead and waits for the signal from 2^r behind. After ⌈log2 n⌉ rounds,
+// every party has transitively heard from every other. All spinning is on
+// a party-private flag — the barrier has no hot spot at all, which is why
+// it wins the latency race at scale (experiment F10).
+//
+// Reusability uses the standard parity/sense scheme: episodes alternate
+// between two flag banks (parity), and every second episode inverts the
+// flag sense, so flags never need resetting.
+type Dissemination struct {
+	n      int
+	rounds int
+	// flags[p][parity][round] is the flag party p spins on in that round.
+	flags [][2][]paddedBool
+	made  atomic.Int32
+}
+
+type paddedBool struct {
+	v atomic.Bool
+	_ pad.CacheLinePad
+}
+
+// NewDissemination returns a reusable dissemination barrier for n parties.
+// n must be positive.
+func NewDissemination(n int) *Dissemination {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: NewDissemination n must be positive, got %d", n))
+	}
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &Dissemination{n: n, rounds: rounds}
+	b.flags = make([][2][]paddedBool, n)
+	for p := 0; p < n; p++ {
+		b.flags[p][0] = make([]paddedBool, rounds)
+		b.flags[p][1] = make([]paddedBool, rounds)
+	}
+	return b
+}
+
+// Handle returns the next party's handle (at most n).
+func (b *Dissemination) Handle() *DisseminationHandle {
+	id := int(b.made.Add(1)) - 1
+	if id >= b.n {
+		panic("barrier: more Dissemination handles than parties")
+	}
+	return &DisseminationHandle{b: b, id: id, sense: true}
+}
+
+// DisseminationHandle is one party's view of a Dissemination barrier.
+type DisseminationHandle struct {
+	b      *Dissemination
+	id     int
+	parity int
+	sense  bool
+}
+
+// Wait blocks until all n parties have called Wait for this episode.
+func (h *DisseminationHandle) Wait() {
+	b := h.b
+	for r := 0; r < b.rounds; r++ {
+		partner := (h.id + 1<<r) % b.n
+		b.flags[partner][h.parity][r].v.Store(h.sense)
+		flag := &b.flags[h.id][h.parity][r].v
+		want := h.sense
+		spinUntil(func() bool { return flag.Load() == want })
+	}
+	if h.parity == 1 {
+		h.sense = !h.sense
+	}
+	h.parity = 1 - h.parity
+}

@@ -1,0 +1,39 @@
+package barrier_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/barrier"
+)
+
+// Barriers synchronise phase boundaries: in each episode, every party
+// finishes phase k before any party starts phase k+1.
+func ExampleDissemination() {
+	const parties = 4
+	const phases = 3
+
+	b := barrier.NewDissemination(parties)
+	var phaseWork [phases]atomic.Int32
+
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		h := b.Handle()
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				phaseWork[ph].Add(1)
+				h.Wait()
+				// After the barrier every contribution of this phase is in.
+				if phaseWork[ph].Load() != parties {
+					fmt.Println("phase leak!")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println("phases completed in lockstep:", phases)
+	// Output: phases completed in lockstep: 3
+}

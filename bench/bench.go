@@ -1,0 +1,198 @@
+// Package bench is the measurement harness behind the experiment suite in
+// DESIGN.md: deterministic workload generation (uniform and Zipfian key
+// streams), a worker runner with a synchronised start line, and text
+// rendering of throughput series in the shape the survey figures use
+// (throughput vs. thread count, one series per algorithm).
+//
+// Use cmd/cdsbench to regenerate every figure/table, or the testing.B
+// benches in the repository root for quick single-configuration runs.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/internal/zipf"
+)
+
+// Result is one measured configuration.
+type Result struct {
+	// Workers is the number of concurrent workers.
+	Workers int
+	// Ops is the total operations completed.
+	Ops int64
+	// Elapsed is the wall-clock duration of the measured region.
+	Elapsed time.Duration
+}
+
+// Throughput returns million operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// NsPerOp returns nanoseconds per operation.
+func (r Result) NsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Ops)
+}
+
+// Run executes a workload: workers goroutines each perform opsPerWorker
+// calls of the closure returned by mkOp. mkOp runs before the clock starts
+// (setup excluded from timing), and all workers start together.
+func Run(workers, opsPerWorker int, mkOp func(w int) func(i int)) Result {
+	ops := make([]func(i int), workers)
+	for w := 0; w < workers; w++ {
+		ops[w] = mkOp(w)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(op func(int)) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < opsPerWorker; i++ {
+				op(i)
+			}
+		}(ops[w])
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return Result{
+		Workers: workers,
+		Ops:     int64(workers) * int64(opsPerWorker),
+		Elapsed: time.Since(t0),
+	}
+}
+
+// KeyStream produces a deterministic stream of keys in [0, n) for one
+// worker, either uniform or Zipfian.
+type KeyStream struct {
+	uni *xrand.Rand
+	zip *zipf.Generator
+	n   uint64
+}
+
+// NewKeyStream returns a stream over [0, n). theta == 0 selects uniform;
+// otherwise Zipfian with the given skew.
+func NewKeyStream(n uint64, theta float64, seed uint64) (*KeyStream, error) {
+	if theta == 0 {
+		return &KeyStream{uni: xrand.New(seed), n: n}, nil
+	}
+	g, err := zipf.New(n, theta, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: key stream: %w", err)
+	}
+	return &KeyStream{zip: g, n: n}, nil
+}
+
+// Next returns the next key.
+func (s *KeyStream) Next() uint64 {
+	if s.zip != nil {
+		return s.zip.Next()
+	}
+	return s.uni.Uint64n(s.n)
+}
+
+// Point is one (threads, throughput) sample of a series.
+type Point struct {
+	// X is the sweep parameter (usually thread count).
+	X int
+	// Mops is throughput in million ops/sec.
+	Mops float64
+}
+
+// Series is one labelled curve of an experiment figure.
+type Series struct {
+	// Label names the algorithm/configuration.
+	Label string
+	// Points are the samples in sweep order.
+	Points []Point
+}
+
+// Figure is a rendered experiment: several series over a shared sweep.
+type Figure struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "F1").
+	ID string
+	// Title describes the figure.
+	Title string
+	// XLabel names the sweep parameter.
+	XLabel string
+	// Series are the curves.
+	Series []Series
+}
+
+// Render writes the figure as an aligned text table: one row per X value,
+// one column per series — directly comparable with the survey's plots.
+func (f Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	// Collect the union of X values.
+	xs := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]int, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Ints(sorted)
+
+	if _, err := fmt.Fprintf(w, "%-10s", f.XLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, " %14s", s.Label); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		if _, err := fmt.Fprintf(w, "%-10d", x); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					val = fmt.Sprintf("%.3f", p.Mops)
+					break
+				}
+			}
+			if _, err := fmt.Fprintf(w, " %14s", val); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// DefaultThreadSweep returns the standard 1..max thread ladder used by all
+// scalability figures: 1, 2, 4, ... up to max (always including max).
+func DefaultThreadSweep(max int) []int {
+	var sweep []int
+	for t := 1; t < max; t *= 2 {
+		sweep = append(sweep, t)
+	}
+	return append(sweep, max)
+}

@@ -1,0 +1,948 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/barrier"
+	"github.com/cds-suite/cds/cmap"
+	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/deque"
+	"github.com/cds-suite/cds/fc"
+	"github.com/cds-suite/cds/internal/epoch"
+	"github.com/cds-suite/cds/internal/hazard"
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/list"
+	"github.com/cds-suite/cds/locks"
+	"github.com/cds-suite/cds/pqueue"
+	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/skiplist"
+	"github.com/cds-suite/cds/stack"
+	"github.com/cds-suite/cds/stm"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Threads is the sweep of worker counts; nil selects the default
+	// ladder up to GOMAXPROCS.
+	Threads []int
+	// Ops is the per-worker operation count; 0 selects per-experiment
+	// defaults.
+	Ops int
+	// Quick divides the workload for smoke runs.
+	Quick bool
+}
+
+func (c Config) threads() []int {
+	if len(c.Threads) > 0 {
+		return c.Threads
+	}
+	return DefaultThreadSweep(runtime.GOMAXPROCS(0))
+}
+
+func (c Config) ops(def int) int {
+	n := c.Ops
+	if n == 0 {
+		n = def
+	}
+	if c.Quick && n > 10000 {
+		n = 10000
+	}
+	return n
+}
+
+// Experiment is one reproducible figure or table from DESIGN.md.
+type Experiment struct {
+	// ID is the DESIGN.md identifier (F1..F12, T1..T3).
+	ID string
+	// Title describes what the experiment shows.
+	Title string
+	// Run produces the figure(s).
+	Run func(cfg Config) []Figure
+}
+
+// Experiments returns the full suite in DESIGN.md order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "F1", Title: "Spin-lock scalability (tiny critical section)", Run: runF1},
+		{ID: "F2", Title: "Shared counter throughput", Run: runF2},
+		{ID: "F3", Title: "Stack algorithms, 50/50 push-pop", Run: runF3},
+		{ID: "F4", Title: "Queue algorithms, 50/50 enq-deq", Run: runF4},
+		{ID: "F5", Title: "List-based set progression, 90% reads", Run: runF5},
+		{ID: "F6", Title: "Hash map scalability by read ratio and skew", Run: runF6},
+		{ID: "F7", Title: "Skip list scalability, 90/5/5 mix", Run: runF7},
+		{ID: "F8", Title: "Priority queues, 50/50 insert-deleteMin", Run: runF8},
+		{ID: "F9", Title: "Work-stealing deque vs. locked deque", Run: runF9},
+		{ID: "F10", Title: "Barrier episode throughput", Run: runF10},
+		{ID: "F11", Title: "STM bank transfers vs. global lock", Run: runF11},
+		{ID: "F12", Title: "Memory reclamation: EBR vs. hazard pointers", Run: runF12},
+		{ID: "T1", Title: "Single-thread throughput overview (Mops/s; ns/op = 1000/Mops)", Run: runT1},
+		{ID: "T2", Title: "Contention sensitivity under Zipf skew (maps, full threads)", Run: runT2},
+		{ID: "T3", Title: "Elimination hit rate (column = hits per 100 visits)", Run: runT3},
+	}
+}
+
+// Find returns the experiment with the given ID, searching the main suite
+// and the ablations.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range Ablations() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- F1: locks ------------------------------------------------------------
+
+func runF1(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	type impl struct {
+		label string
+		mk    func() func() sync.Locker // returns per-worker locker factory
+	}
+	impls := []impl{
+		{label: "sync.Mutex", mk: func() func() sync.Locker {
+			mu := &sync.Mutex{}
+			return func() sync.Locker { return mu }
+		}},
+		{label: "TAS", mk: func() func() sync.Locker {
+			l := &locks.TASLock{}
+			return func() sync.Locker { return l }
+		}},
+		{label: "TTAS", mk: func() func() sync.Locker {
+			l := &locks.TTASLock{}
+			return func() sync.Locker { return l }
+		}},
+		{label: "Backoff", mk: func() func() sync.Locker {
+			l := &locks.BackoffLock{}
+			return func() sync.Locker { return l }
+		}},
+		{label: "Ticket", mk: func() func() sync.Locker {
+			l := &locks.TicketLock{}
+			return func() sync.Locker { return l }
+		}},
+		{label: "MCS", mk: func() func() sync.Locker {
+			l := &locks.MCSLock{}
+			return func() sync.Locker { return l.Locker() }
+		}},
+		{label: "CLH", mk: func() func() sync.Locker {
+			l := &locks.CLHLock{}
+			return func() sync.Locker { return l.Locker() }
+		}},
+	}
+	fig := Figure{ID: "F1", Title: "lock throughput, counter critical section", XLabel: "threads"}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			factory := im.mk()
+			shared := 0
+			res := Run(th, ops/th+1, func(w int) func(int) {
+				locker := factory()
+				return func(int) {
+					locker.Lock()
+					shared++
+					locker.Unlock()
+				}
+			})
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+			_ = shared
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- F2: counters ----------------------------------------------------------
+
+func runF2(cfg Config) []Figure {
+	ops := cfg.ops(500000)
+	fig := Figure{ID: "F2", Title: "counter increment throughput", XLabel: "threads"}
+
+	type impl struct {
+		label string
+		mk    func(threads int) func(w int) func(int)
+	}
+	impls := []impl{
+		{label: "Locked", mk: func(int) func(int) func(int) {
+			c := &counter.Locked{}
+			return func(int) func(int) { return func(int) { c.Inc() } }
+		}},
+		{label: "Atomic", mk: func(int) func(int) func(int) {
+			c := &counter.Atomic{}
+			return func(int) func(int) { return func(int) { c.Inc() } }
+		}},
+		{label: "Sharded", mk: func(int) func(int) func(int) {
+			c := counter.NewSharded(0)
+			return func(int) func(int) {
+				h := c.Handle()
+				return func(int) { h.Inc() }
+			}
+		}},
+		{label: "Approx", mk: func(int) func(int) func(int) {
+			c := counter.NewApprox(0, 64)
+			return func(int) func(int) { return func(int) { c.Inc() } }
+		}},
+		{label: "CombiningTree", mk: func(threads int) func(int) func(int) {
+			c := counter.NewCombiningTree(threads)
+			return func(w int) func(int) {
+				h := c.Handle(w)
+				return func(int) { h.Inc() }
+			}
+		}},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			mk := im.mk(th)
+			res := Run(th, ops/th+1, mk)
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- F3: stacks ------------------------------------------------------------
+
+func runF3(cfg Config) []Figure {
+	ops := cfg.ops(300000)
+	fig := Figure{ID: "F3", Title: "stack ops/sec, 50/50 push-pop, prefill 1k", XLabel: "threads"}
+	impls := map[string]func() cds.Stack[int]{
+		"Mutex":       func() cds.Stack[int] { return stack.NewMutex[int]() },
+		"Treiber":     func() cds.Stack[int] { return stack.NewTreiber[int]() },
+		"Elimination": func() cds.Stack[int] { return stack.NewElimination[int](0, 0) },
+		"FC":          func() cds.Stack[int] { return fc.NewStack[int]() },
+	}
+	for _, label := range []string{"Mutex", "Treiber", "Elimination", "FC"} {
+		mk := impls[label]
+		var s Series
+		s.Label = label
+		for _, th := range cfg.threads() {
+			st := mk()
+			for i := 0; i < 1024; i++ {
+				st.Push(i)
+			}
+			res := Run(th, ops/th+1, func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 1)
+				return func(int) {
+					if rng.Uint64()&1 == 0 {
+						st.Push(7)
+					} else {
+						st.TryPop()
+					}
+				}
+			})
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- F4: queues ------------------------------------------------------------
+
+func runF4(cfg Config) []Figure {
+	ops := cfg.ops(300000)
+	fig := Figure{ID: "F4", Title: "queue ops/sec, 50/50 enq-deq, prefill 1k", XLabel: "threads"}
+
+	type mkops func() func(w int) func(int)
+	impls := []struct {
+		label string
+		mk    mkops
+	}{
+		{label: "Mutex", mk: func() func(int) func(int) {
+			q := queue.NewMutex[int]()
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
+		{label: "TwoLock", mk: func() func(int) func(int) {
+			q := queue.NewTwoLock[int]()
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
+		{label: "MS", mk: func() func(int) func(int) {
+			q := queue.NewMS[int]()
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
+		{label: "FC", mk: func() func(int) func(int) {
+			q := fc.NewQueue[int]()
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
+		{label: "MPMC-64k", mk: func() func(int) func(int) {
+			q := queue.NewMPMC[int](1 << 16)
+			for i := 0; i < 1024; i++ {
+				q.TryEnqueue(i)
+			}
+			return func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 1)
+				return func(int) {
+					if rng.Uint64()&1 == 0 {
+						q.TryEnqueue(7)
+					} else {
+						q.TryDequeue()
+					}
+				}
+			}
+		}},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			mk := im.mk()
+			res := Run(th, ops/th+1, mk)
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+func opsQueue(q cds.Queue[int]) func(w int) func(int) {
+	return func(w int) func(int) {
+		rng := xrand.New(uint64(w) + 1)
+		return func(int) {
+			if rng.Uint64()&1 == 0 {
+				q.Enqueue(7)
+			} else {
+				q.TryDequeue()
+			}
+		}
+	}
+}
+
+// --- F5: list sets ---------------------------------------------------------
+
+func runF5(cfg Config) []Figure {
+	ops := cfg.ops(100000)
+	const keyRange = 1024
+	fig := Figure{ID: "F5", Title: "sorted-list sets, 90% contains / 5% add / 5% remove, keys 0..1023", XLabel: "threads"}
+	impls := []struct {
+		label string
+		mk    func() cds.Set[int]
+	}{
+		{label: "Coarse", mk: func() cds.Set[int] { return list.NewCoarse[int]() }},
+		{label: "Fine", mk: func() cds.Set[int] { return list.NewFine[int]() }},
+		{label: "Optimistic", mk: func() cds.Set[int] { return list.NewOptimistic[int]() }},
+		{label: "Lazy", mk: func() cds.Set[int] { return list.NewLazy[int]() }},
+		{label: "Harris", mk: func() cds.Set[int] { return list.NewHarris[int]() }},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			set := im.mk()
+			pre := xrand.New(99)
+			for i := 0; i < keyRange/2; i++ {
+				set.Add(pre.Intn(keyRange))
+			}
+			res := Run(th, ops/th+1, setMixOp(set, keyRange, 90))
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// setMixOp builds a readPct% contains / rest split add-remove operation mix.
+func setMixOp(set cds.Set[int], keyRange int, readPct uint64) func(w int) func(int) {
+	return func(w int) func(int) {
+		rng := xrand.New(uint64(w)*2654435761 + 1)
+		return func(int) {
+			k := rng.Intn(keyRange)
+			r := rng.Uint64n(100)
+			switch {
+			case r < readPct:
+				set.Contains(k)
+			case r < readPct+(100-readPct)/2:
+				set.Add(k)
+			default:
+				set.Remove(k)
+			}
+		}
+	}
+}
+
+// --- F6: hash maps ---------------------------------------------------------
+
+// syncMapAdapter wraps sync.Map as a cds.Map for baseline comparison.
+type syncMapAdapter struct{ m sync.Map }
+
+func (a *syncMapAdapter) Load(k int) (int, bool) {
+	v, ok := a.m.Load(k)
+	if !ok {
+		return 0, false
+	}
+	return v.(int), true
+}
+func (a *syncMapAdapter) Store(k, v int) { a.m.Store(k, v) }
+func (a *syncMapAdapter) LoadOrStore(k, v int) (int, bool) {
+	actual, loaded := a.m.LoadOrStore(k, v)
+	return actual.(int), loaded
+}
+func (a *syncMapAdapter) Delete(k int) bool {
+	_, loaded := a.m.LoadAndDelete(k)
+	return loaded
+}
+func (a *syncMapAdapter) Len() int {
+	n := 0
+	a.m.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+func mapImpls() []struct {
+	label string
+	mk    func() cds.Map[int, int]
+} {
+	return []struct {
+		label string
+		mk    func() cds.Map[int, int]
+	}{
+		{label: "Locked", mk: func() cds.Map[int, int] { return cmap.NewLocked[int, int]() }},
+		{label: "Striped", mk: func() cds.Map[int, int] { return cmap.NewStriped[int, int](64) }},
+		{label: "SplitOrdered", mk: func() cds.Map[int, int] { return cmap.NewSplitOrdered[int, int]() }},
+		{label: "sync.Map", mk: func() cds.Map[int, int] { return &syncMapAdapter{} }},
+	}
+}
+
+func runF6(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	const keyRange = 1 << 16
+	var figs []Figure
+	for _, dist := range []struct {
+		name  string
+		theta float64
+	}{
+		{name: "uniform", theta: 0},
+		{name: "zipf0.99", theta: 0.99},
+	} {
+		for _, readPct := range []uint64{50, 90, 99} {
+			fig := Figure{
+				ID:     "F6",
+				Title:  fmt.Sprintf("hash maps, %d%% reads, %s keys 0..%d", readPct, dist.name, keyRange-1),
+				XLabel: "threads",
+			}
+			for _, im := range mapImpls() {
+				var s Series
+				s.Label = im.label
+				for _, th := range cfg.threads() {
+					m := im.mk()
+					pre := xrand.New(7)
+					for i := 0; i < keyRange/2; i++ {
+						m.Store(pre.Intn(keyRange), i)
+					}
+					res := Run(th, ops/th+1, mapMixOp(m, keyRange, dist.theta, readPct))
+					s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+				}
+				fig.Series = append(fig.Series, s)
+			}
+			figs = append(figs, fig)
+		}
+	}
+	return figs
+}
+
+func mapMixOp(m cds.Map[int, int], keyRange int, theta float64, readPct uint64) func(w int) func(int) {
+	return func(w int) func(int) {
+		keys, err := NewKeyStream(uint64(keyRange), theta, uint64(w)+1)
+		if err != nil {
+			panic(err) // static parameters; cannot fail at runtime
+		}
+		rng := xrand.New(uint64(w)*912367 + 5)
+		return func(int) {
+			k := int(keys.Next())
+			r := rng.Uint64n(100)
+			switch {
+			case r < readPct:
+				m.Load(k)
+			case r < readPct+(100-readPct)/2:
+				m.Store(k, 42)
+			default:
+				m.Delete(k)
+			}
+		}
+	}
+}
+
+// --- F7: skip lists ---------------------------------------------------------
+
+func runF7(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	const keyRange = 1 << 16
+	fig := Figure{ID: "F7", Title: "skip lists, 90% contains / 5% add / 5% remove, keys 0..65535", XLabel: "threads"}
+	impls := []struct {
+		label string
+		mk    func() cds.Set[int]
+	}{
+		{label: "Lazy", mk: func() cds.Set[int] { return skiplist.NewLazy[int]() }},
+		{label: "LockFree", mk: func() cds.Set[int] { return skiplist.NewLockFree[int]() }},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			set := im.mk()
+			pre := xrand.New(3)
+			for i := 0; i < keyRange/2; i++ {
+				set.Add(pre.Intn(keyRange))
+			}
+			res := Run(th, ops/th+1, setMixOp(set, keyRange, 90))
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- F8: priority queues -----------------------------------------------------
+
+func runF8(cfg Config) []Figure {
+	ops := cfg.ops(100000)
+	fig := Figure{ID: "F8", Title: "priority queues, 50/50 insert-deleteMin, prefill 4k", XLabel: "threads"}
+	impls := []struct {
+		label string
+		mk    func() cds.PriorityQueue[int]
+	}{
+		{label: "LockedHeap", mk: func() cds.PriorityQueue[int] {
+			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
+		}},
+		{label: "SkipListPQ", mk: func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			pq := im.mk()
+			pre := xrand.New(11)
+			for i := 0; i < 4096; i++ {
+				pq.Insert(pre.Intn(1 << 20))
+			}
+			res := Run(th, ops/th+1, func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 17)
+				return func(int) {
+					if rng.Uint64()&1 == 0 {
+						pq.Insert(rng.Intn(1 << 20))
+					} else {
+						pq.TryDeleteMin()
+					}
+				}
+			})
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- F9: work stealing -------------------------------------------------------
+
+func runF9(cfg Config) []Figure {
+	ownerOps := cfg.ops(2000000)
+	fig := Figure{
+		ID:     "F9",
+		Title:  "work-stealing system throughput (M tasks/s, ~300ns tasks) vs. stealers",
+		XLabel: "stealers",
+	}
+	maxStealers := runtime.GOMAXPROCS(0) - 1
+	if maxStealers < 1 {
+		maxStealers = 1
+	}
+	var sweep []int
+	for k := 0; k <= maxStealers; k = next(k) {
+		sweep = append(sweep, k)
+	}
+
+	impls := []struct {
+		label string
+		mk    func() cds.Deque[int]
+	}{
+		{label: "ChaseLev", mk: func() cds.Deque[int] { return deque.NewChaseLev[int](1024) }},
+		{label: "MutexDeque", mk: func() cds.Deque[int] { return deque.NewMutex[int]() }},
+	}
+	// System-throughput methodology: the owner produces tasks in bursts and
+	// executes what it pops locally; thieves execute what they steal. The
+	// metric is completed tasks per second — counting only the owner's ops
+	// would treat every successful steal (the deque's whole purpose) as
+	// lost work. Each task is ~300ns of computation, the fine-grained
+	// regime work stealing targets.
+	const burst = 32
+	taskWork := func(seed uint64) uint64 {
+		for k := 0; k < 64; k++ {
+			seed = xrand.SplitMix64(&seed)
+		}
+		return seed
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, thieves := range sweep {
+			d := im.mk()
+			var (
+				wg       sync.WaitGroup
+				stop     atomic.Bool
+				consumed atomic.Int64
+			)
+			for t := 0; t < thieves; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					sink := uint64(t)
+					for !stop.Load() {
+						if v, ok := d.TryPopTop(); ok {
+							sink = taskWork(uint64(v))
+							consumed.Add(1)
+						}
+					}
+					_ = sink
+				}(t)
+			}
+			t0 := time.Now()
+			var sink uint64
+			for i := 0; i < ownerOps/burst; i++ {
+				for j := 0; j < burst; j++ {
+					d.PushBottom(j)
+				}
+				for {
+					v, ok := d.TryPopBottom()
+					if !ok {
+						break
+					}
+					sink = taskWork(uint64(v))
+					consumed.Add(1)
+				}
+			}
+			// Drain stragglers (tasks the thieves have not picked up yet).
+			for consumed.Load() < int64(ownerOps/burst*burst) {
+				if v, ok := d.TryPopBottom(); ok {
+					sink = taskWork(uint64(v))
+					consumed.Add(1)
+				}
+			}
+			elapsed := time.Since(t0)
+			stop.Store(true)
+			wg.Wait()
+			_ = sink
+			mops := float64(consumed.Load()) / elapsed.Seconds() / 1e6
+			s.Points = append(s.Points, Point{X: thieves, Mops: mops})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+func next(k int) int {
+	if k == 0 {
+		return 1
+	}
+	return k * 2
+}
+
+// --- F10: barriers -----------------------------------------------------------
+
+func runF10(cfg Config) []Figure {
+	episodes := cfg.ops(20000)
+	fig := Figure{ID: "F10", Title: "barrier episodes per second (Mops column = M episodes/s × threads)", XLabel: "threads"}
+	type mk func(n int) []interface{ Wait() }
+	impls := []struct {
+		label string
+		mk    mk
+	}{
+		{label: "Sense", mk: func(n int) []interface{ Wait() } {
+			b := barrier.NewSense(n)
+			hs := make([]interface{ Wait() }, n)
+			for i := range hs {
+				hs[i] = b.Handle()
+			}
+			return hs
+		}},
+		{label: "Tree", mk: func(n int) []interface{ Wait() } {
+			b := barrier.NewTree(n)
+			hs := make([]interface{ Wait() }, n)
+			for i := range hs {
+				hs[i] = b.Handle()
+			}
+			return hs
+		}},
+		{label: "Dissemination", mk: func(n int) []interface{ Wait() } {
+			b := barrier.NewDissemination(n)
+			hs := make([]interface{ Wait() }, n)
+			for i := range hs {
+				hs[i] = b.Handle()
+			}
+			return hs
+		}},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, th := range cfg.threads() {
+			hs := im.mk(th)
+			res := Run(th, episodes, func(w int) func(int) {
+				h := hs[w]
+				return func(int) { h.Wait() }
+			})
+			s.Points = append(s.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- F11: STM ---------------------------------------------------------------
+
+func runF11(cfg Config) []Figure {
+	ops := cfg.ops(100000)
+	var figs []Figure
+	for _, accounts := range []int{64, 1 << 16} {
+		fig := Figure{
+			ID:     "F11",
+			Title:  fmt.Sprintf("bank transfers/s, %d accounts", accounts),
+			XLabel: "threads",
+		}
+
+		// STM variant.
+		var stmSeries Series
+		stmSeries.Label = "STM"
+		for _, th := range cfg.threads() {
+			vars := make([]*stm.TVar[int], accounts)
+			for i := range vars {
+				vars[i] = stm.NewTVar(1000)
+			}
+			res := Run(th, ops/th+1, func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 23)
+				return func(int) {
+					from, to := rng.Intn(accounts), rng.Intn(accounts)
+					if from == to {
+						to = (to + 1) % accounts
+					}
+					stm.Atomically(func(tx *stm.Txn) {
+						f := vars[from].Read(tx)
+						vars[from].Write(tx, f-1)
+						vars[to].Write(tx, vars[to].Read(tx)+1)
+					})
+				}
+			})
+			stmSeries.Points = append(stmSeries.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, stmSeries)
+
+		// Global lock baseline.
+		var lockSeries Series
+		lockSeries.Label = "GlobalLock"
+		for _, th := range cfg.threads() {
+			balances := make([]int, accounts)
+			var mu sync.Mutex
+			res := Run(th, ops/th+1, func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 23)
+				return func(int) {
+					from, to := rng.Intn(accounts), rng.Intn(accounts)
+					if from == to {
+						to = (to + 1) % accounts
+					}
+					mu.Lock()
+					balances[from]--
+					balances[to]++
+					mu.Unlock()
+				}
+			})
+			lockSeries.Points = append(lockSeries.Points, Point{X: th, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, lockSeries)
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// --- F12: reclamation ---------------------------------------------------------
+
+func runF12(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	fig := Figure{
+		ID:     "F12",
+		Title:  "reclamation read-side cost: 90% protected reads / 10% swap+retire",
+		XLabel: "threads",
+	}
+
+	type node struct{ v int }
+
+	var ebr Series
+	ebr.Label = "EBR"
+	for _, th := range cfg.threads() {
+		c := epoch.NewCollector()
+		var shared atomic.Pointer[node]
+		shared.Store(&node{})
+		res := Run(th, ops/th+1, func(w int) func(int) {
+			p := c.Register()
+			rng := xrand.New(uint64(w) + 31)
+			return func(int) {
+				if rng.Uint64n(10) == 0 {
+					old := shared.Swap(&node{})
+					p.Retire(func() { _ = old })
+				} else {
+					p.Pin()
+					_ = shared.Load()
+					p.Unpin()
+				}
+			}
+		})
+		ebr.Points = append(ebr.Points, Point{X: th, Mops: res.Throughput()})
+	}
+	fig.Series = append(fig.Series, ebr)
+
+	var hp Series
+	hp.Label = "HazardPtr"
+	for _, th := range cfg.threads() {
+		d := hazard.NewDomain()
+		var shared atomic.Pointer[node]
+		shared.Store(&node{})
+		res := Run(th, ops/th+1, func(w int) func(int) {
+			h := d.NewHandle(1)
+			rng := xrand.New(uint64(w) + 31)
+			return func(int) {
+				if rng.Uint64n(10) == 0 {
+					old := shared.Swap(&node{})
+					h.Retire(old, func() { _ = old })
+				} else {
+					hazard.Protect(h.Slot(0), &shared)
+					h.Slot(0).Clear()
+				}
+			}
+		})
+		hp.Points = append(hp.Points, Point{X: th, Mops: res.Throughput()})
+	}
+	fig.Series = append(fig.Series, hp)
+	return []Figure{fig}
+}
+
+// --- T1: single-thread overview ------------------------------------------------
+
+func runT1(cfg Config) []Figure {
+	ops := cfg.ops(1000000)
+	fig := Figure{ID: "T1", Title: "single-thread throughput (Mops/s)", XLabel: "thread"}
+	add := func(label string, op func(i int)) {
+		res := Run(1, ops, func(int) func(int) { return op })
+		fig.Series = append(fig.Series, Series{Label: label, Points: []Point{{X: 1, Mops: res.Throughput()}}})
+	}
+
+	ms := stack.NewMutex[int]()
+	add("stack.Mutex", func(i int) {
+		ms.Push(i)
+		ms.TryPop()
+	})
+	ts := stack.NewTreiber[int]()
+	add("stack.Treiber", func(i int) {
+		ts.Push(i)
+		ts.TryPop()
+	})
+	mq := queue.NewMutex[int]()
+	add("queue.Mutex", func(i int) {
+		mq.Enqueue(i)
+		mq.TryDequeue()
+	})
+	msq := queue.NewMS[int]()
+	add("queue.MS", func(i int) {
+		msq.Enqueue(i)
+		msq.TryDequeue()
+	})
+	ring := queue.NewSPSC[int](1024)
+	add("queue.SPSC", func(i int) {
+		ring.TryEnqueue(i)
+		ring.TryDequeue()
+	})
+	lm := cmap.NewLocked[int, int]()
+	add("cmap.Locked", func(i int) { lm.Store(i&1023, i); lm.Load(i & 1023) })
+	sm := cmap.NewStriped[int, int](64)
+	add("cmap.Striped", func(i int) { sm.Store(i&1023, i); sm.Load(i & 1023) })
+	som := cmap.NewSplitOrdered[int, int]()
+	add("cmap.SplitOrd", func(i int) { som.Store(i&1023, i); som.Load(i & 1023) })
+	lsl := skiplist.NewLazy[int]()
+	add("skip.Lazy", func(i int) { lsl.Add(i & 4095); lsl.Contains(i & 4095) })
+	fsl := skiplist.NewLockFree[int]()
+	add("skip.LockFree", func(i int) { fsl.Add(i & 4095); fsl.Contains(i & 4095) })
+	return []Figure{fig}
+}
+
+// --- T2: skew sensitivity --------------------------------------------------------
+
+func runT2(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	th := runtime.GOMAXPROCS(0)
+	const keyRange = 1 << 16
+	fig := Figure{
+		ID:     "T2",
+		Title:  fmt.Sprintf("map throughput at %d threads vs. Zipf skew (X = θ×100), 50%% reads", th),
+		XLabel: "theta*100",
+	}
+	for _, im := range mapImpls() {
+		var s Series
+		s.Label = im.label
+		for _, theta := range []float64{0, 0.5, 0.9, 1.1} {
+			m := im.mk()
+			pre := xrand.New(7)
+			for i := 0; i < keyRange/2; i++ {
+				m.Store(pre.Intn(keyRange), i)
+			}
+			res := Run(th, ops/th+1, mapMixOp(m, keyRange, theta, 50))
+			s.Points = append(s.Points, Point{X: int(theta * 100), Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}
+
+// --- T3: elimination hit rate ------------------------------------------------------
+
+func runT3(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	fig := Figure{
+		ID:     "T3",
+		Title:  "elimination-backoff stack: hits per 100 elimination visits",
+		XLabel: "threads",
+	}
+	var s Series
+	s.Label = "hit-rate%"
+	for _, th := range cfg.threads() {
+		st := stack.NewElimination[int](0, 0)
+		st.EnableStats(true)
+		Run(th, ops/th+1, func(w int) func(int) {
+			rng := xrand.New(uint64(w) + 41)
+			return func(int) {
+				if rng.Uint64()&1 == 0 {
+					st.Push(1)
+				} else {
+					st.TryPop()
+				}
+			}
+		})
+		hits, misses := st.Stats()
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		s.Points = append(s.Points, Point{X: th, Mops: rate})
+	}
+	fig.Series = append(fig.Series, s)
+	return []Figure{fig}
+}

@@ -1,0 +1,137 @@
+// Package cds defines the shared contracts for the concurrent data structure
+// families implemented in this module.
+//
+// Each sub-package provides several implementations of one family — for
+// example package queue ships a coarse-locked queue, the Michael–Scott
+// two-lock queue, the Michael–Scott lock-free queue, and bounded ring
+// buffers — all satisfying the same minimal interface declared here. The
+// interfaces are intentionally small: they capture the operations whose
+// concurrent semantics the survey literature analyses, not every convenience
+// accessor a sequential container would offer.
+//
+// # Progress guarantees
+//
+// Implementations document their progress property using the standard
+// taxonomy:
+//
+//   - blocking: a suspended thread can prevent others from making progress
+//     (all lock-based structures);
+//   - lock-free: some operation completes in a finite number of steps
+//     system-wide, regardless of scheduling (e.g. Treiber stack,
+//     Michael–Scott queue, Harris list);
+//   - wait-free: every operation completes in a bounded number of its own
+//     steps (e.g. the sharded counter's Add).
+//
+// # Linearizability
+//
+// Unless documented otherwise every operation is linearizable: it appears to
+// take effect atomically at some instant (the linearization point) between
+// its invocation and response. Implementations call out their linearization
+// points in doc comments, and package lincheck provides a checker used by the
+// integration tests to validate recorded histories against sequential models.
+package cds
+
+// Stack is a last-in-first-out container.
+//
+// Push never fails on unbounded implementations. TryPop reports ok=false when
+// the stack is observed empty; for linearizable implementations the emptiness
+// check is itself linearizable.
+type Stack[T any] interface {
+	// Push adds v to the top of the stack.
+	Push(v T)
+	// TryPop removes and returns the most recently pushed element.
+	// ok is false if the stack was empty.
+	TryPop() (v T, ok bool)
+	// Len reports the number of elements. On concurrent implementations the
+	// value is a linearizable snapshot only in quiescent states; under
+	// concurrency it is a best-effort approximation intended for monitoring.
+	Len() int
+}
+
+// Queue is a first-in-first-out container.
+type Queue[T any] interface {
+	// Enqueue adds v to the tail of the queue.
+	Enqueue(v T)
+	// TryDequeue removes and returns the element at the head.
+	// ok is false if the queue was empty.
+	TryDequeue() (v T, ok bool)
+	// Len reports the number of elements (see Stack.Len caveats).
+	Len() int
+}
+
+// BoundedQueue is a Queue variant with finite capacity: offers can fail.
+type BoundedQueue[T any] interface {
+	// TryEnqueue adds v to the tail; it reports false if the queue was full.
+	TryEnqueue(v T) bool
+	// TryDequeue removes and returns the element at the head.
+	TryDequeue() (v T, ok bool)
+	// Cap reports the fixed capacity.
+	Cap() int
+	// Len reports the number of elements (see Stack.Len caveats).
+	Len() int
+}
+
+// Deque is a double-ended queue. The work-stealing deque in package deque
+// restricts PushBottom/PopBottom to the owner goroutine and PopTop to
+// thieves; symmetric implementations allow all four ends.
+type Deque[T any] interface {
+	// PushBottom adds v at the bottom (owner end).
+	PushBottom(v T)
+	// TryPopBottom removes from the bottom (owner end).
+	TryPopBottom() (v T, ok bool)
+	// TryPopTop removes from the top (steal end).
+	TryPopTop() (v T, ok bool)
+	// Len reports the number of elements (see Stack.Len caveats).
+	Len() int
+}
+
+// Set is a collection of unique keys.
+type Set[K any] interface {
+	// Add inserts k, reporting false if k was already present.
+	Add(k K) bool
+	// Remove deletes k, reporting false if k was absent.
+	Remove(k K) bool
+	// Contains reports whether k is present.
+	Contains(k K) bool
+	// Len reports the number of keys (see Stack.Len caveats).
+	Len() int
+}
+
+// Map is an association of unique keys to values.
+type Map[K any, V any] interface {
+	// Load returns the value stored for k.
+	Load(k K) (v V, ok bool)
+	// Store sets the value for k, inserting it if absent.
+	Store(k K, v V)
+	// LoadOrStore returns the existing value for k if present; otherwise it
+	// stores and returns v. loaded is true if the value was already present.
+	LoadOrStore(k K, v V) (actual V, loaded bool)
+	// Delete removes k, reporting whether it was present.
+	Delete(k K) bool
+	// Len reports the number of entries (see Stack.Len caveats).
+	Len() int
+}
+
+// PriorityQueue delivers the minimum element first, per the Less function the
+// implementation was constructed with.
+type PriorityQueue[T any] interface {
+	// Insert adds v.
+	Insert(v T)
+	// TryDeleteMin removes and returns the minimum element.
+	// ok is false if the queue was empty.
+	TryDeleteMin() (v T, ok bool)
+	// Len reports the number of elements (see Stack.Len caveats).
+	Len() int
+}
+
+// Counter is a shared integer counter. Implementations trade read accuracy
+// and cost against update scalability; see package counter.
+type Counter interface {
+	// Inc adds 1.
+	Inc()
+	// Add adds delta (which may be negative).
+	Add(delta int64)
+	// Load returns the current value. Sharded implementations return a sum
+	// that is linearizable only in quiescent states.
+	Load() int64
+}

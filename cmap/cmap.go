@@ -1,0 +1,114 @@
+// Package cmap implements the concurrent hash table designs from the
+// survey literature: a single-lock baseline, a lock-striped resizable table
+// (fixed stripe array, growing bucket array — the classic striped hash set
+// generalised to a map), and the Shalev–Shavit split-ordered lock-free hash
+// table (recursive split-ordering over a Harris-style lock-free list).
+//
+// Hash tables are the survey's example that making a structure concurrent
+// is easy until it has to resize: striping keeps the lock array fixed so a
+// key's stripe never changes while buckets double underneath, and
+// split-ordering removes locking entirely by never moving items at all —
+// growth only inserts new bucket sentinels into an ordering cleverly chosen
+// (bit-reversed keys) so buckets split in place. Experiments F6 and T2
+// regenerate the scalability and skew-sensitivity comparisons.
+package cmap
+
+import (
+	"hash/maphash"
+	"sync"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Map[int, int] = (*Locked[int, int])(nil)
+	_ cds.Map[int, int] = (*Striped[int, int])(nil)
+	_ cds.Map[int, int] = (*SplitOrdered[int, int])(nil)
+)
+
+// Locked is the coarse baseline: one RWMutex around a built-in map.
+// Readers share; any write excludes everything.
+//
+// Progress: blocking.
+type Locked[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// NewLocked returns an empty coarse-locked map.
+func NewLocked[K comparable, V any]() *Locked[K, V] {
+	return &Locked[K, V]{m: make(map[K]V)}
+}
+
+// Load returns the value stored for k.
+func (c *Locked[K, V]) Load(k K) (v V, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok = c.m[k]
+	return v, ok
+}
+
+// Store sets the value for k.
+func (c *Locked[K, V]) Store(k K, v V) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v.
+func (c *Locked[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.m[k]; ok {
+		return existing, true
+	}
+	c.m[k] = v
+	return v, false
+}
+
+// Delete removes k, reporting whether it was present.
+func (c *Locked[K, V]) Delete(k K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; !ok {
+		return false
+	}
+	delete(c.m, k)
+	return true
+}
+
+// Len reports the number of entries.
+func (c *Locked[K, V]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Range calls f for every entry until f returns false, holding the read
+// lock throughout (a consistent snapshot; keep f short).
+func (c *Locked[K, V]) Range(f func(K, V) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, v := range c.m {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// hasher produces 64-bit hashes of comparable keys using a per-structure
+// random seed (hash-flooding resistance, and independent tables get
+// independent collision patterns).
+type hasher[K comparable] struct {
+	seed maphash.Seed
+}
+
+func newHasher[K comparable]() hasher[K] {
+	return hasher[K]{seed: maphash.MakeSeed()}
+}
+
+func (h hasher[K]) hash(k K) uint64 {
+	return maphash.Comparable(h.seed, k)
+}

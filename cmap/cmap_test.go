@@ -1,0 +1,407 @@
+package cmap
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+func implementations() []struct {
+	name string
+	mk   func() cds.Map[int, string]
+} {
+	return []struct {
+		name string
+		mk   func() cds.Map[int, string]
+	}{
+		{name: "Locked", mk: func() cds.Map[int, string] { return NewLocked[int, string]() }},
+		{name: "Striped", mk: func() cds.Map[int, string] { return NewStriped[int, string](16) }},
+		{name: "SplitOrdered", mk: func() cds.Map[int, string] { return NewSplitOrdered[int, string]() }},
+	}
+}
+
+func TestSequentialMapSemantics(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			m := tt.mk()
+			if _, ok := m.Load(1); ok {
+				t.Fatal("empty map Load reported ok")
+			}
+			if m.Delete(1) {
+				t.Fatal("Delete on empty map succeeded")
+			}
+			m.Store(1, "one")
+			if v, ok := m.Load(1); !ok || v != "one" {
+				t.Fatalf("Load(1) = (%q, %v), want (one, true)", v, ok)
+			}
+			m.Store(1, "uno") // overwrite
+			if v, _ := m.Load(1); v != "uno" {
+				t.Fatalf("Load(1) after overwrite = %q, want uno", v)
+			}
+			if actual, loaded := m.LoadOrStore(1, "ein"); !loaded || actual != "uno" {
+				t.Fatalf("LoadOrStore(existing) = (%q, %v), want (uno, true)", actual, loaded)
+			}
+			if actual, loaded := m.LoadOrStore(2, "two"); loaded || actual != "two" {
+				t.Fatalf("LoadOrStore(new) = (%q, %v), want (two, false)", actual, loaded)
+			}
+			if got := m.Len(); got != 2 {
+				t.Fatalf("Len = %d, want 2", got)
+			}
+			if !m.Delete(1) || m.Delete(1) {
+				t.Fatal("Delete semantics wrong")
+			}
+			if _, ok := m.Load(1); ok {
+				t.Fatal("deleted key still present")
+			}
+			if got := m.Len(); got != 1 {
+				t.Fatalf("Len = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestMapGrowth(t *testing.T) {
+	// Push each implementation through several resize generations.
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			m := tt.mk()
+			const n = 20000
+			for i := 0; i < n; i++ {
+				m.Store(i, "v")
+			}
+			if got := m.Len(); got != n {
+				t.Fatalf("Len = %d, want %d", got, n)
+			}
+			for i := 0; i < n; i++ {
+				if _, ok := m.Load(i); !ok {
+					t.Fatalf("key %d lost during growth", i)
+				}
+			}
+			for i := 0; i < n; i += 2 {
+				if !m.Delete(i) {
+					t.Fatalf("Delete(%d) failed", i)
+				}
+			}
+			if got := m.Len(); got != n/2 {
+				t.Fatalf("Len = %d, want %d", got, n/2)
+			}
+			for i := 0; i < n; i++ {
+				_, ok := m.Load(i)
+				if want := i%2 == 1; ok != want {
+					t.Fatalf("Load(%d) = %v, want %v", i, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMapPropertyMatchesModel(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			f := func(ops []int16) bool {
+				m := tt.mk()
+				model := make(map[int]string)
+				for _, raw := range ops {
+					k := int(raw % 32)
+					v := string(rune('a' + (raw % 26 & 0x7fff)))
+					switch raw % 4 {
+					case 0:
+						m.Store(k, v)
+						model[k] = v
+					case 1, -1:
+						got, ok := m.Load(k)
+						wantV, wantOK := model[k]
+						if ok != wantOK || (ok && got != wantV) {
+							return false
+						}
+					case 2, -2:
+						if m.Delete(k) != (func() bool { _, ok := model[k]; return ok })() {
+							return false
+						}
+						delete(model, k)
+					default:
+						actual, loaded := m.LoadOrStore(k, v)
+						if existing, ok := model[k]; ok {
+							if !loaded || actual != existing {
+								return false
+							}
+						} else {
+							if loaded || actual != v {
+								return false
+							}
+							model[k] = v
+						}
+					}
+				}
+				return m.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMapDisjointKeysConcurrent(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			m := tt.mk()
+			workers := min(8, runtime.GOMAXPROCS(0))
+			const ops = 5000
+			models := make([]map[int]string, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w) + 99)
+					model := make(map[int]string)
+					for i := 0; i < ops; i++ {
+						k := w + workers*rng.Intn(256)
+						v := string(rune('a' + rng.Intn(26)))
+						switch rng.Intn(4) {
+						case 0:
+							m.Store(k, v)
+							model[k] = v
+						case 1:
+							got, ok := m.Load(k)
+							wantV, wantOK := model[k]
+							if ok != wantOK || (ok && got != wantV) {
+								t.Errorf("worker %d: Load(%d) = (%q,%v), want (%q,%v)", w, k, got, ok, wantV, wantOK)
+								return
+							}
+						case 2:
+							_, wantOK := model[k]
+							if m.Delete(k) != wantOK {
+								t.Errorf("worker %d: Delete(%d) inconsistent", w, k)
+								return
+							}
+							delete(model, k)
+						default:
+							actual, loaded := m.LoadOrStore(k, v)
+							if existing, ok := model[k]; ok {
+								if !loaded || actual != existing {
+									t.Errorf("worker %d: LoadOrStore(%d) existing mismatch", w, k)
+									return
+								}
+							} else {
+								if loaded {
+									t.Errorf("worker %d: LoadOrStore(%d) spurious load", w, k)
+									return
+								}
+								model[k] = v
+							}
+						}
+					}
+					models[w] = model
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			total := 0
+			for w, model := range models {
+				total += len(model)
+				for k, v := range model {
+					got, ok := m.Load(k)
+					if !ok || got != v {
+						t.Fatalf("worker %d: final Load(%d) = (%q,%v), want (%q,true)", w, k, got, ok, v)
+					}
+				}
+			}
+			if got := m.Len(); got != total {
+				t.Fatalf("Len = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+func TestMapContendedStress(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			m := tt.mk()
+			workers := 2 * runtime.GOMAXPROCS(0)
+			const ops = 3000
+			const keyRange = 16
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w)*31 + 7)
+					for i := 0; i < ops; i++ {
+						k := rng.Intn(keyRange)
+						switch rng.Intn(3) {
+						case 0:
+							m.Store(k, "x")
+						case 1:
+							m.Delete(k)
+						default:
+							m.Load(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Post-conditions: Len agrees with visible keys; every visible
+			// key is within range.
+			visible := 0
+			for k := 0; k < keyRange; k++ {
+				if _, ok := m.Load(k); ok {
+					visible++
+				}
+			}
+			if got := m.Len(); got != visible {
+				t.Fatalf("Len = %d, visible keys = %d", got, visible)
+			}
+		})
+	}
+}
+
+func TestRangeSnapshot(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		mk   func() interface {
+			cds.Map[int, string]
+			Range(func(int, string) bool)
+		}
+	}{
+		{name: "Locked", mk: func() interface {
+			cds.Map[int, string]
+			Range(func(int, string) bool)
+		} {
+			return NewLocked[int, string]()
+		}},
+		{name: "Striped", mk: func() interface {
+			cds.Map[int, string]
+			Range(func(int, string) bool)
+		} {
+			return NewStriped[int, string](8)
+		}},
+		{name: "SplitOrdered", mk: func() interface {
+			cds.Map[int, string]
+			Range(func(int, string) bool)
+		} {
+			return NewSplitOrdered[int, string]()
+		}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			m := tt.mk()
+			want := map[int]string{1: "a", 2: "b", 3: "c", 4: "d"}
+			for k, v := range want {
+				m.Store(k, v)
+			}
+			got := make(map[int]string)
+			m.Range(func(k int, v string) bool {
+				got[k] = v
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("Range[%d] = %q, want %q", k, got[k], v)
+				}
+			}
+			// Early termination.
+			n := 0
+			m.Range(func(int, string) bool { n++; return false })
+			if n != 1 {
+				t.Fatalf("Range ignored early stop: visited %d", n)
+			}
+		})
+	}
+}
+
+// TestSplitOrderedHashCollisions injects a degenerate hash function so that
+// many distinct keys share one split-order key, exercising the equal-soKey
+// scan path.
+func TestSplitOrderedHashCollisions(t *testing.T) {
+	m := NewSplitOrdered[int, string]()
+	m.hash = func(k int) uint64 { return uint64(k % 3) } // 3 hash values only
+	const n = 300
+	for i := 0; i < n; i++ {
+		m.Store(i, "v")
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := m.Load(i); !ok {
+			t.Fatalf("collision key %d lost", i)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		if !m.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := m.Load(i)
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("Load(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestStripedCollisions does the same for the striped table's chains.
+func TestStripedCollisions(t *testing.T) {
+	m := NewStriped[int, string](4)
+	m.hash = func(k int) uint64 { return 42 } // everything in one bucket
+	for i := 0; i < 100; i++ {
+		m.Store(i, "v")
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := m.Load(i); !ok {
+			t.Fatalf("key %d lost in single-bucket mode", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if !m.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestSplitOrderedBucketDirectoryGrowth(t *testing.T) {
+	m := NewSplitOrdered[int, int]()
+	const n = 100000 // forces many bucket-count doublings
+	for i := 0; i < n; i++ {
+		m.Store(i, i)
+	}
+	if bc := m.bucketCount.Load(); bc < 1024 {
+		t.Fatalf("bucketCount = %d after %d inserts, expected growth", bc, n)
+	}
+	miss := 0
+	for i := 0; i < n; i++ {
+		if v, ok := m.Load(i); !ok || v != i {
+			miss++
+		}
+	}
+	if miss > 0 {
+		t.Fatalf("%d keys lost across directory growth", miss)
+	}
+}
+
+func TestStripedStringKeys(t *testing.T) {
+	m := NewStriped[string, int](8)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, w := range words {
+		m.Store(w, i)
+	}
+	for i, w := range words {
+		if v, ok := m.Load(w); !ok || v != i {
+			t.Fatalf("Load(%q) = (%d,%v), want (%d,true)", w, v, ok, i)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cmap_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/cds-suite/cds/cmap"
+)
+
+// The split-ordered map is fully lock-free: loads, stores, and deletes all
+// proceed without blocking each other.
+func ExampleSplitOrdered() {
+	m := cmap.NewSplitOrdered[string, int]()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Store(fmt.Sprintf("k%d", i%4), i) // four keys, racing stores
+		}(i)
+	}
+	wg.Wait()
+
+	var keys []string
+	m.Range(func(k string, _ int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	sort.Strings(keys)
+	fmt.Println(keys, m.Len())
+	// Output: [k0 k1 k2 k3] 4
+}
+
+// The striped map locks one stripe per operation; LoadOrStore gives
+// at-most-once initialisation under concurrency.
+func ExampleStriped_loadOrStore() {
+	m := cmap.NewStriped[string, []int](16)
+
+	var wg sync.WaitGroup
+	var initialised sync.Map // track how many goroutines "won"
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, loaded := m.LoadOrStore("config", []int{1, 2, 3})
+			if !loaded {
+				initialised.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	winners := 0
+	initialised.Range(func(any, any) bool { winners++; return true })
+	fmt.Println("initialised exactly once:", winners == 1)
+	// Output: initialised exactly once: true
+}

@@ -1,0 +1,286 @@
+package cmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// soMaxSegments bounds the bucket directory at 2^soMaxSegments-1
+	// buckets (segment s holds 2^s slots).
+	soMaxSegments = 26
+	// soLoadFactor triggers a bucket-count doubling when
+	// size > soLoadFactor × bucketCount.
+	soLoadFactor = 2
+)
+
+// SplitOrdered is the lock-free extensible hash table of Shalev & Shavit
+// ("Split-Ordered Lists: Lock-Free Extensible Hash Tables", JACM 2006).
+//
+// All items live in a single Harris-style lock-free linked list, ordered by
+// the bit-reversal of their hash. In that order, the items of bucket b
+// under table size 2^i form a contiguous run, and doubling the table splits
+// each run in place: growth never moves an item — it only inserts a new
+// bucket sentinel node at the split point ("recursive split-ordering").
+// The bucket directory is a lazily allocated array of pointers to sentinel
+// nodes, initialised on first touch by inserting the sentinel via the
+// bucket's parent (the index with its top bit cleared).
+//
+// Key encoding: a regular item hashes to h and gets split-order key
+// reverse(h) | 1; the sentinel of bucket b gets reverse(b), whose low bit
+// is 0 — sentinels sort immediately before the items of their bucket and
+// can never collide with an item.
+//
+// Linearization points: Load at its last ref load; Store (update) at its
+// value store; Store/LoadOrStore (insert) at the link CAS; Delete at the
+// marking CAS.
+//
+// Progress: lock-free for all operations (Load is wait-free bounded by
+// bucket-run length).
+type SplitOrdered[K comparable, V any] struct {
+	hash        func(K) uint64
+	segments    [soMaxSegments]atomic.Pointer[soSegment[K, V]]
+	bucketCount atomic.Uint64 // current table size, always a power of two
+	size        atomic.Int64
+}
+
+type soSegment[K comparable, V any] struct {
+	slots []atomic.Pointer[soNode[K, V]]
+}
+
+type soNode[K comparable, V any] struct {
+	soKey uint64 // split-order key; LSB=1 ⇒ regular item, LSB=0 ⇒ sentinel
+	key   K      // zero for sentinels
+	val   atomic.Pointer[V]
+	ref   atomic.Pointer[soRef[K, V]]
+}
+
+// soRef is an immutable (successor, mark) pair, as in list.Harris.
+type soRef[K comparable, V any] struct {
+	next   *soNode[K, V]
+	marked bool
+}
+
+// NewSplitOrdered returns an empty split-ordered hash map with an initial
+// table size of 2 buckets.
+func NewSplitOrdered[K comparable, V any]() *SplitOrdered[K, V] {
+	m := &SplitOrdered[K, V]{hash: newHasher[K]().hash}
+	m.bucketCount.Store(2)
+	// Bucket 0's sentinel is the list head: soKey 0.
+	head := &soNode[K, V]{}
+	head.ref.Store(&soRef[K, V]{})
+	seg0 := &soSegment[K, V]{slots: make([]atomic.Pointer[soNode[K, V]], 1)}
+	seg0.slots[0].Store(head)
+	m.segments[0].Store(seg0)
+	return m
+}
+
+func soRegularKey(h uint64) uint64  { return bits.Reverse64(h) | 1 }
+func soSentinelKey(b uint64) uint64 { return bits.Reverse64(b) }
+
+// bucketSlot returns the directory slot for bucket b, allocating its
+// segment on demand.
+func (m *SplitOrdered[K, V]) bucketSlot(b uint64) *atomic.Pointer[soNode[K, V]] {
+	s := bits.Len64(b+1) - 1
+	seg := m.segments[s].Load()
+	if seg == nil {
+		fresh := &soSegment[K, V]{slots: make([]atomic.Pointer[soNode[K, V]], 1<<s)}
+		if m.segments[s].CompareAndSwap(nil, fresh) {
+			seg = fresh
+		} else {
+			seg = m.segments[s].Load()
+		}
+	}
+	return &seg.slots[b+1-(1<<uint(s))]
+}
+
+// getBucket returns bucket b's sentinel node, initialising the bucket (and
+// recursively its parents) if this is its first use.
+func (m *SplitOrdered[K, V]) getBucket(b uint64) *soNode[K, V] {
+	slot := m.bucketSlot(b)
+	if n := slot.Load(); n != nil {
+		return n
+	}
+	return m.initBucket(b, slot)
+}
+
+func (m *SplitOrdered[K, V]) initBucket(b uint64, slot *atomic.Pointer[soNode[K, V]]) *soNode[K, V] {
+	// Parent: clear the most significant set bit. Bucket 0 exists from
+	// construction, so the recursion terminates.
+	parent := b &^ (uint64(1) << (bits.Len64(b) - 1))
+	parentSentinel := m.getBucket(parent)
+
+	soKey := soSentinelKey(b)
+	for {
+		pred, predRef, curr, found := m.find(parentSentinel, soKey, nil)
+		if found {
+			// Another initialiser (or an earlier epoch) inserted it.
+			slot.CompareAndSwap(nil, curr)
+			return slot.Load()
+		}
+		n := &soNode[K, V]{soKey: soKey}
+		n.ref.Store(&soRef[K, V]{next: curr})
+		if pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: n}) {
+			slot.CompareAndSwap(nil, n)
+			return slot.Load()
+		}
+	}
+}
+
+// find locates the window for soKey starting at start, snipping marked
+// nodes on the way (helping). For regular keys, key must point at the
+// lookup key and find scans through hash-colliding items until it matches
+// key equality; for sentinels key is nil and soKey equality suffices.
+//
+// Returns pred/predRef (an unmarked snapshot with predRef.next == curr) and
+// curr: the matching node when found, otherwise the first node with
+// soKey strictly greater (insertion point).
+func (m *SplitOrdered[K, V]) find(start *soNode[K, V], soKey uint64, key *K) (pred *soNode[K, V], predRef *soRef[K, V], curr *soNode[K, V], found bool) {
+retry:
+	for {
+		pred = start
+		predRef = pred.ref.Load()
+		curr = predRef.next
+		for {
+			if curr == nil {
+				return pred, predRef, nil, false
+			}
+			currRef := curr.ref.Load()
+			if currRef.marked {
+				newRef := &soRef[K, V]{next: currRef.next}
+				if !pred.ref.CompareAndSwap(predRef, newRef) {
+					continue retry
+				}
+				predRef = newRef
+				curr = currRef.next
+				continue
+			}
+			switch {
+			case curr.soKey > soKey:
+				return pred, predRef, curr, false
+			case curr.soKey == soKey:
+				if key == nil || curr.key == *key {
+					return pred, predRef, curr, true
+				}
+				// Hash collision: different key, same split-order key.
+				// Keep scanning the run of equal keys.
+			}
+			pred, predRef, curr = curr, currRef, currRef.next
+		}
+	}
+}
+
+// startFor returns the sentinel to search from for hash h under the
+// current table size.
+func (m *SplitOrdered[K, V]) startFor(h uint64) *soNode[K, V] {
+	b := h & (m.bucketCount.Load() - 1)
+	return m.getBucket(b)
+}
+
+// Load returns the value stored for k.
+func (m *SplitOrdered[K, V]) Load(k K) (v V, ok bool) {
+	h := m.hash(k)
+	_, _, curr, found := m.find(m.startFor(h), soRegularKey(h), &k)
+	if !found {
+		return v, false
+	}
+	return *curr.val.Load(), true
+}
+
+// Store sets the value for k, inserting it if absent.
+func (m *SplitOrdered[K, V]) Store(k K, v V) {
+	m.upsert(k, v, true)
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v.
+func (m *SplitOrdered[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	return m.upsert(k, v, false)
+}
+
+// upsert implements Store (overwrite=true) and LoadOrStore (overwrite=false).
+func (m *SplitOrdered[K, V]) upsert(k K, v V, overwrite bool) (actual V, loaded bool) {
+	h := m.hash(k)
+	soKey := soRegularKey(h)
+	for {
+		start := m.startFor(h)
+		pred, predRef, curr, found := m.find(start, soKey, &k)
+		if found {
+			if !overwrite {
+				return *curr.val.Load(), true
+			}
+			curr.val.Store(&v)
+			// If a concurrent Delete marked the node we cannot tell whether
+			// it observed our value; retry so the Store takes effect after
+			// the Delete in every linearization.
+			if curr.ref.Load().marked {
+				continue
+			}
+			return v, true
+		}
+		n := &soNode[K, V]{soKey: soKey, key: k}
+		n.val.Store(&v)
+		n.ref.Store(&soRef[K, V]{next: curr})
+		if pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: n}) {
+			m.grew()
+			return v, false
+		}
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *SplitOrdered[K, V]) Delete(k K) bool {
+	h := m.hash(k)
+	soKey := soRegularKey(h)
+	for {
+		start := m.startFor(h)
+		pred, predRef, curr, found := m.find(start, soKey, &k)
+		if !found {
+			return false
+		}
+		currRef := curr.ref.Load()
+		if currRef.marked {
+			continue // raced with another deleter; re-resolve via find
+		}
+		if !curr.ref.CompareAndSwap(currRef, &soRef[K, V]{next: currRef.next, marked: true}) {
+			continue
+		}
+		// Physical unlink is best-effort; find() helps later on failure.
+		pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: currRef.next})
+		m.size.Add(-1)
+		return true
+	}
+}
+
+// Len reports the number of entries (atomic counter; exact in quiescent
+// states).
+func (m *SplitOrdered[K, V]) Len() int {
+	return int(m.size.Load())
+}
+
+// Range calls f for every entry until f returns false. The iteration is
+// weakly consistent: it reflects some interleaving of concurrent updates,
+// never locks, and never blocks writers.
+func (m *SplitOrdered[K, V]) Range(f func(K, V) bool) {
+	head := m.getBucket(0)
+	for curr := head.ref.Load().next; curr != nil; {
+		ref := curr.ref.Load()
+		if !ref.marked && curr.soKey&1 == 1 {
+			if !f(curr.key, *curr.val.Load()) {
+				return
+			}
+		}
+		curr = ref.next
+	}
+}
+
+// grew bumps the size and doubles the bucket count when the load factor
+// exceeds the threshold. The doubling is a single CAS: directory segments
+// and sentinels materialise lazily afterwards.
+func (m *SplitOrdered[K, V]) grew() {
+	sz := m.size.Add(1)
+	n := m.bucketCount.Load()
+	if sz > int64(n)*soLoadFactor && n < (1<<(soMaxSegments-1)) {
+		m.bucketCount.CompareAndSwap(n, 2*n)
+	}
+}

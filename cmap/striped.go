@@ -1,0 +1,215 @@
+package cmap
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// stripedLoadFactor triggers a bucket-array doubling when
+// size > stripedLoadFactor × len(buckets).
+const stripedLoadFactor = 4
+
+// Striped is the classic lock-striped hash table: a fixed array of stripe
+// locks protects a growing array of buckets. A key's stripe is
+// hash mod nstripes, which never changes, while its bucket is
+// hash mod nbuckets, which doubles on resize — because nbuckets is always a
+// multiple of nstripes, every bucket is consistently owned by exactly one
+// stripe. Operations lock one stripe; resize quiesces the table by locking
+// all stripes in order (deadlock-free) and rehashing.
+//
+// Concurrency degrades only when (a) two hot keys share a stripe, or
+// (b) a resize holds everything — exactly the trade-offs experiment F6
+// measures against the lock-free table.
+//
+// Progress: blocking.
+type Striped[K comparable, V any] struct {
+	hash    func(K) uint64
+	stripes []paddedRWMutex
+	mask    uint64 // len(stripes)-1
+
+	// buckets is read and written only under at least one stripe lock;
+	// resize replaces it under all stripe locks.
+	buckets [][]stripedEntry[K, V]
+
+	size atomic.Int64
+}
+
+type paddedRWMutex struct {
+	mu sync.RWMutex
+	_  pad.CacheLinePad
+}
+
+type stripedEntry[K comparable, V any] struct {
+	hash uint64
+	key  K
+	val  V
+}
+
+// NewStriped returns an empty striped map with the given stripe count
+// (rounded up to a power of two; <= 0 selects 32). The bucket array starts
+// at the stripe count and doubles as the map grows.
+func NewStriped[K comparable, V any](stripes int) *Striped[K, V] {
+	if stripes <= 0 {
+		stripes = 32
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &Striped[K, V]{
+		hash:    newHasher[K]().hash,
+		stripes: make([]paddedRWMutex, n),
+		mask:    uint64(n - 1),
+		buckets: make([][]stripedEntry[K, V], n),
+	}
+}
+
+// Load returns the value stored for k.
+func (c *Striped[K, V]) Load(k K) (v V, ok bool) {
+	h := c.hash(k)
+	mu := &c.stripes[h&c.mask].mu
+	mu.RLock()
+	defer mu.RUnlock()
+	for _, e := range c.bucketFor(h) {
+		if e.hash == h && e.key == k {
+			return e.val, true
+		}
+	}
+	return v, false
+}
+
+// Store sets the value for k, inserting it if absent.
+func (c *Striped[K, V]) Store(k K, v V) {
+	h := c.hash(k)
+	mu := &c.stripes[h&c.mask].mu
+	mu.Lock()
+	b := c.bucketIndex(h)
+	for i := range c.buckets[b] {
+		e := &c.buckets[b][i]
+		if e.hash == h && e.key == k {
+			e.val = v
+			mu.Unlock()
+			return
+		}
+	}
+	c.buckets[b] = append(c.buckets[b], stripedEntry[K, V]{hash: h, key: k, val: v})
+	grew := c.size.Add(1)
+	threshold := int64(stripedLoadFactor * len(c.buckets))
+	mu.Unlock()
+	if grew > threshold {
+		c.resize(int(threshold) / stripedLoadFactor)
+	}
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v.
+func (c *Striped[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	h := c.hash(k)
+	mu := &c.stripes[h&c.mask].mu
+	mu.Lock()
+	b := c.bucketIndex(h)
+	for i := range c.buckets[b] {
+		e := &c.buckets[b][i]
+		if e.hash == h && e.key == k {
+			actual = e.val
+			mu.Unlock()
+			return actual, true
+		}
+	}
+	c.buckets[b] = append(c.buckets[b], stripedEntry[K, V]{hash: h, key: k, val: v})
+	grew := c.size.Add(1)
+	threshold := int64(stripedLoadFactor * len(c.buckets))
+	mu.Unlock()
+	if grew > threshold {
+		c.resize(int(threshold) / stripedLoadFactor)
+	}
+	return v, false
+}
+
+// Delete removes k, reporting whether it was present.
+func (c *Striped[K, V]) Delete(k K) bool {
+	h := c.hash(k)
+	mu := &c.stripes[h&c.mask].mu
+	mu.Lock()
+	defer mu.Unlock()
+	b := c.bucketIndex(h)
+	bucket := c.buckets[b]
+	for i := range bucket {
+		if bucket[i].hash == h && bucket[i].key == k {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			var zero stripedEntry[K, V]
+			bucket[last] = zero
+			c.buckets[b] = bucket[:last]
+			c.size.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of entries (atomic counter; exact in quiescent
+// states).
+func (c *Striped[K, V]) Len() int {
+	return int(c.size.Load())
+}
+
+// Range calls f for every entry until f returns false. It holds all stripe
+// read locks for the duration, so the iteration is a consistent snapshot;
+// keep f short and never mutate the map from within f (self-deadlock).
+func (c *Striped[K, V]) Range(f func(K, V) bool) {
+	for i := range c.stripes {
+		c.stripes[i].mu.RLock()
+	}
+	defer func() {
+		for i := range c.stripes {
+			c.stripes[i].mu.RUnlock()
+		}
+	}()
+	for _, bucket := range c.buckets {
+		for _, e := range bucket {
+			if !f(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// bucketIndex maps a hash to the bucket array; caller holds the key's
+// stripe lock. Buckets are a power of two and a multiple of stripes, so
+// stripe ownership is stable across resizes.
+func (c *Striped[K, V]) bucketIndex(h uint64) uint64 {
+	return h & uint64(len(c.buckets)-1)
+}
+
+func (c *Striped[K, V]) bucketFor(h uint64) []stripedEntry[K, V] {
+	return c.buckets[c.bucketIndex(h)]
+}
+
+// resize doubles the bucket array if it still has the expected size.
+// Acquiring every stripe in index order makes concurrent resizes
+// deadlock-free and mutually exclusive.
+func (c *Striped[K, V]) resize(expectBuckets int) {
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := range c.stripes {
+			c.stripes[i].mu.Unlock()
+		}
+	}()
+	if len(c.buckets) != expectBuckets {
+		return // someone resized before us
+	}
+	next := make([][]stripedEntry[K, V], 2*len(c.buckets))
+	nmask := uint64(len(next) - 1)
+	for _, bucket := range c.buckets {
+		for _, e := range bucket {
+			idx := e.hash & nmask
+			next[idx] = append(next[idx], e)
+		}
+	}
+	c.buckets = next
+}

@@ -1,0 +1,101 @@
+// Command cdsbench regenerates the experiment figures and tables from
+// DESIGN.md: throughput-scalability series for every structure family,
+// printed as aligned text tables (one row per thread count, one column per
+// algorithm).
+//
+// Usage:
+//
+//	cdsbench                  # run the full suite
+//	cdsbench -experiment F4   # one experiment
+//	cdsbench -quick           # smoke-sized workloads
+//	cdsbench -threads 1,2,4,8 # custom sweep
+//	cdsbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/cds-suite/cds/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdsbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment ID to run (e.g. F1, A2); empty runs the main suite")
+		ablations  = fs.Bool("ablations", false, "also run the ablation sweeps (A1..A4)")
+		quick      = fs.Bool("quick", false, "smoke-sized workloads")
+		threads    = fs.String("threads", "", "comma-separated thread sweep (default: 1,2,4,...,GOMAXPROCS)")
+		ops        = fs.Int("ops", 0, "per-worker operations (0 = per-experiment default)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		for _, e := range bench.Ablations() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := bench.Config{Quick: *quick, Ops: *ops}
+	if *threads != "" {
+		sweep, err := parseThreads(*threads)
+		if err != nil {
+			return err
+		}
+		cfg.Threads = sweep
+	}
+
+	var selected []bench.Experiment
+	if *experiment == "" {
+		selected = bench.Experiments()
+		if *ablations {
+			selected = append(selected, bench.Ablations()...)
+		}
+	} else {
+		e, ok := bench.Find(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *experiment)
+		}
+		selected = []bench.Experiment{e}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		for _, fig := range e.Run(cfg) {
+			if err := fig.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sweep := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid thread count %q", p)
+		}
+		sweep = append(sweep, n)
+	}
+	return sweep, nil
+}

@@ -1,0 +1,99 @@
+package counter
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// Approx is a "sloppy" counter (Boyd-Wickizer et al.): updates accumulate in
+// per-shard buffers and are flushed to a shared global only when a buffer's
+// magnitude reaches a threshold. Load reads the single global word, so reads
+// are O(1) — the opposite trade-off from Sharded, whose reads scan every
+// shard. The price is bounded staleness: Load can lag the true count by at
+// most shards × (threshold-1) in magnitude.
+//
+// Progress: Add is wait-free; Load is wait-free with bounded error.
+type Approx struct {
+	global    atomic.Int64
+	threshold int64
+	shards    []paddedInt64
+	mask      uint64
+	states    sync.Pool
+}
+
+// NewApprox returns a sloppy counter with the given shard count (<= 0
+// selects 4×GOMAXPROCS, rounded up to a power of two) and flush threshold
+// (<= 0 selects 64). Larger thresholds scale updates better and make reads
+// staler.
+func NewApprox(shards int, threshold int64) *Approx {
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	if threshold <= 0 {
+		threshold = 64
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Approx{
+		threshold: threshold,
+		shards:    make([]paddedInt64, n),
+		mask:      uint64(n - 1),
+	}
+	var seed atomic.Uint64
+	c.states.New = func() any {
+		s := seed.Add(0x9e3779b97f4a7c15)
+		return &s
+	}
+	return c
+}
+
+// Inc adds 1.
+func (c *Approx) Inc() { c.Add(1) }
+
+// Add adds delta to a local shard, flushing the shard to the global counter
+// when its buffered magnitude reaches the threshold.
+func (c *Approx) Add(delta int64) {
+	s := c.states.Get().(*uint64)
+	idx := xrand.SplitMix64(s) & c.mask
+	c.states.Put(s)
+
+	shard := &c.shards[idx].n
+	v := shard.Add(delta)
+	if v >= c.threshold || v <= -c.threshold {
+		// Claim the buffered amount and push it to the global. A concurrent
+		// adder may interleave; the subtraction keeps the sum invariant
+		// global + Σshards == true count.
+		shard.Add(-v)
+		c.global.Add(v)
+	}
+}
+
+// Load returns the global counter: the true count minus whatever is still
+// buffered in shards (at most MaxError in magnitude).
+func (c *Approx) Load() int64 {
+	return c.global.Load()
+}
+
+// LoadExact folds the shard buffers in as well. Like Sharded.Load it is
+// exact only in quiescent states; it exists for tests and final readings.
+func (c *Approx) LoadExact() int64 {
+	sum := c.global.Load()
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// MaxError returns the worst-case magnitude by which Load may lag the true
+// count: shards × (threshold − 1), plus transient in-flight updates.
+func (c *Approx) MaxError() int64 {
+	return int64(len(c.shards)) * (c.threshold - 1)
+}
+
+// Threshold returns the flush threshold.
+func (c *Approx) Threshold() int64 { return c.threshold }

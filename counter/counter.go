@@ -1,0 +1,72 @@
+// Package counter implements the shared-counter designs from the concurrent
+// data structures literature: a mutex-guarded counter, a single atomic
+// fetch-and-add counter, a cache-line-striped (sharded) counter, a software
+// combining tree, and a statistical approximate counter.
+//
+// Shared counters are the survey's smallest case study in the
+// contention/accuracy trade-off: a single fetch-and-add word saturates at
+// the coherence throughput of one cache line, while distributing the count
+// (striping, combining, approximation) recovers scalability at the cost of
+// more expensive or weaker reads. Experiment F2 regenerates the classic
+// comparison.
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Counter = (*Locked)(nil)
+	_ cds.Counter = (*Atomic)(nil)
+	_ cds.Counter = (*Sharded)(nil)
+	_ cds.Counter = (*CombiningTree)(nil)
+	_ cds.Counter = (*Approx)(nil)
+)
+
+// Locked is a mutex-guarded counter: the coarse-locking baseline. Every
+// operation serialises through one sync.Mutex.
+//
+// The zero value is a Locked counter at 0. Progress: blocking.
+type Locked struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds 1.
+func (c *Locked) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Locked) Add(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Load returns the current value.
+func (c *Locked) Load() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Atomic is a single-word fetch-and-add counter. Updates are wait-free and
+// exact but all hit one cache line, so update throughput stops scaling past
+// a few cores.
+//
+// The zero value is an Atomic counter at 0. Progress: wait-free.
+type Atomic struct {
+	n atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Atomic) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Atomic) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Atomic) Load() int64 { return c.n.Load() }

@@ -1,0 +1,62 @@
+package counter_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/counter"
+)
+
+// Sharded counters scale updates linearly with cores; hot loops hold a
+// Handle so shard selection costs nothing.
+func ExampleSharded() {
+	c := counter.NewSharded(0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.Handle()
+			for i := 0; i < 1000; i++ {
+				h.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println(c.Load())
+	// Output: 8000
+}
+
+// The sloppy counter trades read freshness for O(1) reads: Load may lag by
+// at most MaxError, while LoadExact folds the shard buffers in.
+func ExampleApprox() {
+	c := counter.NewApprox(4, 16)
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	lag := c.LoadExact() - c.Load()
+	fmt.Println(c.LoadExact(), lag >= 0 && lag <= c.MaxError())
+	// Output: 1000 true
+}
+
+// The combining tree turns k colliding increments into one traversal — a
+// win only under saturation, which is exactly what experiment F2 shows.
+func ExampleCombiningTree() {
+	tree := counter.NewCombiningTree(4)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tree.Handle(w)
+			for i := 0; i < 100; i++ {
+				h.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Println(tree.Load())
+	// Output: 400
+}

@@ -1,0 +1,107 @@
+package counter
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// Sharded is a striped counter: updates hit one of several cache-line-padded
+// slots and Load sums the slots. This is the LongAdder/statistical-counter
+// design: updates scale nearly linearly with cores because disjoint slots
+// live on disjoint cache lines, while reads do O(shards) work and return a
+// value that is exact only in quiescent states (Load is not a linearizable
+// snapshot; it returns some value the counter passed through during the
+// scan).
+//
+// Shard selection needs per-thread state, which portable Go lacks; Add
+// borrows a PRNG from a sync.Pool (per-P caches make this nearly
+// contention-free). Hot loops should hoist the state with Handle, which
+// pins selection state to the caller.
+//
+// Progress: Add is wait-free (pool fast path aside); Load is wait-free but
+// weakly consistent.
+type Sharded struct {
+	shards []paddedInt64
+	mask   uint64
+	states sync.Pool
+}
+
+type paddedInt64 struct {
+	n atomic.Int64
+	_ pad.CacheLinePad
+}
+
+// NewSharded returns a striped counter with the given number of shards,
+// rounded up to a power of two. shards <= 0 selects 4×GOMAXPROCS, the
+// conventional over-provisioning that keeps collision probability low.
+func NewSharded(shards int) *Sharded {
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Sharded{
+		shards: make([]paddedInt64, n),
+		mask:   uint64(n - 1),
+	}
+	var seed atomic.Uint64
+	c.states.New = func() any {
+		s := seed.Add(0x9e3779b97f4a7c15)
+		return &s
+	}
+	return c
+}
+
+// Inc adds 1.
+func (c *Sharded) Inc() { c.Add(1) }
+
+// Add adds delta to one shard.
+func (c *Sharded) Add(delta int64) {
+	s := c.states.Get().(*uint64)
+	idx := xrand.SplitMix64(s) & c.mask
+	c.shards[idx].n.Add(delta)
+	c.states.Put(s)
+}
+
+// Load returns the sum of all shards. The result is exact when no updates
+// are concurrent; under concurrency it is some valid value between the
+// counts at the start and end of the scan.
+func (c *Sharded) Load() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// Handle returns an update handle with private shard-selection state. A
+// Handle must be used by one goroutine at a time; the updates it performs
+// are visible to every Load.
+func (c *Sharded) Handle() *ShardedHandle {
+	s := c.states.Get().(*uint64)
+	state := *s
+	c.states.Put(s)
+	return &ShardedHandle{c: c, state: state}
+}
+
+// ShardedHandle performs updates against a Sharded counter with
+// goroutine-private selection state, avoiding all shared selection traffic.
+type ShardedHandle struct {
+	c     *Sharded
+	state uint64
+}
+
+// Inc adds 1.
+func (h *ShardedHandle) Inc() { h.Add(1) }
+
+// Add adds delta to one shard of the underlying counter.
+func (h *ShardedHandle) Add(delta int64) {
+	idx := xrand.SplitMix64(&h.state) & h.c.mask
+	h.c.shards[idx].n.Add(delta)
+}

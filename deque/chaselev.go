@@ -1,0 +1,146 @@
+package deque
+
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// ChaseLev is the dynamic circular work-stealing deque of Chase & Lev
+// (SPAA 2005). One owner goroutine pushes and pops task items at the
+// bottom; any number of thieves steal from the top. The owner's fast path
+// is CAS-free — a push is a slot store plus a bottom publication — and only
+// the race for the last remaining element synchronises owner and thieves
+// through a CAS on top. The backing array grows by doubling; thieves may
+// keep reading a superseded array, which stays valid because arrays are
+// immutable once replaced.
+//
+// Method restrictions: PushBottom and TryPopBottom must be called only by
+// the owner goroutine; TryPopTop may be called by anyone.
+//
+// Elements are boxed (*T) so that slot reads and writes are single atomic
+// pointer operations; the thief's validating CAS on top makes a stale slot
+// read harmless (the steal fails and retries).
+//
+// Linearization points: PushBottom at the bottom publication; owner pop of
+// a non-last element at its bottom store; last-element pop and every steal
+// at the CAS on top.
+//
+// Progress: owner operations are wait-free; steals are lock-free.
+type ChaseLev[T any] struct {
+	top atomic.Int64
+	_   pad.CacheLinePad
+
+	bottom atomic.Int64
+	_      pad.CacheLinePad
+
+	array atomic.Pointer[clArray[T]]
+}
+
+type clArray[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[T]
+}
+
+func newCLArray[T any](size int64) *clArray[T] {
+	return &clArray[T]{
+		mask:  size - 1,
+		slots: make([]atomic.Pointer[T], size),
+	}
+}
+
+func (a *clArray[T]) size() int64 { return int64(len(a.slots)) }
+
+func (a *clArray[T]) get(i int64) *T { return a.slots[i&a.mask].Load() }
+
+func (a *clArray[T]) put(i int64, v *T) { a.slots[i&a.mask].Store(v) }
+
+// grow returns a doubled array holding the elements in positions [top, bottom).
+func (a *clArray[T]) grow(top, bottom int64) *clArray[T] {
+	na := newCLArray[T](2 * a.size())
+	for i := top; i < bottom; i++ {
+		na.put(i, a.get(i))
+	}
+	return na
+}
+
+// NewChaseLev returns an empty deque with the given initial capacity,
+// rounded up to a power of two (minimum 8). The deque grows as needed.
+func NewChaseLev[T any](initialCap int) *ChaseLev[T] {
+	n := int64(8)
+	for n < int64(initialCap) {
+		n <<= 1
+	}
+	d := &ChaseLev[T]{}
+	d.array.Store(newCLArray[T](n))
+	return d
+}
+
+// PushBottom adds v at the owner end. Owner-only.
+func (d *ChaseLev[T]) PushBottom(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t > a.size()-1 {
+		// Full: publish a doubled copy. Thieves holding the old array keep
+		// reading valid (immutable) slots.
+		a = a.grow(t, b)
+		d.array.Store(a)
+	}
+	a.put(b, &v)
+	d.bottom.Store(b + 1)
+}
+
+// TryPopBottom removes from the owner end. Owner-only.
+func (d *ChaseLev[T]) TryPopBottom() (v T, ok bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	// Go atomics are sequentially consistent, providing the store-load
+	// barrier between the bottom reservation and the top read that the
+	// algorithm's correctness argument requires.
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; undo the reservation.
+		d.bottom.Store(b + 1)
+		return v, false
+	}
+	ptr := a.get(b)
+	if b > t {
+		// More than one element: the reservation alone secures it.
+		return *ptr, true
+	}
+	// Exactly one element: race the thieves for it via top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(b + 1)
+	if !won {
+		return v, false // a thief got it first
+	}
+	return *ptr, true
+}
+
+// TryPopTop steals from the top end. Safe for any goroutine.
+func (d *ChaseLev[T]) TryPopTop() (v T, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return v, false // observed empty
+	}
+	a := d.array.Load()
+	ptr := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return v, false // lost the race; caller may retry
+	}
+	return *ptr, true
+}
+
+// Len reports bottom−top. Exact in quiescent states; under concurrency it
+// is a best-effort snapshot.
+func (d *ChaseLev[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}

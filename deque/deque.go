@@ -1,0 +1,76 @@
+// Package deque implements work-stealing double-ended queues: the
+// Chase–Lev dynamic circular work-stealing deque (SPAA 2005) and a
+// mutex-guarded baseline.
+//
+// Work stealing is the survey's flagship application of relaxed structure
+// semantics: the owner pushes and pops tasks at the bottom with plain loads
+// and stores (no CAS on the fast path), while thieves steal from the top
+// with a CAS. Only the race for the last element needs full
+// synchronization. Experiment F9 regenerates the owner-vs-thief cost
+// curves.
+package deque
+
+import (
+	"sync"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Deque[int] = (*Mutex[int])(nil)
+	_ cds.Deque[int] = (*ChaseLev[int])(nil)
+)
+
+// Mutex is a coarse-locked deque baseline.
+//
+// The zero value is an empty deque. Progress: blocking.
+type Mutex[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewMutex returns an empty coarse-locked deque.
+func NewMutex[T any]() *Mutex[T] {
+	return &Mutex[T]{}
+}
+
+// PushBottom adds v at the bottom (owner end).
+func (d *Mutex[T]) PushBottom(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// TryPopBottom removes from the bottom (owner end).
+func (d *Mutex[T]) TryPopBottom() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[len(d.items)-1]
+	var zero T
+	d.items[len(d.items)-1] = zero
+	d.items = d.items[:len(d.items)-1]
+	return v, true
+}
+
+// TryPopTop removes from the top (steal end).
+func (d *Mutex[T]) TryPopTop() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[0]
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len reports the number of elements.
+func (d *Mutex[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -1,0 +1,24 @@
+package deque_test
+
+import (
+	"fmt"
+
+	"github.com/cds-suite/cds/deque"
+)
+
+// The owner works LIFO at the bottom; thieves steal FIFO from the top.
+func ExampleChaseLev() {
+	d := deque.NewChaseLev[string](8)
+
+	// Owner enqueues local work.
+	d.PushBottom("old-task")
+	d.PushBottom("new-task")
+
+	// Owner pops its freshest task (cache-warm).
+	own, _ := d.TryPopBottom()
+	// A thief steals the oldest task.
+	stolen, _ := d.TryPopTop()
+
+	fmt.Println(own, stolen)
+	// Output: new-task old-task
+}

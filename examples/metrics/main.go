@@ -1,0 +1,96 @@
+// Metrics: a high-frequency metrics subsystem — the classic use case for
+// relaxed counters. Request threads bump sharded counters (scalable, exact
+// in quiescence) and a sloppy counter (O(1) reads, bounded error), while a
+// seqlock publishes consistent multi-field snapshots to a reporter thread
+// without ever blocking the writers.
+//
+// Run with:
+//
+//	go run ./examples/metrics
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/locks"
+)
+
+func main() {
+	var (
+		requests = counter.NewSharded(0)
+		errors   = counter.NewSharded(0)
+		inflight = counter.NewApprox(0, 32)
+		snapshot = locks.NewSeqWords(2) // {requests, errors} published pairs
+	)
+
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 200000
+
+	var wg sync.WaitGroup
+	stopReporter := make(chan struct{})
+	var reporterWG sync.WaitGroup
+
+	// Reporter: reads consistent snapshots while writers run at full speed.
+	reporterWG.Add(1)
+	go func() {
+		defer reporterWG.Done()
+		out := make([]uint64, 2)
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopReporter:
+				return
+			case <-ticker.C:
+				snapshot.Read(out)
+				if out[0] < out[1] {
+					// Never valid: errors cannot exceed requests. The
+					// seqlock guarantees we cannot observe a torn pair.
+					fmt.Printf("TORN SNAPSHOT: requests=%d errors=%d\n", out[0], out[1])
+					return
+				}
+				fmt.Printf("  snapshot: %9d requests, %7d errors, ~%d in flight\n",
+					out[0], out[1], inflight.Load())
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := requests.Handle()
+			eh := errors.Handle()
+			rng := xrand.New(uint64(w) + 1)
+			for i := 0; i < perWorker; i++ {
+				inflight.Add(1)
+				h.Inc()
+				if rng.Uint64n(100) < 3 { // 3% error rate
+					eh.Inc()
+				}
+				if i%1024 == 0 {
+					// Periodically publish a consistent (requests, errors)
+					// pair for the reporter.
+					snapshot.Write([]uint64{uint64(requests.Load()), uint64(errors.Load())})
+				}
+				inflight.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(stopReporter)
+	reporterWG.Wait()
+
+	total := requests.Load()
+	errs := errors.Load()
+	fmt.Printf("final:    %d requests (%.1f M/s), %d errors (%.2f%%), in-flight drained to %d\n",
+		total, float64(total)/elapsed.Seconds()/1e6,
+		errs, 100*float64(errs)/float64(total), inflight.LoadExact())
+}

@@ -1,0 +1,164 @@
+// Quickstart: a tour of the cds public API — one structure from each
+// family, exercised concurrently with its invariants checked at the end.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/cds-suite/cds/cmap"
+	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/list"
+	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/stack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const workers = 8
+	const perWorker = 10000
+
+	// A lock-free Treiber stack: push from all workers, pop everything.
+	s := stack.NewTreiber[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Push(w*perWorker + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	popped := 0
+	for {
+		if _, ok := s.TryPop(); !ok {
+			break
+		}
+		popped++
+	}
+	fmt.Printf("stack.Treiber:       pushed %d, popped %d\n", workers*perWorker, popped)
+	if popped != workers*perWorker {
+		return fmt.Errorf("stack lost %d elements", workers*perWorker-popped)
+	}
+
+	// A Michael–Scott queue: producers and consumers running together.
+	q := queue.NewMS[int]()
+	var produced, consumed sync.WaitGroup
+	results := make(chan int, workers*perWorker)
+	for w := 0; w < workers/2; w++ {
+		produced.Add(1)
+		go func(w int) {
+			defer produced.Done()
+			for i := 0; i < perWorker; i++ {
+				q.Enqueue(i)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for w := 0; w < workers/2; w++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				if v, ok := q.TryDequeue(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain anything left after producers finished.
+					for {
+						v, ok := q.TryDequeue()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	produced.Wait()
+	close(stop)
+	consumed.Wait()
+	close(results)
+	n := 0
+	for range results {
+		n++
+	}
+	fmt.Printf("queue.MS:            enqueued %d, dequeued %d\n", workers/2*perWorker, n)
+	if n != workers/2*perWorker {
+		return fmt.Errorf("queue lost %d elements", workers/2*perWorker-n)
+	}
+
+	// A lock-free hash map with concurrent mixed operations.
+	m := cmap.NewSplitOrdered[string, int]()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("key-%d", i%1000)
+				if i%3 == 0 {
+					m.Store(key, i)
+				} else {
+					m.Load(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("cmap.SplitOrdered:   %d live keys after mixed workload\n", m.Len())
+
+	// A sorted lock-free set.
+	set := list.NewHarris[int]()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				set.Add(i) // heavy duplicate contention on purpose
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("list.Harris:         %d unique keys (expected 1000)\n", set.Len())
+	if set.Len() != 1000 {
+		return fmt.Errorf("set has %d keys, want 1000", set.Len())
+	}
+
+	// A scalable sharded counter.
+	c := counter.NewSharded(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.Handle()
+			for i := 0; i < perWorker; i++ {
+				h.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("counter.Sharded:     %d increments recorded\n", c.Load())
+	if c.Load() != int64(workers*perWorker) {
+		return fmt.Errorf("counter = %d, want %d", c.Load(), workers*perWorker)
+	}
+
+	fmt.Println("quickstart: all structures behaved.")
+	return nil
+}

@@ -1,0 +1,159 @@
+// Scheduler: a work-stealing task scheduler built on the Chase–Lev deque —
+// the workload that motivated the deque's design. Each worker owns a deque;
+// it pushes spawned subtasks at the bottom and pops them LIFO (cache-warm),
+// while idle workers steal FIFO from the top of victims' deques. The same
+// computation runs on a single shared locked queue for comparison.
+//
+// The task graph is a recursive pseudo-work tree: every task either spawns
+// two children or burns a few hundred nanoseconds, a stand-in for fork/join
+// workloads (parallel quicksort, tree traversals).
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cds-suite/cds/deque"
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/queue"
+)
+
+// task is one unit of work: depth controls whether it forks or computes.
+type task struct {
+	depth int
+	seed  uint64
+}
+
+const (
+	forkDepth  = 14 // 2^14 leaf tasks
+	leafSpins  = 300
+	numWorkers = 0 // 0 = GOMAXPROCS
+)
+
+func main() {
+	workers := numWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	stealing := runWorkStealing(workers)
+	shared := runSharedQueue(workers)
+
+	fmt.Printf("work-stealing (Chase–Lev): %8.2fms\n", stealing.Seconds()*1000)
+	fmt.Printf("shared locked queue:       %8.2fms\n", shared.Seconds()*1000)
+	fmt.Printf("speedup: %.2fx\n", shared.Seconds()/stealing.Seconds())
+}
+
+// leafWork simulates a small computation.
+func leafWork(seed uint64) uint64 {
+	v := seed
+	for i := 0; i < leafSpins; i++ {
+		v = xrand.SplitMix64(&v)
+	}
+	return v
+}
+
+// runWorkStealing executes the task tree on per-worker deques with
+// stealing.
+func runWorkStealing(workers int) time.Duration {
+	deques := make([]*deque.ChaseLev[task], workers)
+	for i := range deques {
+		deques[i] = deque.NewChaseLev[task](256)
+	}
+	var (
+		pending atomic.Int64 // tasks spawned but not finished
+		sink    atomic.Uint64
+	)
+	pending.Store(1)
+	deques[0].PushBottom(task{depth: forkDepth, seed: 42})
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			my := deques[w]
+			rng := xrand.New(uint64(w) + 1)
+			for {
+				t, ok := my.TryPopBottom()
+				if !ok {
+					// Steal from a random victim.
+					victim := rng.Intn(workers)
+					if victim == w {
+						if pending.Load() == 0 {
+							return
+						}
+						continue
+					}
+					t, ok = deques[victim].TryPopTop()
+					if !ok {
+						if pending.Load() == 0 {
+							return
+						}
+						continue
+					}
+				}
+				if t.depth == 0 {
+					sink.Add(leafWork(t.seed))
+					pending.Add(-1)
+					continue
+				}
+				// Fork: push both children (net +1 pending).
+				my.PushBottom(task{depth: t.depth - 1, seed: t.seed*2 + 1})
+				my.PushBottom(task{depth: t.depth - 1, seed: t.seed * 2})
+				pending.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = sink.Load()
+	return time.Since(t0)
+}
+
+// runSharedQueue executes the same tree through one coarse-locked queue.
+func runSharedQueue(workers int) time.Duration {
+	q := queue.NewMutex[task]()
+	var (
+		pending atomic.Int64
+		sink    atomic.Uint64
+	)
+	pending.Store(1)
+	q.Enqueue(task{depth: forkDepth, seed: 42})
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := q.TryDequeue()
+				if !ok {
+					if pending.Load() == 0 {
+						return
+					}
+					continue
+				}
+				if t.depth == 0 {
+					sink.Add(leafWork(t.seed))
+					pending.Add(-1)
+					continue
+				}
+				q.Enqueue(task{depth: t.depth - 1, seed: t.seed * 2})
+				q.Enqueue(task{depth: t.depth - 1, seed: t.seed*2 + 1})
+				pending.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	_ = sink.Load()
+	return time.Since(t0)
+}

@@ -1,0 +1,100 @@
+// Webcache: a read-heavy concurrent cache in front of a slow "origin",
+// the canonical deployment of a concurrent hash map. The cache layer is a
+// lock-free split-ordered map (so cache hits never serialise), hit/miss
+// accounting uses sharded counters (so stats never become the bottleneck —
+// a direct instance of the survey's functionality-vs-performance point),
+// and entries carry a TTL checked on read.
+//
+// The simulated clients draw keys from a Zipfian distribution, as real
+// content popularity does.
+//
+// Run with:
+//
+//	go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/cds-suite/cds/cmap"
+	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/internal/zipf"
+)
+
+type entry struct {
+	value   string
+	expires time.Time
+}
+
+type cache struct {
+	entries *cmap.SplitOrdered[uint64, entry]
+	hits    *counter.Sharded
+	misses  *counter.Sharded
+	ttl     time.Duration
+}
+
+func newCache(ttl time.Duration) *cache {
+	return &cache{
+		entries: cmap.NewSplitOrdered[uint64, entry](),
+		hits:    counter.NewSharded(0),
+		misses:  counter.NewSharded(0),
+		ttl:     ttl,
+	}
+}
+
+// get returns the cached value or fetches it from the origin.
+func (c *cache) get(key uint64, origin func(uint64) string) string {
+	if e, ok := c.entries.Load(key); ok && time.Now().Before(e.expires) {
+		c.hits.Inc()
+		return e.value
+	}
+	c.misses.Inc()
+	v := origin(key)
+	c.entries.Store(key, entry{value: v, expires: time.Now().Add(c.ttl)})
+	return v
+}
+
+func main() {
+	const (
+		keySpace = 100000
+		requests = 200000
+		ttl      = 500 * time.Millisecond
+	)
+	clients := runtime.GOMAXPROCS(0)
+
+	c := newCache(ttl)
+	origin := func(key uint64) string {
+		// A "slow" origin: a microsecond-ish of fake work.
+		time.Sleep(2 * time.Microsecond)
+		return fmt.Sprintf("content-%d", key)
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			keys, err := zipf.New(keySpace, 0.99, uint64(cl)+1)
+			if err != nil {
+				panic(err) // static parameters; cannot fail
+			}
+			for i := 0; i < requests/clients; i++ {
+				_ = c.get(keys.Next(), origin)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	hits, misses := c.hits.Load(), c.misses.Load()
+	total := hits + misses
+	fmt.Printf("requests:   %d in %.0fms (%.2f M req/s)\n",
+		total, elapsed.Seconds()*1000, float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("hit rate:   %.1f%% (%d hits, %d misses)\n",
+		100*float64(hits)/float64(total), hits, misses)
+	fmt.Printf("cache size: %d entries\n", c.entries.Len())
+}

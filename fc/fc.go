@@ -1,0 +1,221 @@
+// Package fc implements combining-based synchronization in the style of
+// flat combining (Hendler, Incze, Shavit & Tzafrir, SPAA 2010): instead of
+// every thread fighting for the lock of a shared structure, threads publish
+// their operations into a lock-free list and a single temporary "combiner"
+// applies a whole batch against the plain sequential structure.
+//
+// The counter-intuitive result the paper established — and experiment F2/F4
+// can show — is that one thread applying k operations back-to-back against
+// warm caches often beats k threads applying one operation each through a
+// contended lock or CAS, because the structure's cache lines stay resident
+// with the combiner.
+//
+// This implementation uses the detached-publication-list variant (as in
+// Oyama et al.'s delegation scheme): each operation publishes a fresh
+// record, and the combiner claims the whole pending list with one atomic
+// swap. It keeps every property that matters for the experiments
+// (batching, single-writer cache affinity) while avoiding the record
+// lifecycle management of the original.
+package fc
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Combiner wraps a sequential structure S with combining-based concurrency.
+// S is typically a pointer to an unsynchronised container; Do submits a
+// closure that the (single) combiner thread applies.
+//
+// Progress: the structure's operations are applied by whichever thread
+// holds the combiner role; waiting threads spin until their record is
+// served. Lock-free in aggregate: the combiner role is claimed by CAS and
+// held only for a bounded batch.
+type Combiner[S any] struct {
+	seq  S
+	head atomic.Pointer[record[S]]
+	busy atomic.Bool
+}
+
+type record[S any] struct {
+	apply func(S)
+	next  *record[S]
+	done  atomic.Bool
+}
+
+// NewCombiner returns a Combiner around the given sequential structure.
+// After construction the structure must only be accessed through Do.
+func NewCombiner[S any](seq S) *Combiner[S] {
+	return &Combiner[S]{seq: seq}
+}
+
+// Do submits apply and returns after it has executed against the
+// structure. Results travel out through the closure's captured variables,
+// which are safe to read once Do returns (the combiner's completion store
+// synchronises with the caller's observation of it).
+func (c *Combiner[S]) Do(apply func(S)) {
+	r := &record[S]{apply: apply}
+	for {
+		old := c.head.Load()
+		r.next = old
+		if c.head.CompareAndSwap(old, r) {
+			break
+		}
+	}
+	spins := 0
+	for {
+		if r.done.Load() {
+			return
+		}
+		if c.busy.CompareAndSwap(false, true) {
+			c.combine()
+			c.busy.Store(false)
+			if r.done.Load() {
+				return
+			}
+			// Our record was claimed by a previous combiner that has not
+			// finished applying it yet; keep waiting.
+		}
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// combine claims the pending list and applies it. Caller holds busy.
+// Records are served in submission order (the CAS-push builds a LIFO list,
+// so it is reversed first); FIFO service keeps combining fair and makes
+// per-thread operation order match submission order.
+func (c *Combiner[S]) combine() {
+	batch := c.head.Swap(nil)
+	if batch == nil {
+		return
+	}
+	var rev *record[S]
+	for batch != nil {
+		next := batch.next
+		batch.next = rev
+		rev = batch
+		batch = next
+	}
+	for r := rev; r != nil; {
+		next := r.next // r may be reused/collected once done is set
+		r.apply(c.seq)
+		r.done.Store(true)
+		r = next
+	}
+}
+
+// Queue is a FIFO queue built from a plain slice ring via a Combiner —
+// the flat-combining counterpart to the queues in package queue.
+type Queue[T any] struct {
+	c *Combiner[*seqQueue[T]]
+}
+
+type seqQueue[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+var _ cds.Queue[int] = (*Queue[int])(nil)
+
+// NewQueue returns an empty flat-combining queue.
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{c: NewCombiner(&seqQueue[T]{})}
+}
+
+// Enqueue adds v at the tail.
+func (q *Queue[T]) Enqueue(v T) {
+	q.c.Do(func(s *seqQueue[T]) { s.push(v) })
+}
+
+// TryDequeue removes and returns the head element; ok is false if the
+// queue was empty.
+func (q *Queue[T]) TryDequeue() (v T, ok bool) {
+	q.c.Do(func(s *seqQueue[T]) { v, ok = s.pop() })
+	return v, ok
+}
+
+// Len reports the number of elements.
+func (q *Queue[T]) Len() int {
+	var n int
+	q.c.Do(func(s *seqQueue[T]) { n = s.count })
+	return n
+}
+
+func (s *seqQueue[T]) push(v T) {
+	if s.count == len(s.buf) {
+		newCap := 2 * len(s.buf)
+		if newCap == 0 {
+			newCap = 8
+		}
+		buf := make([]T, newCap)
+		for i := 0; i < s.count; i++ {
+			buf[i] = s.buf[(s.head+i)%len(s.buf)]
+		}
+		s.buf = buf
+		s.head = 0
+	}
+	s.buf[(s.head+s.count)%len(s.buf)] = v
+	s.count++
+}
+
+func (s *seqQueue[T]) pop() (v T, ok bool) {
+	if s.count == 0 {
+		return v, false
+	}
+	v = s.buf[s.head]
+	var zero T
+	s.buf[s.head] = zero
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+	return v, true
+}
+
+// Stack is a LIFO stack via a Combiner.
+type Stack[T any] struct {
+	c *Combiner[*seqStack[T]]
+}
+
+type seqStack[T any] struct {
+	items []T
+}
+
+var _ cds.Stack[int] = (*Stack[int])(nil)
+
+// NewStack returns an empty flat-combining stack.
+func NewStack[T any]() *Stack[T] {
+	return &Stack[T]{c: NewCombiner(&seqStack[T]{})}
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) {
+	s.c.Do(func(q *seqStack[T]) { q.items = append(q.items, v) })
+}
+
+// TryPop removes and returns the top element; ok is false if the stack was
+// empty.
+func (s *Stack[T]) TryPop() (v T, ok bool) {
+	s.c.Do(func(q *seqStack[T]) {
+		if len(q.items) == 0 {
+			return
+		}
+		v = q.items[len(q.items)-1]
+		var zero T
+		q.items[len(q.items)-1] = zero
+		q.items = q.items[:len(q.items)-1]
+		ok = true
+	})
+	return v, ok
+}
+
+// Len reports the number of elements.
+func (s *Stack[T]) Len() int {
+	var n int
+	s.c.Do(func(q *seqStack[T]) { n = len(q.items) })
+	return n
+}

@@ -1,0 +1,228 @@
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSequentialRetireAndCollect(t *testing.T) {
+	c := NewCollector()
+	p := c.Register()
+	defer c.Unregister(p)
+
+	freed := 0
+	for i := 0; i < 10; i++ {
+		p.Retire(func() { freed++ })
+	}
+	if got := c.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	// With no pins anywhere, three advances age everything out.
+	for i := 0; i < 3; i++ {
+		if !c.TryAdvance() {
+			t.Fatalf("advance %d failed with no pinned participants", i)
+		}
+	}
+	p.Collect()
+	if freed != 10 {
+		t.Fatalf("freed = %d, want 10", freed)
+	}
+	if got := c.Reclaimed(); got != 10 {
+		t.Fatalf("Reclaimed = %d, want 10", got)
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0", got)
+	}
+}
+
+func TestPinBlocksAdvance(t *testing.T) {
+	c := NewCollector()
+	p := c.Register()
+	defer c.Unregister(p)
+
+	p.Pin()
+	e := c.Epoch()
+	if !c.TryAdvance() {
+		t.Fatal("first advance should succeed: pinned participant has seen the current epoch")
+	}
+	// p is still pinned at e; the next advance requires p to observe e+1.
+	if c.TryAdvance() {
+		t.Fatalf("advance to %d succeeded while a participant is pinned at %d", e+2, e)
+	}
+	p.Unpin()
+	if !c.TryAdvance() {
+		t.Fatal("advance after Unpin failed")
+	}
+}
+
+func TestRetiredNotFreedWhilePinnedReaderCanHoldIt(t *testing.T) {
+	// The core safety invariant, tested mechanically: a reader pins and
+	// "acquires" an object; a writer retires it; the object must not be
+	// freed until after the reader unpins.
+	c := NewCollector()
+	reader := c.Register()
+	writer := c.Register()
+	defer c.Unregister(reader)
+	defer c.Unregister(writer)
+
+	var freed atomic.Bool
+	reader.Pin()
+	// Reader holds a conceptual reference from inside its section.
+	writer.Retire(func() { freed.Store(true) })
+
+	// Writer tries hard to reclaim; the pinned reader must prevent it.
+	for i := 0; i < 10; i++ {
+		c.TryAdvance()
+		writer.Collect()
+	}
+	if freed.Load() {
+		t.Fatal("object freed while a reader pinned at retire epoch was active")
+	}
+	reader.Unpin()
+	for i := 0; i < 3; i++ {
+		c.TryAdvance()
+	}
+	writer.Collect()
+	if !freed.Load() {
+		t.Fatal("object never freed after reader unpinned")
+	}
+}
+
+func TestNestedPins(t *testing.T) {
+	c := NewCollector()
+	p := c.Register()
+	defer c.Unregister(p)
+
+	p.Pin()
+	p.Pin()
+	p.Unpin()
+	// Still pinned: epoch must not advance twice.
+	c.TryAdvance()
+	if c.TryAdvance() {
+		t.Fatal("epoch advanced twice under a nested pin")
+	}
+	p.Unpin()
+	if !c.TryAdvance() {
+		t.Fatal("advance failed after full unpin")
+	}
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin without Pin did not panic")
+		}
+	}()
+	c := NewCollector()
+	p := c.Register()
+	p.Unpin()
+}
+
+func TestUnregisterInheritsBags(t *testing.T) {
+	c := NewCollector()
+	p := c.Register()
+	blocker := c.Register()
+	defer c.Unregister(blocker)
+
+	var freed atomic.Int64
+	blocker.Pin()
+	for i := 0; i < 5; i++ {
+		p.Retire(func() { freed.Add(1) })
+	}
+	c.Unregister(p) // bags become orphans; blocker still pinned
+	if freed.Load() != 0 {
+		t.Fatal("orphan bags freed while blocker pinned at retire epoch")
+	}
+	blocker.Unpin()
+	for i := 0; i < 3; i++ {
+		c.TryAdvance()
+	}
+	if got := freed.Load(); got != 5 {
+		t.Fatalf("orphans freed = %d, want 5", got)
+	}
+}
+
+func TestUnregisterPinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unregister of pinned participant did not panic")
+		}
+	}()
+	c := NewCollector()
+	p := c.Register()
+	p.Pin()
+	c.Unregister(p)
+}
+
+// TestConcurrentReclamationStress runs readers continuously pinning and
+// "accessing" a shared object graph while writers unlink+retire objects.
+// Invariant: no reader ever observes an object after its destructor ran.
+func TestConcurrentReclamationStress(t *testing.T) {
+	type object struct {
+		freed atomic.Bool
+	}
+	c := NewCollector()
+
+	// shared holds the currently linked object (like a head pointer).
+	var shared atomic.Pointer[object]
+	shared.Store(&object{})
+
+	var (
+		rwg, wwg sync.WaitGroup
+		stop     = make(chan struct{})
+		readers  = max(2, runtime.GOMAXPROCS(0)/2)
+		writers  = 2
+		observed atomic.Int64
+	)
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			p := c.Register()
+			defer c.Unregister(p)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Pin()
+				obj := shared.Load() // reachable ⇒ not yet reclaimable
+				if obj.freed.Load() {
+					t.Error("reader reached a freed object")
+					p.Unpin()
+					return
+				}
+				observed.Add(1)
+				p.Unpin()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			p := c.Register()
+			defer c.Unregister(p)
+			for i := 0; i < 20000; i++ {
+				old := shared.Swap(&object{}) // unlink
+				p.Retire(func() { old.freed.Store(true) })
+			}
+		}()
+	}
+	wwg.Wait()  // writers finish first
+	close(stop) // then release the readers
+	rwg.Wait()
+
+	if t.Failed() {
+		return
+	}
+	if c.Reclaimed() == 0 {
+		t.Fatal("stress run reclaimed nothing — protocol inert")
+	}
+	if observed.Load() == 0 {
+		t.Fatal("readers never ran")
+	}
+}

@@ -1,0 +1,272 @@
+// Package hazard implements hazard pointers (Michael, "Hazard Pointers:
+// Safe Memory Reclamation for Lock-Free Objects", TPDS 2004) — the
+// per-pointer alternative to epoch-based reclamation.
+//
+// Where EBR protects everything a reader might touch for the duration of a
+// pinned section, a hazard pointer protects exactly one object at a time:
+// before dereferencing a shared pointer, a thread publishes it in its
+// hazard slot and re-validates the source. Reclamation scans all slots and
+// frees only retired objects no slot names. The trade-offs the survey
+// calls out — higher per-read cost (publish + validate), but bounded
+// garbage even when threads stall — are what experiment F12 measures
+// against EBR.
+//
+// As with package epoch, Go's GC makes this protocol optional for safety;
+// it is implemented fully and its invariant (never free a protected
+// object) is what the tests verify.
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// defaultScanThreshold is how many retirements a handle buffers before
+// scanning. Michael's analysis wants R = H·(1+Θ(1)) with H total slots;
+// a fixed multiple of typical slot counts works for the experiments here.
+const defaultScanThreshold = 64
+
+// Domain owns a set of hazard slots and the retire lists that scan against
+// them. One Domain serves one data structure (or family).
+type Domain struct {
+	mu       sync.Mutex
+	slots    []*Slot // all slots ever issued (append-only)
+	handles  []*Handle
+	orphaned []retiredObject // retired objects of released handles
+
+	scanThreshold int
+	reclaimed     atomic.Int64
+	pending       atomic.Int64
+}
+
+// NewDomain returns a Domain with the default scan threshold.
+func NewDomain() *Domain {
+	return &Domain{scanThreshold: defaultScanThreshold}
+}
+
+// SetScanThreshold overrides how many retired objects a handle buffers
+// before scanning (for tests and tuning). Must be called before use.
+func (d *Domain) SetScanThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.scanThreshold = n
+}
+
+// Reclaimed returns the number of destructors run so far.
+func (d *Domain) Reclaimed() int64 { return d.reclaimed.Load() }
+
+// Pending returns the number of retired-but-not-yet-freed objects.
+func (d *Domain) Pending() int64 { return d.pending.Load() }
+
+// Slot is a single hazard pointer: it names at most one object as
+// unsafe-to-free. Writing is owner-only; scanning reads it from any
+// goroutine.
+type Slot struct {
+	v atomic.Value // always holds a slotVal (atomic.Value needs one concrete type)
+	_ pad.CacheLinePad
+}
+
+// slotVal boxes the protected pointer so that every Store into the
+// atomic.Value uses the same concrete type regardless of what is
+// protected.
+type slotVal struct{ p any }
+
+// set publishes p (owner-only).
+func (s *Slot) set(p any) { s.v.Store(slotVal{p: p}) }
+
+// Clear removes protection (owner-only).
+func (s *Slot) Clear() { s.v.Store(slotVal{}) }
+
+// load returns the published value, or nil if empty.
+func (s *Slot) load() any {
+	v := s.v.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(slotVal).p
+}
+
+// Protect publishes the pointer read from src in the slot and re-validates
+// that src still holds it, looping until the publication is safe. It
+// returns the protected pointer (nil if src is nil). This
+// publish-and-revalidate dance is the heart of the protocol: once the
+// second load agrees, any retirement of the object must have happened
+// after our publication, so the scanner will see our slot.
+func Protect[T any](s *Slot, src *atomic.Pointer[T]) *T {
+	for {
+		p := src.Load()
+		if p == nil {
+			s.Clear()
+			return nil
+		}
+		s.set(p)
+		if src.Load() == p {
+			return p
+		}
+	}
+}
+
+// Handle is one goroutine's set of hazard slots plus its retire buffer.
+// Methods are owner-only.
+type Handle struct {
+	d       *Domain
+	slots   []*Slot
+	retired []retiredObject
+}
+
+type retiredObject struct {
+	ptr  any
+	free func()
+}
+
+// NewHandle issues a handle with k hazard slots (k >= 1; most algorithms
+// need 1–3).
+func (d *Domain) NewHandle(k int) *Handle {
+	if k < 1 {
+		k = 1
+	}
+	h := &Handle{d: d, slots: make([]*Slot, k)}
+	for i := range h.slots {
+		s := &Slot{}
+		s.Clear()
+		h.slots[i] = s
+	}
+	d.mu.Lock()
+	d.slots = append(d.slots, h.slots...)
+	d.handles = append(d.handles, h)
+	d.mu.Unlock()
+	return h
+}
+
+// Slot returns the i'th hazard slot of the handle.
+func (h *Handle) Slot(i int) *Slot { return h.slots[i] }
+
+// Retire schedules free to run once no hazard slot protects ptr. ptr must
+// be the same value (same pointer) readers publish via Protect.
+func (h *Handle) Retire(ptr any, free func()) {
+	h.retired = append(h.retired, retiredObject{ptr: ptr, free: free})
+	h.d.pending.Add(1)
+	if len(h.retired) >= h.d.scanThreshold {
+		h.Scan()
+	}
+}
+
+// Scan frees every retired object not currently named by any hazard slot;
+// the rest stay buffered for the next scan.
+func (h *Handle) Scan() {
+	// Snapshot all hazard slots.
+	h.d.mu.Lock()
+	slots := h.d.slots
+	h.d.mu.Unlock()
+	protected := make(map[any]struct{}, len(slots))
+	for _, s := range slots {
+		if v := s.load(); v != nil {
+			protected[v] = struct{}{}
+		}
+	}
+
+	kept := h.retired[:0]
+	freed := 0
+	for _, r := range h.retired {
+		if _, isProtected := protected[r.ptr]; isProtected {
+			kept = append(kept, r)
+			continue
+		}
+		r.free()
+		freed++
+	}
+	// Zero the tail so freed entries do not pin their objects.
+	for i := len(kept); i < len(h.retired); i++ {
+		h.retired[i] = retiredObject{}
+	}
+	h.retired = kept
+	if freed > 0 {
+		h.d.reclaimed.Add(int64(freed))
+		h.d.pending.Add(int64(-freed))
+	}
+}
+
+// Release clears the handle's slots and hands its remaining retired
+// objects to the domain-wide orphan drain (a final scan by any later
+// handle or by Drain).
+func (h *Handle) Release() {
+	for _, s := range h.slots {
+		s.Clear()
+	}
+	h.Scan()
+	if len(h.retired) > 0 {
+		// Push leftovers to another live handle if any; otherwise keep
+		// them on the domain for Drain.
+		h.d.mu.Lock()
+		for i, other := range h.d.handles {
+			if other == h {
+				h.d.handles[i] = h.d.handles[len(h.d.handles)-1]
+				h.d.handles = h.d.handles[:len(h.d.handles)-1]
+				break
+			}
+		}
+		if len(h.d.handles) > 0 {
+			dst := h.d.handles[0]
+			dst.retired = append(dst.retired, h.retired...)
+		} else {
+			h.d.orphansLocked(h.retired)
+		}
+		h.retired = nil
+		h.d.mu.Unlock()
+		return
+	}
+	h.d.mu.Lock()
+	for i, other := range h.d.handles {
+		if other == h {
+			h.d.handles[i] = h.d.handles[len(h.d.handles)-1]
+			h.d.handles = h.d.handles[:len(h.d.handles)-1]
+			break
+		}
+	}
+	h.d.mu.Unlock()
+}
+
+// orphansLocked appends items to the domain's ownerless retire list.
+// Caller holds d.mu.
+func (d *Domain) orphansLocked(items []retiredObject) {
+	d.orphaned = append(d.orphaned, items...)
+}
+
+// Drain scans the orphaned retire list; safe to call at any time and
+// typically used at structure teardown.
+func (d *Domain) Drain() {
+	d.mu.Lock()
+	items := d.orphaned
+	d.orphaned = nil
+	slots := d.slots
+	d.mu.Unlock()
+
+	protected := make(map[any]struct{}, len(slots))
+	for _, s := range slots {
+		if v := s.load(); v != nil {
+			protected[v] = struct{}{}
+		}
+	}
+	var kept []retiredObject
+	freed := 0
+	for _, r := range items {
+		if _, isProtected := protected[r.ptr]; isProtected {
+			kept = append(kept, r)
+			continue
+		}
+		r.free()
+		freed++
+	}
+	if len(kept) > 0 {
+		d.mu.Lock()
+		d.orphaned = append(d.orphaned, kept...)
+		d.mu.Unlock()
+	}
+	if freed > 0 {
+		d.reclaimed.Add(int64(freed))
+		d.pending.Add(int64(-freed))
+	}
+}

@@ -1,0 +1,209 @@
+package hazard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireFreesUnprotected(t *testing.T) {
+	d := NewDomain()
+	d.SetScanThreshold(4)
+	h := d.NewHandle(1)
+	defer h.Release()
+
+	freed := 0
+	for i := 0; i < 8; i++ {
+		p := &struct{ x int }{x: i}
+		h.Retire(p, func() { freed++ })
+	}
+	h.Scan()
+	if freed != 8 {
+		t.Fatalf("freed = %d, want 8", freed)
+	}
+	if d.Reclaimed() != 8 || d.Pending() != 0 {
+		t.Fatalf("stats = (%d reclaimed, %d pending)", d.Reclaimed(), d.Pending())
+	}
+}
+
+func TestProtectedObjectSurvivesScan(t *testing.T) {
+	d := NewDomain()
+	reader := d.NewHandle(1)
+	writer := d.NewHandle(1)
+	defer reader.Release()
+	defer writer.Release()
+
+	type node struct{ v int }
+	var shared atomic.Pointer[node]
+	obj := &node{v: 42}
+	shared.Store(obj)
+
+	// Reader protects the object.
+	got := Protect(reader.Slot(0), &shared)
+	if got != obj {
+		t.Fatalf("Protect returned %p, want %p", got, obj)
+	}
+
+	// Writer unlinks and retires it; scans must not free it.
+	shared.Store(nil)
+	var freed atomic.Bool
+	writer.Retire(obj, func() { freed.Store(true) })
+	for i := 0; i < 5; i++ {
+		writer.Scan()
+	}
+	if freed.Load() {
+		t.Fatal("protected object was freed")
+	}
+
+	// Clearing the hazard releases it.
+	reader.Slot(0).Clear()
+	writer.Scan()
+	if !freed.Load() {
+		t.Fatal("unprotected object not freed by scan")
+	}
+}
+
+func TestProtectRevalidates(t *testing.T) {
+	// If the source changes mid-protection, Protect must converge on a
+	// value that was re-validated, never returning a stale unpublished one.
+	type node struct{ v int }
+	d := NewDomain()
+	h := d.NewHandle(1)
+	defer h.Release()
+
+	var shared atomic.Pointer[node]
+	shared.Store(&node{v: 1})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				shared.Store(&node{v: 2})
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		p := Protect(h.Slot(0), &shared)
+		if p == nil {
+			t.Fatal("nil from non-nil source")
+		}
+		if hp := h.Slot(0).load(); hp != any(p) {
+			t.Fatalf("slot holds %v, protect returned %v", hp, p)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestProtectNilSource(t *testing.T) {
+	type node struct{ v int }
+	d := NewDomain()
+	h := d.NewHandle(1)
+	defer h.Release()
+	var shared atomic.Pointer[node]
+	if p := Protect(h.Slot(0), &shared); p != nil {
+		t.Fatalf("Protect of nil source = %v", p)
+	}
+	if v := h.Slot(0).load(); v != nil {
+		t.Fatalf("slot not cleared on nil source: %v", v)
+	}
+}
+
+func TestReleaseHandsOffRetired(t *testing.T) {
+	d := NewDomain()
+	d.SetScanThreshold(1000) // prevent auto-scan
+	blocker := d.NewHandle(1)
+	leaver := d.NewHandle(1)
+
+	type node struct{ v int }
+	var shared atomic.Pointer[node]
+	obj := &node{}
+	shared.Store(obj)
+	Protect(blocker.Slot(0), &shared)
+
+	var freed atomic.Bool
+	leaver.Retire(obj, func() { freed.Store(true) })
+	leaver.Release() // obj still protected: must survive the handoff
+	if freed.Load() {
+		t.Fatal("protected object freed during handle release")
+	}
+	blocker.Slot(0).Clear()
+	blocker.Scan()
+	d.Drain()
+	if !freed.Load() {
+		t.Fatal("object never freed after handoff")
+	}
+}
+
+// TestConcurrentStress: readers continuously protect the current head
+// object and verify it is never freed while they hold it; writers swap and
+// retire heads.
+func TestConcurrentStress(t *testing.T) {
+	type node struct {
+		freed atomic.Bool
+	}
+	d := NewDomain()
+	d.SetScanThreshold(16)
+
+	var shared atomic.Pointer[node]
+	shared.Store(&node{})
+
+	var (
+		wwg, rwg sync.WaitGroup
+		stop     = make(chan struct{})
+	)
+	readers := max(2, runtime.GOMAXPROCS(0)/2)
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			h := d.NewHandle(1)
+			defer h.Release()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := Protect(h.Slot(0), &shared)
+				if p == nil {
+					continue
+				}
+				if p.freed.Load() {
+					t.Error("reader holds a freed object")
+					return
+				}
+				h.Slot(0).Clear()
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			h := d.NewHandle(1)
+			defer h.Release()
+			for i := 0; i < 20000; i++ {
+				old := shared.Swap(&node{})
+				h.Retire(old, func() { old.freed.Store(true) })
+			}
+		}()
+	}
+	wwg.Wait()
+	close(stop)
+	rwg.Wait()
+	if t.Failed() {
+		return
+	}
+	d.Drain()
+	if d.Reclaimed() == 0 {
+		t.Fatal("stress run reclaimed nothing — protocol inert")
+	}
+}

@@ -1,0 +1,36 @@
+// Package pad provides cache-line padding helpers used to avoid false
+// sharing between per-thread slots of striped data structures.
+//
+// False sharing occurs when logically independent variables share a cache
+// line: a write by one core invalidates the line in every other core's
+// cache, serialising accesses that should be independent. Striped counters,
+// per-worker queue slots, and lock arrays all pad their slots to one slot
+// per cache line.
+package pad
+
+// CacheLineSize is the assumed size in bytes of a CPU cache line. 64 bytes
+// is correct for all mainstream x86-64 and most ARM64 parts; over-estimating
+// wastes a little memory, under-estimating reintroduces false sharing, so a
+// conservative constant is preferred over runtime detection.
+const CacheLineSize = 64
+
+// CacheLinePad occupies one full cache line. Embed it between fields that
+// must not share a line:
+//
+//	type slot struct {
+//		n atomic.Int64
+//		_ pad.CacheLinePad
+//	}
+type CacheLinePad struct {
+	_ [CacheLineSize]byte
+}
+
+// Padded wraps a value of any type in its own set of cache lines: the value
+// is preceded and followed by padding so that neighbouring array elements
+// never share a line with it.
+type Padded[T any] struct {
+	_ CacheLinePad
+	// Value is the padded datum.
+	Value T
+	_     CacheLinePad
+}

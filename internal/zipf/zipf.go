@@ -1,0 +1,90 @@
+// Package zipf implements a seedable Zipfian key generator in the style used
+// by the YCSB benchmark (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD 1994).
+//
+// Skewed access distributions are the standard way the concurrent data
+// structure literature models contention: under a Zipfian distribution a
+// handful of hot keys absorb most operations, which stresses the
+// synchronization on those keys (a hot lock stripe, a hot list node) far
+// more than a uniform distribution over the same key space.
+package zipf
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// Generator produces values in [0, n) with a Zipfian distribution of
+// exponent theta (often written s or θ). Larger theta means more skew;
+// theta=0 degenerates to uniform. The classic YCSB default is 0.99.
+//
+// A Generator is not safe for concurrent use; create one per goroutine.
+type Generator struct {
+	rng   *xrand.Rand
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta, zeta2theta float64
+}
+
+// New returns a Zipfian generator over [0, n) with skew theta, seeded
+// deterministically from seed. It returns an error if n is 0 or theta is
+// not in [0, 1) ∪ (1, ∞); theta exactly 1 makes the normalisation constant
+// divergent in this closed form, so callers should use e.g. 0.999 instead.
+func New(n uint64, theta float64, seed uint64) (*Generator, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("zipf: n must be positive, got 0")
+	}
+	if theta < 0 || theta == 1 {
+		return nil, fmt.Errorf("zipf: unsupported theta %v (must be >= 0 and != 1)", theta)
+	}
+	g := &Generator{
+		rng:   xrand.New(seed),
+		n:     n,
+		theta: theta,
+	}
+	g.zeta2theta = zetaStatic(2, theta)
+	g.zetan = zetaStatic(n, theta)
+	g.alpha = 1.0 / (1.0 - theta)
+	g.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - g.zeta2theta/g.zetan)
+	return g, nil
+}
+
+// Next returns the next Zipf-distributed value in [0, n). Rank 0 is the
+// hottest key.
+func (g *Generator) Next() uint64 {
+	if g.theta == 0 {
+		return g.rng.Uint64n(g.n)
+	}
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	v := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if v >= g.n {
+		v = g.n - 1
+	}
+	return v
+}
+
+// N returns the size of the generator's key space.
+func (g *Generator) N() uint64 { return g.n }
+
+// Theta returns the generator's skew exponent.
+func (g *Generator) Theta() float64 { return g.theta }
+
+// zetaStatic computes the generalized harmonic number H_{n,theta} =
+// sum_{i=1..n} 1/i^theta. O(n), computed once at construction.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}

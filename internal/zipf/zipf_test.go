@@ -1,0 +1,137 @@
+package zipf
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       uint64
+		theta   float64
+		wantErr bool
+	}{
+		{name: "zero n", n: 0, theta: 0.99, wantErr: true},
+		{name: "theta one", n: 10, theta: 1, wantErr: true},
+		{name: "negative theta", n: 10, theta: -0.5, wantErr: true},
+		{name: "uniform", n: 10, theta: 0, wantErr: false},
+		{name: "ycsb default", n: 10, theta: 0.99, wantErr: false},
+		{name: "heavy skew", n: 10, theta: 1.5, wantErr: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.n, tt.theta, 1)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%d, %v) error = %v, wantErr %v", tt.n, tt.theta, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNextInRange(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.99, 1.2} {
+		g, err := New(100, theta, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			if v := g.Next(); v >= 100 {
+				t.Fatalf("theta=%v: Next() = %d out of range [0,100)", theta, v)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(1000, 0.99, 7)
+	b, _ := New(1000, 0.99, 7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("same-seed zipf diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSkewConcentration(t *testing.T) {
+	// Under theta=0.99 over 1000 keys, rank 0 should receive far more hits
+	// than under uniform, and hotter ranks should (statistically) dominate
+	// colder ones.
+	const n, samples = 1000, 200000
+	g, err := New(n, 0.99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[g.Next()]++
+	}
+	uniformShare := float64(samples) / n
+	if float64(counts[0]) < 10*uniformShare {
+		t.Fatalf("rank-0 count %d is not skewed (uniform share %.0f)", counts[0], uniformShare)
+	}
+	// Top 10% of ranks should take the majority of traffic at theta=0.99.
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top := 0
+	for _, c := range sorted[:n/10] {
+		top += c
+	}
+	if float64(top) < 0.5*samples {
+		t.Fatalf("top decile received %d/%d ops, expected majority", top, samples)
+	}
+}
+
+func TestUniformTheta(t *testing.T) {
+	const n, samples = 16, 160000
+	g, err := New(n, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[g.Next()]++
+	}
+	expected := float64(samples) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-expected) > expected*0.15 {
+			t.Fatalf("theta=0 bucket %d has %d hits, want ~%.0f", k, c, expected)
+		}
+	}
+}
+
+func TestZetaStatic(t *testing.T) {
+	// H_{4,1}... theta=1 unsupported in New, but zetaStatic itself is general:
+	// H_{4,0} = 4.
+	if got := zetaStatic(4, 0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("zetaStatic(4,0) = %v, want 4", got)
+	}
+	// H_{3,2} = 1 + 1/4 + 1/9.
+	want := 1.0 + 0.25 + 1.0/9.0
+	if got := zetaStatic(3, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zetaStatic(3,2) = %v, want %v", got, want)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g, err := New(123, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 123 || g.Theta() != 0.5 {
+		t.Fatalf("accessors returned (%d, %v), want (123, 0.5)", g.N(), g.Theta())
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g, err := New(1<<20, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = g.Next()
+	}
+	_ = sink
+}

@@ -1,0 +1,41 @@
+package lincheck_test
+
+import (
+	"fmt"
+
+	"github.com/cds-suite/cds/lincheck"
+)
+
+// Check validates a recorded history against a sequential model. Here two
+// overlapping operations permit a linearization, but a stale read after a
+// completed write does not.
+func ExampleCheck() {
+	// A write of 5 fully precedes a read: the read must return 5.
+	stale := []lincheck.Operation{
+		{ClientID: 0, Input: lincheck.RegisterWrite{Value: 5}, Call: 1, Return: 2},
+		{ClientID: 1, Input: lincheck.RegisterRead{}, Output: 0, Call: 3, Return: 4},
+	}
+	fmt.Println("stale read ok?", lincheck.Check(lincheck.RegisterModel(), stale).Ok)
+
+	// The same read overlapping the write may return the old value.
+	overlapping := []lincheck.Operation{
+		{ClientID: 0, Input: lincheck.RegisterWrite{Value: 5}, Call: 1, Return: 4},
+		{ClientID: 1, Input: lincheck.RegisterRead{}, Output: 0, Call: 2, Return: 3},
+	}
+	fmt.Println("overlapping read ok?", lincheck.Check(lincheck.RegisterModel(), overlapping).Ok)
+	// Output:
+	// stale read ok? false
+	// overlapping read ok? true
+}
+
+// Recorder captures histories from live concurrent runs.
+func ExampleRecorder() {
+	rec := lincheck.NewRecorder(1)
+	p := rec.Begin(0, lincheck.QueueEnqueue{Value: 7})
+	// ... perform the real operation here ...
+	p.End(nil)
+
+	history := rec.History()
+	fmt.Println(len(history), history[0].Call < history[0].Return)
+	// Output: 1 true
+}

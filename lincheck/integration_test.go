@@ -1,0 +1,260 @@
+package lincheck_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/cmap"
+	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/lincheck"
+	"github.com/cds-suite/cds/list"
+	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/skiplist"
+	"github.com/cds-suite/cds/stack"
+)
+
+// The integration strategy: many small windows (few clients, few ops each)
+// recorded from the real structures under genuine concurrency, each window
+// checked exhaustively. Small windows keep the exponential checker fast
+// while still catching ordering bugs, which manifest within tiny
+// neighbourhoods of conflicting operations.
+const (
+	linClients    = 3
+	linOpsPerCli  = 4
+	linRounds     = 40
+	linKeyRange   = 3 // tiny key space maximises conflicts
+	linValueRange = 4
+)
+
+func runWindows(t *testing.T, model lincheck.Model, mkOps func(round int) func(client int, rng *xrand.Rand, rec *lincheck.Recorder)) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs parallelism to record meaningful histories")
+	}
+	for round := 0; round < linRounds; round++ {
+		rec := lincheck.NewRecorder(linClients)
+		ops := mkOps(round)
+		var wg sync.WaitGroup
+		for c := 0; c < linClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*linClients+c) + 1)
+				ops(c, rng, rec)
+			}(c)
+		}
+		wg.Wait()
+		if res := lincheck.Check(model, rec.History()); !res.Ok {
+			t.Fatalf("round %d: %s", round, res.Info)
+		}
+	}
+}
+
+func TestLinearizableStacks(t *testing.T) {
+	impls := map[string]func() cds.Stack[int]{
+		"Mutex":       func() cds.Stack[int] { return stack.NewMutex[int]() },
+		"Treiber":     func() cds.Stack[int] { return stack.NewTreiber[int]() },
+		"Elimination": func() cds.Stack[int] { return stack.NewElimination[int](2, 16) },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.StackModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				s := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						if rng.Intn(2) == 0 {
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.StackPush{Value: v})
+							s.Push(v)
+							p.End(nil)
+						} else {
+							p := rec.Begin(client, lincheck.StackPop{})
+							v, ok := s.TryPop()
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestLinearizableQueues(t *testing.T) {
+	impls := map[string]func() cds.Queue[int]{
+		"Mutex":   func() cds.Queue[int] { return queue.NewMutex[int]() },
+		"TwoLock": func() cds.Queue[int] { return queue.NewTwoLock[int]() },
+		"MS":      func() cds.Queue[int] { return queue.NewMS[int]() },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.QueueModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				q := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						if rng.Intn(2) == 0 {
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.QueueEnqueue{Value: v})
+							q.Enqueue(v)
+							p.End(nil)
+						} else {
+							p := rec.Begin(client, lincheck.QueueDequeue{})
+							v, ok := q.TryDequeue()
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestLinearizableBoundedQueues(t *testing.T) {
+	t.Run("MPMC", func(t *testing.T) {
+		runWindows(t, lincheck.QueueModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+			q := queue.NewMPMC[int](64) // capacity >> window size: never full
+			return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+				for i := 0; i < linOpsPerCli; i++ {
+					if rng.Intn(2) == 0 {
+						v := rng.Intn(linValueRange)
+						p := rec.Begin(client, lincheck.QueueEnqueue{Value: v})
+						q.TryEnqueue(v)
+						p.End(nil)
+					} else {
+						p := rec.Begin(client, lincheck.QueueDequeue{})
+						v, ok := q.TryDequeue()
+						p.End(lincheck.ValueOK{Value: v, OK: ok})
+					}
+				}
+			}
+		})
+	})
+}
+
+func TestLinearizableSets(t *testing.T) {
+	impls := map[string]func() cds.Set[int]{
+		"list.Coarse":       func() cds.Set[int] { return list.NewCoarse[int]() },
+		"list.Fine":         func() cds.Set[int] { return list.NewFine[int]() },
+		"list.Optimistic":   func() cds.Set[int] { return list.NewOptimistic[int]() },
+		"list.Lazy":         func() cds.Set[int] { return list.NewLazy[int]() },
+		"list.Harris":       func() cds.Set[int] { return list.NewHarris[int]() },
+		"skiplist.Lazy":     func() cds.Set[int] { return skiplist.NewLazy[int]() },
+		"skiplist.LockFree": func() cds.Set[int] { return skiplist.NewLockFree[int]() },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.SetModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				s := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						k := rng.Intn(linKeyRange)
+						switch rng.Intn(3) {
+						case 0:
+							p := rec.Begin(client, lincheck.SetAdd{Key: k})
+							p.End(s.Add(k))
+						case 1:
+							p := rec.Begin(client, lincheck.SetRemove{Key: k})
+							p.End(s.Remove(k))
+						default:
+							p := rec.Begin(client, lincheck.SetContains{Key: k})
+							p.End(s.Contains(k))
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestLinearizableMaps(t *testing.T) {
+	impls := map[string]func() cds.Map[int, int]{
+		"Locked":       func() cds.Map[int, int] { return cmap.NewLocked[int, int]() },
+		"Striped":      func() cds.Map[int, int] { return cmap.NewStriped[int, int](8) },
+		"SplitOrdered": func() cds.Map[int, int] { return cmap.NewSplitOrdered[int, int]() },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.MapModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				m := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						k := rng.Intn(linKeyRange)
+						switch rng.Intn(3) {
+						case 0:
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.MapStore{Key: k, Value: v})
+							m.Store(k, v)
+							p.End(nil)
+						case 1:
+							p := rec.Begin(client, lincheck.MapLoad{Key: k})
+							v, ok := m.Load(k)
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						default:
+							p := rec.Begin(client, lincheck.MapDelete{Key: k})
+							p.End(m.Delete(k))
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestLinearizableCounters(t *testing.T) {
+	impls := map[string]func() cds.Counter{
+		"Locked": func() cds.Counter { return new(counter.Locked) },
+		"Atomic": func() cds.Counter { return new(counter.Atomic) },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.CounterModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				c := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						if rng.Intn(2) == 0 {
+							d := int64(rng.Intn(3) - 1)
+							p := rec.Begin(client, lincheck.CounterAdd{Delta: d})
+							c.Add(d)
+							p.End(nil)
+						} else {
+							p := rec.Begin(client, lincheck.CounterLoad{})
+							p.End(c.Load())
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestCheckerCatchesRealBug feeds the checker a deliberately broken
+// "stack" (a queue pretending to be a stack) and requires a rejection —
+// guarding against the checker silently accepting everything.
+func TestCheckerCatchesRealBug(t *testing.T) {
+	q := queue.NewMutex[int]() // FIFO masquerading as a stack
+	rec := lincheck.NewRecorder(1)
+	push := func(v int) {
+		p := rec.Begin(0, lincheck.StackPush{Value: v})
+		q.Enqueue(v)
+		p.End(nil)
+	}
+	pop := func() {
+		p := rec.Begin(0, lincheck.StackPop{})
+		v, ok := q.TryDequeue()
+		p.End(lincheck.ValueOK{Value: v, OK: ok})
+	}
+	push(1)
+	push(2)
+	pop() // returns 1; a stack must return 2
+	pop()
+	if res := lincheck.Check(lincheck.StackModel(), rec.History()); res.Ok {
+		t.Fatal("checker accepted FIFO behaviour as a stack")
+	} else if res.Info == "" {
+		t.Fatal("rejection carried no diagnostic")
+	} else {
+		_ = fmt.Sprintf("%s", res.Info) // diagnostic is renderable
+	}
+}

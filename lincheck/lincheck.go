@@ -1,0 +1,289 @@
+// Package lincheck is a linearizability checker in the style of Wing &
+// Gong (1993) with Lowe's memoization refinements — the algorithm behind
+// tools like Knossos and Porcupine, reimplemented on the standard library.
+//
+// Linearizability is the correctness condition all structures in this
+// module target: every operation appears to take effect atomically at some
+// instant between its invocation and its response. The checker takes a
+// recorded concurrent history (package-level Recorder) and a sequential
+// model of the data type and searches for a witness ordering: a
+// permutation of the operations that (a) respects real-time order and
+// (b) is legal for the sequential model. The search is exponential in the
+// worst case, so histories should stay small (tens of operations); the
+// integration tests in this module check many small windows rather than
+// one big one.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is a sequential specification of a data type. States are treated
+// as immutable values: Step returns the successor state and never mutates
+// its input.
+type Model struct {
+	// Init returns the initial state.
+	Init func() any
+	// Step applies an operation: given the state before it, the
+	// operation's input and its observed output, it reports whether the
+	// output is legal and what state results.
+	Step func(state, input, output any) (ok bool, next any)
+	// Equal compares states for the memoization cache. nil means states
+	// are comparable with == (true for ints, strings, small structs).
+	Equal func(a, b any) bool
+	// Describe renders an operation for counterexample messages.
+	// nil falls back to fmt.Sprintf("%v -> %v").
+	Describe func(input, output any) string
+}
+
+// Operation is one completed call in a history.
+type Operation struct {
+	// ClientID identifies the calling goroutine (informational).
+	ClientID int
+	// Input describes the call (model-specific).
+	Input any
+	// Output describes the response (model-specific).
+	Output any
+	// Call and Return are the invocation/response timestamps. Any
+	// monotonic logical clock works: the checker uses only their order.
+	Call   int64
+	Return int64
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	// Ok is true if the history is linearizable with respect to the model.
+	Ok bool
+	// Info holds a short human-readable explanation when Ok is false.
+	Info string
+}
+
+// Check searches for a linearization of history against model. Histories
+// must contain only completed operations with Call < Return.
+func Check(model Model, history []Operation) Result {
+	if err := validate(history); err != nil {
+		return Result{Ok: false, Info: err.Error()}
+	}
+	if len(history) == 0 {
+		return Result{Ok: true}
+	}
+	if model.Equal == nil {
+		model.Equal = func(a, b any) bool { return a == b }
+	}
+
+	entries := buildEntries(history)
+	if linearize(model, entries, len(history)) {
+		return Result{Ok: true}
+	}
+	return Result{Ok: false, Info: describeFailure(model, history)}
+}
+
+func validate(history []Operation) error {
+	for i, op := range history {
+		if op.Call >= op.Return {
+			return fmt.Errorf("lincheck: operation %d has Call %d >= Return %d", i, op.Call, op.Return)
+		}
+	}
+	return nil
+}
+
+// entry is a node of the doubly linked event list. Call entries carry a
+// match pointer to their return entry; return entries have match == nil.
+type entry struct {
+	id         int
+	input      any
+	output     any
+	match      *entry // return entry for calls; nil for returns
+	prev, next *entry
+}
+
+// buildEntries lays out call/return events in time order as a linked list
+// with a sentinel head. Ties sort calls before returns, which widens
+// overlap windows (permissive: never yields a false "not linearizable").
+func buildEntries(history []Operation) *entry {
+	type event struct {
+		time   int64
+		isCall bool
+		id     int
+	}
+	events := make([]event, 0, 2*len(history))
+	for id, op := range history {
+		events = append(events,
+			event{time: op.Call, isCall: true, id: id},
+			event{time: op.Return, isCall: false, id: id},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].isCall && !events[j].isCall
+	})
+
+	head := &entry{id: -1} // sentinel
+	tail := head
+	returns := make(map[int]*entry, len(history))
+	calls := make(map[int]*entry, len(history))
+	for _, ev := range events {
+		e := &entry{id: ev.id}
+		if ev.isCall {
+			e.input = history[ev.id].Input
+			e.output = history[ev.id].Output
+			calls[ev.id] = e
+		} else {
+			returns[ev.id] = e
+		}
+		tail.next = e
+		e.prev = tail
+		tail = e
+	}
+	for id, c := range calls {
+		c.match = returns[id]
+	}
+	return head
+}
+
+// lift removes a call entry and its matching return from the list.
+func lift(e *entry) {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+// unlift reinserts a lifted entry pair (inverse of lift).
+func unlift(e *entry) {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+type stackFrame struct {
+	e     *entry
+	state any
+}
+
+// linearize is the WGL search with (linearized-set, state) memoization.
+func linearize(model Model, head *entry, n int) bool {
+	type cacheEntry struct {
+		set   bitset
+		state any
+	}
+	var (
+		state      = model.Init()
+		linearized = newBitset(n)
+		cache      = make(map[uint64][]cacheEntry)
+		stack      []stackFrame
+	)
+	cacheHas := func(set bitset, st any) bool {
+		h := set.hash()
+		for _, ce := range cache[h] {
+			if ce.set.equals(set) && model.Equal(ce.state, st) {
+				return true
+			}
+		}
+		cache[h] = append(cache[h], cacheEntry{set: set.clone(), state: st})
+		return false
+	}
+
+	e := head.next
+	for head.next != nil {
+		if e == nil {
+			// Hit the end without linearizing everything: backtrack.
+			if len(stack) == 0 {
+				return false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = top.state
+			linearized.clear(top.e.id)
+			unlift(top.e)
+			e = top.e.next
+			continue
+		}
+		if e.match != nil {
+			// Call entry: try to linearize this operation now.
+			ok, next := model.Step(state, e.input, e.output)
+			if ok {
+				linearized.set(e.id)
+				if !cacheHas(linearized, next) {
+					stack = append(stack, stackFrame{e: e, state: state})
+					state = next
+					lift(e)
+					e = head.next
+					continue
+				}
+				linearized.clear(e.id)
+			}
+			e = e.next
+			continue
+		}
+		// Return entry: every linearization must place some pending call
+		// before this point; none worked, so backtrack.
+		e = nil
+	}
+	return true
+}
+
+func describeFailure(model Model, history []Operation) string {
+	describe := model.Describe
+	if describe == nil {
+		describe = func(in, out any) string { return fmt.Sprintf("%v -> %v", in, out) }
+	}
+	// Render the history sorted by call time for readability.
+	idx := make([]int, len(history))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return history[idx[a]].Call < history[idx[b]].Call })
+	s := "history not linearizable:"
+	for _, i := range idx {
+		op := history[i]
+		s += fmt.Sprintf("\n  client %d: %s [%d,%d]", op.ClientID, describe(op.Input, op.Output), op.Call, op.Return)
+	}
+	return s
+}
+
+// bitset is a fixed-size bit vector used as the linearized-ops key.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equals(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range b {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}

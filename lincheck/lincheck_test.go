@@ -1,0 +1,208 @@
+package lincheck
+
+import "testing"
+
+// h builds an operation quickly for hand-written histories.
+func h(client int, input, output any, call, ret int64) Operation {
+	return Operation{ClientID: client, Input: input, Output: output, Call: call, Return: ret}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if res := Check(RegisterModel(), nil); !res.Ok {
+		t.Fatalf("empty history rejected: %s", res.Info)
+	}
+}
+
+func TestSequentialRegister(t *testing.T) {
+	history := []Operation{
+		h(0, RegisterWrite{Value: 5}, nil, 1, 2),
+		h(0, RegisterRead{}, 5, 3, 4),
+		h(0, RegisterWrite{Value: 9}, nil, 5, 6),
+		h(0, RegisterRead{}, 9, 7, 8),
+	}
+	if res := Check(RegisterModel(), history); !res.Ok {
+		t.Fatalf("legal sequential history rejected: %s", res.Info)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// Read of 0 strictly after a write of 5 completed: not linearizable.
+	history := []Operation{
+		h(0, RegisterWrite{Value: 5}, nil, 1, 2),
+		h(1, RegisterRead{}, 0, 3, 4),
+	}
+	if res := Check(RegisterModel(), history); res.Ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestOverlappingReadMayGoEitherWay(t *testing.T) {
+	// A read overlapping a write may return either the old or new value.
+	for _, readVal := range []int{0, 5} {
+		history := []Operation{
+			h(0, RegisterWrite{Value: 5}, nil, 1, 10),
+			h(1, RegisterRead{}, readVal, 2, 9),
+		}
+		if res := Check(RegisterModel(), history); !res.Ok {
+			t.Fatalf("overlapping read of %d rejected: %s", readVal, res.Info)
+		}
+	}
+}
+
+func TestFutureReadRejected(t *testing.T) {
+	// Read returns 5 strictly before any write of 5 begins.
+	history := []Operation{
+		h(0, RegisterRead{}, 5, 1, 2),
+		h(1, RegisterWrite{Value: 5}, nil, 3, 4),
+	}
+	if res := Check(RegisterModel(), history); res.Ok {
+		t.Fatal("future read accepted")
+	}
+}
+
+func TestCounterInterleavings(t *testing.T) {
+	// Two concurrent +1s and a later load of 2: linearizable.
+	ok := []Operation{
+		h(0, CounterAdd{Delta: 1}, nil, 1, 5),
+		h(1, CounterAdd{Delta: 1}, nil, 2, 6),
+		h(2, CounterLoad{}, int64(2), 7, 8),
+	}
+	if res := Check(CounterModel(), ok); !res.Ok {
+		t.Fatalf("legal counter history rejected: %s", res.Info)
+	}
+	// Load of 3 with only two increments: impossible.
+	bad := []Operation{
+		h(0, CounterAdd{Delta: 1}, nil, 1, 5),
+		h(1, CounterAdd{Delta: 1}, nil, 2, 6),
+		h(2, CounterLoad{}, int64(3), 7, 8),
+	}
+	if res := Check(CounterModel(), bad); res.Ok {
+		t.Fatal("impossible counter load accepted")
+	}
+}
+
+func TestQueueFIFOViolationCaught(t *testing.T) {
+	// Enqueue 1 then 2 sequentially; dequeues observing 2 before 1
+	// sequentially violate FIFO.
+	bad := []Operation{
+		h(0, QueueEnqueue{Value: 1}, nil, 1, 2),
+		h(0, QueueEnqueue{Value: 2}, nil, 3, 4),
+		h(1, QueueDequeue{}, ValueOK{Value: 2, OK: true}, 5, 6),
+		h(1, QueueDequeue{}, ValueOK{Value: 1, OK: true}, 7, 8),
+	}
+	if res := Check(QueueModel(), bad); res.Ok {
+		t.Fatal("FIFO violation accepted")
+	}
+	good := []Operation{
+		h(0, QueueEnqueue{Value: 1}, nil, 1, 2),
+		h(0, QueueEnqueue{Value: 2}, nil, 3, 4),
+		h(1, QueueDequeue{}, ValueOK{Value: 1, OK: true}, 5, 6),
+		h(1, QueueDequeue{}, ValueOK{Value: 2, OK: true}, 7, 8),
+	}
+	if res := Check(QueueModel(), good); !res.Ok {
+		t.Fatalf("legal FIFO history rejected: %s", res.Info)
+	}
+}
+
+func TestQueueConcurrentEnqueueOrderFree(t *testing.T) {
+	// Concurrent enqueues can linearize in either order, so either dequeue
+	// order must be accepted.
+	for _, first := range []int{1, 2} {
+		second := 3 - first
+		history := []Operation{
+			h(0, QueueEnqueue{Value: 1}, nil, 1, 10),
+			h(1, QueueEnqueue{Value: 2}, nil, 2, 9),
+			h(2, QueueDequeue{}, ValueOK{Value: first, OK: true}, 11, 12),
+			h(2, QueueDequeue{}, ValueOK{Value: second, OK: true}, 13, 14),
+		}
+		if res := Check(QueueModel(), history); !res.Ok {
+			t.Fatalf("valid dequeue order %d,%d rejected: %s", first, second, res.Info)
+		}
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	good := []Operation{
+		h(0, StackPush{Value: 1}, nil, 1, 2),
+		h(0, StackPush{Value: 2}, nil, 3, 4),
+		h(1, StackPop{}, ValueOK{Value: 2, OK: true}, 5, 6),
+		h(1, StackPop{}, ValueOK{Value: 1, OK: true}, 7, 8),
+	}
+	if res := Check(StackModel(), good); !res.Ok {
+		t.Fatalf("legal LIFO history rejected: %s", res.Info)
+	}
+	bad := []Operation{
+		h(0, StackPush{Value: 1}, nil, 1, 2),
+		h(0, StackPush{Value: 2}, nil, 3, 4),
+		h(1, StackPop{}, ValueOK{Value: 1, OK: true}, 5, 6),
+		h(1, StackPop{}, ValueOK{Value: 2, OK: true}, 7, 8),
+	}
+	if res := Check(StackModel(), bad); res.Ok {
+		t.Fatal("LIFO violation accepted")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	good := []Operation{
+		h(0, SetAdd{Key: 1}, true, 1, 2),
+		h(1, SetAdd{Key: 1}, false, 3, 4),
+		h(0, SetContains{Key: 1}, true, 5, 6),
+		h(1, SetRemove{Key: 1}, true, 7, 8),
+		h(0, SetRemove{Key: 1}, false, 9, 10),
+		h(1, SetContains{Key: 1}, false, 11, 12),
+	}
+	if res := Check(SetModel(), good); !res.Ok {
+		t.Fatalf("legal set history rejected: %s", res.Info)
+	}
+	bad := []Operation{
+		h(0, SetAdd{Key: 1}, true, 1, 2),
+		h(1, SetContains{Key: 1}, false, 3, 4), // must see it
+	}
+	if res := Check(SetModel(), bad); res.Ok {
+		t.Fatal("lost insert accepted")
+	}
+}
+
+func TestMapSemantics(t *testing.T) {
+	good := []Operation{
+		h(0, MapStore{Key: 1, Value: 10}, nil, 1, 2),
+		h(1, MapLoad{Key: 1}, ValueOK{Value: 10, OK: true}, 3, 4),
+		h(0, MapStore{Key: 1, Value: 20}, nil, 5, 6),
+		h(1, MapLoad{Key: 1}, ValueOK{Value: 20, OK: true}, 7, 8),
+		h(0, MapDelete{Key: 1}, true, 9, 10),
+		h(1, MapLoad{Key: 1}, ValueOK{}, 11, 12),
+	}
+	if res := Check(MapModel(), good); !res.Ok {
+		t.Fatalf("legal map history rejected: %s", res.Info)
+	}
+	bad := []Operation{
+		h(0, MapStore{Key: 1, Value: 10}, nil, 1, 2),
+		h(0, MapStore{Key: 1, Value: 20}, nil, 3, 4),
+		h(1, MapLoad{Key: 1}, ValueOK{Value: 10, OK: true}, 5, 6), // stale
+	}
+	if res := Check(MapModel(), bad); res.Ok {
+		t.Fatal("stale map read accepted")
+	}
+}
+
+func TestInvalidOperationTimes(t *testing.T) {
+	bad := []Operation{h(0, RegisterRead{}, 0, 5, 5)}
+	if res := Check(RegisterModel(), bad); res.Ok {
+		t.Fatal("Call >= Return accepted")
+	}
+}
+
+func TestAmbiguousPendingWindowRegression(t *testing.T) {
+	// Three mutually overlapping counter ops where only one interleaving
+	// is legal: exercises backtracking through the cache.
+	history := []Operation{
+		h(0, CounterAdd{Delta: 5}, nil, 1, 100),
+		h(1, CounterLoad{}, int64(5), 2, 99),
+		h(2, CounterAdd{Delta: -5}, nil, 3, 98),
+		h(0, CounterLoad{}, int64(0), 101, 102),
+	}
+	// Legal: Add(5); Load=5; Add(-5); Load=0.
+	if res := Check(CounterModel(), history); !res.Ok {
+		t.Fatalf("backtracking case rejected: %s", res.Info)
+	}
+}

@@ -1,0 +1,281 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op kinds shared by the bundled models. Inputs are small structs so that
+// histories print legibly in counterexamples.
+type (
+	// RegisterRead reads the register; output is the value (int).
+	RegisterRead struct{}
+	// RegisterWrite writes Value; output is ignored.
+	RegisterWrite struct{ Value int }
+
+	// CounterAdd adds Delta; output is ignored.
+	CounterAdd struct{ Delta int64 }
+	// CounterLoad reads the counter; output is the value (int64).
+	CounterLoad struct{}
+
+	// SetAdd adds Key; output is the bool the operation returned.
+	SetAdd struct{ Key int }
+	// SetRemove removes Key; output is the returned bool.
+	SetRemove struct{ Key int }
+	// SetContains queries Key; output is the returned bool.
+	SetContains struct{ Key int }
+
+	// MapStore stores Key→Value; output is ignored.
+	MapStore struct {
+		Key   int
+		Value int
+	}
+	// MapLoad loads Key; output is mapLoadResult.
+	MapLoad struct{ Key int }
+	// MapDelete deletes Key; output is the returned bool.
+	MapDelete struct{ Key int }
+
+	// QueueEnqueue enqueues Value; output is ignored.
+	QueueEnqueue struct{ Value int }
+	// QueueDequeue dequeues; output is queuePopResult.
+	QueueDequeue struct{}
+
+	// StackPush pushes Value; output is ignored.
+	StackPush struct{ Value int }
+	// StackPop pops; output is queuePopResult.
+	StackPop struct{}
+)
+
+// ValueOK is the output shape for operations returning (value, ok).
+type ValueOK struct {
+	Value int
+	OK    bool
+}
+
+// RegisterModel models an integer register with initial value 0.
+func RegisterModel() Model {
+	return Model{
+		Init: func() any { return 0 },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(int)
+			switch in := input.(type) {
+			case RegisterWrite:
+				return true, in.Value
+			case RegisterRead:
+				return output.(int) == s, s
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// CounterModel models an int64 counter starting at 0.
+func CounterModel() Model {
+	return Model{
+		Init: func() any { return int64(0) },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(int64)
+			switch in := input.(type) {
+			case CounterAdd:
+				return true, s + in.Delta
+			case CounterLoad:
+				return output.(int64) == s, s
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// SetModel models a set of ints. State is the canonical sorted-keys
+// string, which keeps states comparable for the cache.
+func SetModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			keys := decodeSet(state.(string))
+			switch in := input.(type) {
+			case SetAdd:
+				_, present := keys[in.Key]
+				if output.(bool) == present {
+					return false, state // Add returns true iff newly added
+				}
+				keys[in.Key] = struct{}{}
+				return true, encodeSet(keys)
+			case SetRemove:
+				_, present := keys[in.Key]
+				if output.(bool) != present {
+					return false, state
+				}
+				delete(keys, in.Key)
+				return true, encodeSet(keys)
+			case SetContains:
+				_, present := keys[in.Key]
+				return output.(bool) == present, state
+			default:
+				return false, state
+			}
+		},
+	}
+}
+
+// MapModel models a map[int]int. State is a canonical "k=v,..." string.
+func MapModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			m := decodeMap(state.(string))
+			switch in := input.(type) {
+			case MapStore:
+				m[in.Key] = in.Value
+				return true, encodeMap(m)
+			case MapLoad:
+				v, ok := m[in.Key]
+				got := output.(ValueOK)
+				return got.OK == ok && (!ok || got.Value == v), state
+			case MapDelete:
+				_, ok := m[in.Key]
+				if output.(bool) != ok {
+					return false, state
+				}
+				delete(m, in.Key)
+				return true, encodeMap(m)
+			default:
+				return false, state
+			}
+		},
+	}
+}
+
+// QueueModel models a FIFO queue of ints. State is "v1,v2,..." front first.
+func QueueModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(string)
+			switch in := input.(type) {
+			case QueueEnqueue:
+				return true, pushBack(s, in.Value)
+			case QueueDequeue:
+				got := output.(ValueOK)
+				if s == "" {
+					return !got.OK, s
+				}
+				front, rest := popFront(s)
+				if !got.OK || got.Value != front {
+					return false, s
+				}
+				return true, rest
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// StackModel models a LIFO stack of ints. State is "v1,v2,..." bottom first.
+func StackModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(string)
+			switch in := input.(type) {
+			case StackPush:
+				return true, pushBack(s, in.Value)
+			case StackPop:
+				got := output.(ValueOK)
+				if s == "" {
+					return !got.OK, s
+				}
+				top, rest := popBack(s)
+				if !got.OK || got.Value != top {
+					return false, s
+				}
+				return true, rest
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+func pushBack(s string, v int) string {
+	if s == "" {
+		return strconv.Itoa(v)
+	}
+	return s + "," + strconv.Itoa(v)
+}
+
+func popFront(s string) (int, string) {
+	head, rest, found := strings.Cut(s, ",")
+	v, _ := strconv.Atoi(head)
+	if !found {
+		return v, ""
+	}
+	return v, rest
+}
+
+func popBack(s string) (int, string) {
+	i := strings.LastIndexByte(s, ',')
+	if i < 0 {
+		v, _ := strconv.Atoi(s)
+		return v, ""
+	}
+	v, _ := strconv.Atoi(s[i+1:])
+	return v, s[:i]
+}
+
+func decodeSet(s string) map[int]struct{} {
+	keys := make(map[int]struct{})
+	if s == "" {
+		return keys
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, _ := strconv.Atoi(part)
+		keys[k] = struct{}{}
+	}
+	return keys
+}
+
+func encodeSet(keys map[int]struct{}) string {
+	ks := make([]int, 0, len(keys))
+	for k := range keys {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = strconv.Itoa(k)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeMap(s string) map[int]int {
+	m := make(map[int]int)
+	if s == "" {
+		return m
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		k, _ := strconv.Atoi(kv[0])
+		v, _ := strconv.Atoi(kv[1])
+		m[k] = v
+	}
+	return m
+}
+
+func encodeMap(m map[int]int) string {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = fmt.Sprintf("%d=%d", k, m[k])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,40 @@
+package list_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/list"
+)
+
+// All five list variants share the Set interface; Harris's list is the
+// fully lock-free member of the progression.
+func ExampleHarris() {
+	s := list.NewHarris[int]()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				s.Add(k) // massive duplicate contention
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Println(s.Len(), s.Contains(42), s.Contains(100))
+	// Output: 100 true false
+}
+
+// The lazy list's Contains takes no locks at all — ideal for read-mostly
+// membership sets.
+func ExampleLazy() {
+	s := list.NewLazy[string]()
+	s.Add("alice")
+	s.Add("bob")
+	s.Remove("alice")
+	fmt.Println(s.Contains("alice"), s.Contains("bob"))
+	// Output: false true
+}

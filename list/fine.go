@@ -1,0 +1,114 @@
+package list
+
+import (
+	"cmp"
+	"sync"
+)
+
+// Fine is the fine-grained (hand-over-hand / lock-coupling) list: every
+// node carries its own lock, and traversal holds at most two locks at a
+// time, acquiring the next before releasing the previous. Disjoint regions
+// of the list can be updated in parallel, but every operation still locks
+// its way through the prefix, so operations pile up behind slow traversals
+// near the head — the survey's example that finer granularity alone is not
+// enough.
+//
+// Progress: blocking; deadlock-free because locks are acquired in list
+// order (which is key order).
+type Fine[K cmp.Ordered] struct {
+	head *fineNode[K] // sentinel
+}
+
+type fineNode[K cmp.Ordered] struct {
+	mu   sync.Mutex
+	key  K
+	next *fineNode[K] // guarded by mu of the node that owns the pointer
+}
+
+// NewFine returns an empty hand-over-hand locked sorted-list set.
+func NewFine[K cmp.Ordered]() *Fine[K] {
+	return &Fine[K]{head: &fineNode[K]{}}
+}
+
+// locate walks with lock coupling until curr is the first node with
+// curr.key >= k (or nil). It returns with pred locked and, when non-nil,
+// curr locked; the caller must unlock both.
+func (s *Fine[K]) locate(k K) (pred, curr *fineNode[K]) {
+	pred = s.head
+	pred.mu.Lock()
+	curr = pred.next
+	if curr != nil {
+		curr.mu.Lock()
+	}
+	for curr != nil && curr.key < k {
+		pred.mu.Unlock()
+		pred = curr
+		curr = curr.next
+		if curr != nil {
+			curr.mu.Lock()
+		}
+	}
+	return pred, curr
+}
+
+// Add inserts k, reporting false if it was already present.
+func (s *Fine[K]) Add(k K) bool {
+	pred, curr := s.locate(k)
+	defer pred.mu.Unlock()
+	if curr != nil {
+		defer curr.mu.Unlock()
+		if curr.key == k {
+			return false
+		}
+	}
+	pred.next = &fineNode[K]{key: k, next: curr}
+	return true
+}
+
+// Remove deletes k, reporting false if it was absent.
+func (s *Fine[K]) Remove(k K) bool {
+	pred, curr := s.locate(k)
+	defer pred.mu.Unlock()
+	if curr == nil {
+		return false
+	}
+	defer curr.mu.Unlock()
+	if curr.key != k {
+		return false
+	}
+	pred.next = curr.next
+	return true
+}
+
+// Contains reports whether k is present.
+func (s *Fine[K]) Contains(k K) bool {
+	pred, curr := s.locate(k)
+	pred.mu.Unlock()
+	if curr == nil {
+		return false
+	}
+	defer curr.mu.Unlock()
+	return curr.key == k
+}
+
+// Len counts the keys with a hand-over-hand traversal.
+func (s *Fine[K]) Len() int {
+	n := 0
+	pred := s.head
+	pred.mu.Lock()
+	curr := pred.next
+	if curr != nil {
+		curr.mu.Lock()
+	}
+	for curr != nil {
+		n++
+		pred.mu.Unlock()
+		pred = curr
+		curr = curr.next
+		if curr != nil {
+			curr.mu.Lock()
+		}
+	}
+	pred.mu.Unlock()
+	return n
+}

@@ -1,0 +1,141 @@
+package list
+
+import (
+	"cmp"
+	"sync/atomic"
+)
+
+// Harris is the lock-free sorted list of Harris (DISC 2001) as refined by
+// Michael (SPAA 2002): removal first marks the victim's next-reference
+// (logical delete), then any operation that encounters a marked node snips
+// it out while searching (physical delete, "helping"). No operation ever
+// blocks: a failed CAS always means some other operation succeeded.
+//
+// Go cannot steal a mark bit from a pointer, so each node's successor is an
+// immutable (next, marked) record swapped atomically as a unit — the exact
+// semantics of Java's AtomicMarkableReference, at the cost of one small
+// allocation per link mutation. Identity CAS on the record also subsumes
+// the version check: marking a node replaces its record, so any CAS holding
+// the stale record fails.
+//
+// Linearization points: Add at the successful pred-link CAS; Remove at the
+// successful marking CAS; Contains at its final ref load.
+//
+// Progress: Add/Remove lock-free; Contains wait-free (bounded by list
+// length).
+type Harris[K cmp.Ordered] struct {
+	head *harrisNode[K] // sentinel
+}
+
+type harrisNode[K cmp.Ordered] struct {
+	key K
+	ref atomic.Pointer[harrisRef[K]]
+}
+
+// harrisRef is an immutable (successor, mark) pair.
+type harrisRef[K cmp.Ordered] struct {
+	next   *harrisNode[K]
+	marked bool
+}
+
+// NewHarris returns an empty lock-free sorted-list set.
+func NewHarris[K cmp.Ordered]() *Harris[K] {
+	h := &harrisNode[K]{}
+	h.ref.Store(&harrisRef[K]{})
+	return &Harris[K]{head: h}
+}
+
+// find returns (pred, predRef, curr) such that predRef was loaded from
+// pred, predRef.next == curr, pred is unmarked in that snapshot, and curr
+// is the first node with key >= k (or nil). Marked nodes encountered on the
+// way are physically removed (helping).
+func (s *Harris[K]) find(k K) (pred *harrisNode[K], predRef *harrisRef[K], curr *harrisNode[K]) {
+retry:
+	for {
+		pred = s.head
+		predRef = pred.ref.Load()
+		curr = predRef.next
+		for {
+			if curr == nil {
+				return pred, predRef, nil
+			}
+			currRef := curr.ref.Load()
+			if currRef.marked {
+				// Snip the logically deleted curr. On failure something
+				// changed under us: restart from the head.
+				newRef := &harrisRef[K]{next: currRef.next}
+				if !pred.ref.CompareAndSwap(predRef, newRef) {
+					continue retry
+				}
+				predRef = newRef
+				curr = currRef.next
+				continue
+			}
+			if curr.key >= k {
+				return pred, predRef, curr
+			}
+			pred, predRef, curr = curr, currRef, currRef.next
+		}
+	}
+}
+
+// Add inserts k, reporting false if it was already present.
+func (s *Harris[K]) Add(k K) bool {
+	for {
+		pred, predRef, curr := s.find(k)
+		if curr != nil && curr.key == k {
+			return false
+		}
+		n := &harrisNode[K]{key: k}
+		n.ref.Store(&harrisRef[K]{next: curr})
+		if pred.ref.CompareAndSwap(predRef, &harrisRef[K]{next: n}) {
+			return true
+		}
+	}
+}
+
+// Remove deletes k, reporting false if it was absent.
+func (s *Harris[K]) Remove(k K) bool {
+	for {
+		pred, predRef, curr := s.find(k)
+		if curr == nil || curr.key != k {
+			return false
+		}
+		currRef := curr.ref.Load()
+		if currRef.marked {
+			// Concurrently removed after find's snapshot; retry to settle
+			// who removed it (find will snip and miss it next round).
+			continue
+		}
+		// Logical delete: replace curr's ref with a marked copy.
+		if !curr.ref.CompareAndSwap(currRef, &harrisRef[K]{next: currRef.next, marked: true}) {
+			continue
+		}
+		// Physical delete is best-effort; find() helps later if this fails.
+		pred.ref.CompareAndSwap(predRef, &harrisRef[K]{next: currRef.next})
+		return true
+	}
+}
+
+// Contains reports whether k is present. Wait-free: one traversal, no
+// helping, mark checked on the candidate.
+func (s *Harris[K]) Contains(k K) bool {
+	curr := s.head.ref.Load().next
+	for curr != nil && curr.key < k {
+		curr = curr.ref.Load().next
+	}
+	return curr != nil && curr.key == k && !curr.ref.Load().marked
+}
+
+// Len counts unmarked nodes via traversal (quiescent-exact).
+func (s *Harris[K]) Len() int {
+	n := 0
+	for curr := s.head.ref.Load().next; curr != nil; {
+		ref := curr.ref.Load()
+		if !ref.marked {
+			n++
+		}
+		curr = ref.next
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package list
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+)
+
+// Lazy is the lazy-synchronization list (Heller, Herlihy, Luchangco, Moir,
+// Scherer & Shavit, OPODIS 2005): removal happens in two steps — a logical
+// delete that sets a mark bit on the node, then a physical unlink. The mark
+// turns validation into two local flag checks (no re-traversal), and makes
+// Contains completely lock-free and wait-free: one unlocked traversal plus
+// a mark check. Since membership queries dominate real set workloads, this
+// is the survey's sweet spot among the lock-based lists.
+//
+// Linearization points: Add at the pred.next store (under locks);
+// successful Remove at the mark store; Contains at the load of curr's mark
+// (or of the first node with key >= k).
+//
+// Progress: Add/Remove blocking; Contains wait-free.
+type Lazy[K cmp.Ordered] struct {
+	head *lazyNode[K] // sentinel
+}
+
+type lazyNode[K cmp.Ordered] struct {
+	mu     sync.Mutex
+	key    K
+	marked atomic.Bool                 // logical deletion flag
+	next   atomic.Pointer[lazyNode[K]] // atomic: read by unlocked traversals
+}
+
+// NewLazy returns an empty lazy-synchronization sorted-list set.
+func NewLazy[K cmp.Ordered]() *Lazy[K] {
+	return &Lazy[K]{head: &lazyNode[K]{}}
+}
+
+// locate returns the unlocked (pred, curr) window for k.
+func (s *Lazy[K]) locate(k K) (pred, curr *lazyNode[K]) {
+	pred = s.head
+	curr = pred.next.Load()
+	for curr != nil && curr.key < k {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+// validate reports whether the locked window (pred, curr) is intact: both
+// unmarked and still adjacent. No re-traversal needed — that is the point
+// of the marks.
+func (s *Lazy[K]) validate(pred, curr *lazyNode[K]) bool {
+	return !pred.marked.Load() &&
+		(curr == nil || !curr.marked.Load()) &&
+		pred.next.Load() == curr
+}
+
+// Add inserts k, reporting false if it was already present.
+func (s *Lazy[K]) Add(k K) bool {
+	for {
+		pred, curr := s.locate(k)
+		pred.mu.Lock()
+		if curr != nil {
+			curr.mu.Lock()
+		}
+		if s.validate(pred, curr) {
+			if curr != nil && curr.key == k {
+				curr.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			n := &lazyNode[K]{key: k}
+			n.next.Store(curr)
+			pred.next.Store(n)
+			if curr != nil {
+				curr.mu.Unlock()
+			}
+			pred.mu.Unlock()
+			return true
+		}
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+		pred.mu.Unlock()
+	}
+}
+
+// Remove deletes k, reporting false if it was absent. The mark store is
+// the linearization point; the unlink that follows is mere bookkeeping.
+func (s *Lazy[K]) Remove(k K) bool {
+	for {
+		pred, curr := s.locate(k)
+		pred.mu.Lock()
+		if curr != nil {
+			curr.mu.Lock()
+		}
+		if s.validate(pred, curr) {
+			if curr == nil || curr.key != k {
+				if curr != nil {
+					curr.mu.Unlock()
+				}
+				pred.mu.Unlock()
+				return false
+			}
+			curr.marked.Store(true)           // logical removal
+			pred.next.Store(curr.next.Load()) // physical unlink
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+		pred.mu.Unlock()
+	}
+}
+
+// Contains reports whether k is present: one unlocked traversal and a mark
+// check. Wait-free.
+func (s *Lazy[K]) Contains(k K) bool {
+	curr := s.head.next.Load()
+	for curr != nil && curr.key < k {
+		curr = curr.next.Load()
+	}
+	return curr != nil && curr.key == k && !curr.marked.Load()
+}
+
+// Len counts unmarked keys via unlocked traversal (quiescent-exact).
+func (s *Lazy[K]) Len() int {
+	n := 0
+	for node := s.head.next.Load(); node != nil; node = node.next.Load() {
+		if !node.marked.Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+// Package list implements the sorted linked-list set progression that the
+// concurrent data structures literature uses to teach synchronization
+// patterns (Herlihy & Shavit ch. 9): coarse-grained locking, fine-grained
+// hand-over-hand locking, optimistic validation, lazy marking, and the
+// Harris–Michael lock-free list.
+//
+// All five implement cds.Set[K] over ordered keys, so they are drop-in
+// replaceable; experiment F5 regenerates the classic scalability
+// progression (coarse < fine < optimistic < lazy ≤ lock-free).
+//
+// Every list is a sorted singly linked list with a head sentinel: the
+// element nodes keep strictly increasing keys, which gives each operation a
+// unique (pred, curr) window for its key and makes the validation-based
+// algorithms possible.
+package list
+
+import (
+	"cmp"
+	"sync"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Set[int] = (*Coarse[int])(nil)
+	_ cds.Set[int] = (*Fine[int])(nil)
+	_ cds.Set[int] = (*Optimistic[int])(nil)
+	_ cds.Set[int] = (*Lazy[int])(nil)
+	_ cds.Set[int] = (*Harris[int])(nil)
+)
+
+// Coarse is the coarse-grained baseline: one mutex serialises every
+// operation. Nothing scales, everything is simple and exact.
+//
+// Progress: blocking.
+type Coarse[K cmp.Ordered] struct {
+	mu   sync.Mutex
+	head *coarseNode[K] // sentinel
+	size int
+}
+
+type coarseNode[K cmp.Ordered] struct {
+	key  K
+	next *coarseNode[K]
+}
+
+// NewCoarse returns an empty coarse-locked sorted-list set.
+func NewCoarse[K cmp.Ordered]() *Coarse[K] {
+	return &Coarse[K]{head: &coarseNode[K]{}}
+}
+
+// Add inserts k, reporting false if it was already present.
+func (s *Coarse[K]) Add(k K) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pred := s.head
+	curr := pred.next
+	for curr != nil && curr.key < k {
+		pred, curr = curr, curr.next
+	}
+	if curr != nil && curr.key == k {
+		return false
+	}
+	pred.next = &coarseNode[K]{key: k, next: curr}
+	s.size++
+	return true
+}
+
+// Remove deletes k, reporting false if it was absent.
+func (s *Coarse[K]) Remove(k K) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pred := s.head
+	curr := pred.next
+	for curr != nil && curr.key < k {
+		pred, curr = curr, curr.next
+	}
+	if curr == nil || curr.key != k {
+		return false
+	}
+	pred.next = curr.next
+	s.size--
+	return true
+}
+
+// Contains reports whether k is present.
+func (s *Coarse[K]) Contains(k K) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	curr := s.head.next
+	for curr != nil && curr.key < k {
+		curr = curr.next
+	}
+	return curr != nil && curr.key == k
+}
+
+// Len reports the number of keys.
+func (s *Coarse[K]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}

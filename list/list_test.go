@@ -1,0 +1,334 @@
+package list
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+func implementations() []struct {
+	name string
+	mk   func() cds.Set[int]
+} {
+	return []struct {
+		name string
+		mk   func() cds.Set[int]
+	}{
+		{name: "Coarse", mk: func() cds.Set[int] { return NewCoarse[int]() }},
+		{name: "Fine", mk: func() cds.Set[int] { return NewFine[int]() }},
+		{name: "Optimistic", mk: func() cds.Set[int] { return NewOptimistic[int]() }},
+		{name: "Lazy", mk: func() cds.Set[int] { return NewLazy[int]() }},
+		{name: "Harris", mk: func() cds.Set[int] { return NewHarris[int]() }},
+	}
+}
+
+func TestSequentialSetSemantics(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			if s.Contains(5) {
+				t.Fatal("empty set contains 5")
+			}
+			if s.Remove(5) {
+				t.Fatal("removing from empty set succeeded")
+			}
+			if !s.Add(5) {
+				t.Fatal("first Add(5) failed")
+			}
+			if s.Add(5) {
+				t.Fatal("duplicate Add(5) succeeded")
+			}
+			if !s.Contains(5) {
+				t.Fatal("set does not contain added 5")
+			}
+			// Insert around it to exercise ordering paths.
+			for _, k := range []int{3, 9, 1, 7, 5} {
+				want := k != 5
+				if got := s.Add(k); got != want {
+					t.Fatalf("Add(%d) = %v, want %v", k, got, want)
+				}
+			}
+			if got := s.Len(); got != 5 {
+				t.Fatalf("Len = %d, want 5", got)
+			}
+			for _, k := range []int{1, 3, 5, 7, 9} {
+				if !s.Contains(k) {
+					t.Fatalf("missing key %d", k)
+				}
+			}
+			for _, k := range []int{0, 2, 4, 6, 8, 10} {
+				if s.Contains(k) {
+					t.Fatalf("phantom key %d", k)
+				}
+			}
+			if !s.Remove(5) || s.Remove(5) {
+				t.Fatal("Remove(5) semantics wrong")
+			}
+			if s.Contains(5) {
+				t.Fatal("removed key still present")
+			}
+			if got := s.Len(); got != 4 {
+				t.Fatalf("Len = %d, want 4", got)
+			}
+		})
+	}
+}
+
+func TestSetPropertyMatchesModel(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			f := func(ops []int8) bool {
+				s := tt.mk()
+				model := make(map[int]bool)
+				for _, raw := range ops {
+					k := int(raw % 16) // small key space → collisions
+					switch {
+					case raw%3 == 0:
+						if s.Add(k) == model[k] {
+							return false
+						}
+						model[k] = true
+					case raw%3 == 1 || raw%3 == -1:
+						if s.Remove(k) != model[k] {
+							return false
+						}
+						delete(model, k)
+					default:
+						if s.Contains(k) != model[k] {
+							return false
+						}
+					}
+				}
+				return s.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDisjointKeysConcurrent has each worker operate on a private residue
+// class of keys; since workers never share keys, each worker's final local
+// model must match the set's final content for its keys.
+func TestDisjointKeysConcurrent(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			workers := runtime.GOMAXPROCS(0)
+			if workers > 8 {
+				workers = 8
+			}
+			const opsPerWorker = 4000
+			models := make([]map[int]bool, workers)
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w) + 1)
+					model := make(map[int]bool)
+					for i := 0; i < opsPerWorker; i++ {
+						k := w + workers*rng.Intn(64) // private residue class
+						switch rng.Intn(3) {
+						case 0:
+							if s.Add(k) == model[k] {
+								t.Errorf("worker %d: Add(%d) inconsistent with model", w, k)
+								return
+							}
+							model[k] = true
+						case 1:
+							if s.Remove(k) != model[k] {
+								t.Errorf("worker %d: Remove(%d) inconsistent with model", w, k)
+								return
+							}
+							delete(model, k)
+						default:
+							if s.Contains(k) != model[k] {
+								t.Errorf("worker %d: Contains(%d) inconsistent with model", w, k)
+								return
+							}
+						}
+					}
+					models[w] = model
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			total := 0
+			for w, model := range models {
+				total += len(model)
+				for k := range model {
+					if !s.Contains(k) {
+						t.Fatalf("worker %d: key %d lost", w, k)
+					}
+				}
+			}
+			if got := s.Len(); got != total {
+				t.Fatalf("Len = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+// TestContendedKeysConcurrent hammers a tiny shared key space from many
+// goroutines and then checks structural invariants: sorted strictly
+// increasing keys and Len consistency.
+func TestContendedKeysConcurrent(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			workers := 2 * runtime.GOMAXPROCS(0)
+			const opsPerWorker = 3000
+			const keyRange = 8 // extreme contention
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w)*7919 + 13)
+					for i := 0; i < opsPerWorker; i++ {
+						k := rng.Intn(keyRange)
+						switch rng.Intn(3) {
+						case 0:
+							s.Add(k)
+						case 1:
+							s.Remove(k)
+						default:
+							s.Contains(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			keys := collectKeys(t, tt.name, s)
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					t.Fatalf("keys not strictly sorted: %v", keys)
+				}
+			}
+			for _, k := range keys {
+				if k < 0 || k >= keyRange {
+					t.Fatalf("alien key %d in set", k)
+				}
+				if !s.Contains(k) {
+					t.Fatalf("listed key %d not Contains-visible", k)
+				}
+			}
+			if got := s.Len(); got != len(keys) {
+				t.Fatalf("Len = %d, traversal found %d", got, len(keys))
+			}
+		})
+	}
+}
+
+// collectKeys snapshots the list contents in order using white-box access.
+func collectKeys(t *testing.T, name string, s cds.Set[int]) []int {
+	t.Helper()
+	var keys []int
+	switch v := s.(type) {
+	case *Coarse[int]:
+		for n := v.head.next; n != nil; n = n.next {
+			keys = append(keys, n.key)
+		}
+	case *Fine[int]:
+		for n := v.head.next; n != nil; n = n.next {
+			keys = append(keys, n.key)
+		}
+	case *Optimistic[int]:
+		for n := v.head.next.Load(); n != nil; n = n.next.Load() {
+			keys = append(keys, n.key)
+		}
+	case *Lazy[int]:
+		for n := v.head.next.Load(); n != nil; n = n.next.Load() {
+			if !n.marked.Load() {
+				keys = append(keys, n.key)
+			}
+		}
+	case *Harris[int]:
+		for n := v.head.ref.Load().next; n != nil; {
+			ref := n.ref.Load()
+			if !ref.marked {
+				keys = append(keys, n.key)
+			}
+			n = ref.next
+		}
+	default:
+		t.Fatalf("unknown implementation %s", name)
+	}
+	return keys
+}
+
+// TestAddRemoveChurn drives matched add/remove pairs per key so the set
+// must end empty.
+func TestAddRemoveChurn(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			workers := runtime.GOMAXPROCS(0)
+			const pairs = 5000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < pairs; i++ {
+						k := w*pairs + i // unique key per iteration
+						if !s.Add(k) {
+							t.Errorf("Add(%d) of unique key failed", k)
+							return
+						}
+						if !s.Remove(k) {
+							t.Errorf("Remove(%d) of just-added key failed", k)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if got := s.Len(); got != 0 {
+				t.Fatalf("Len = %d after matched churn, want 0", got)
+			}
+		})
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	// The generic parameter must work for any ordered type, not just ints.
+	sets := []cds.Set[string]{
+		NewCoarse[string](),
+		NewFine[string](),
+		NewOptimistic[string](),
+		NewLazy[string](),
+		NewHarris[string](),
+	}
+	for _, s := range sets {
+		for _, k := range []string{"pear", "apple", "quince", "banana"} {
+			if !s.Add(k) {
+				t.Fatalf("Add(%q) failed", k)
+			}
+		}
+		if !s.Contains("apple") || s.Contains("cherry") {
+			t.Fatal("string membership wrong")
+		}
+		if !s.Remove("pear") || s.Remove("pear") {
+			t.Fatal("string removal wrong")
+		}
+		if got := s.Len(); got != 3 {
+			t.Fatalf("Len = %d, want 3", got)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package list
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+)
+
+// Optimistic is the optimistic-synchronization list: traversal takes no
+// locks at all; an operation locks only its (pred, curr) window and then
+// validates — by re-traversing from the head — that pred is still reachable
+// and still points to curr. If validation fails the operation retries.
+// Traffic on the prefix of the list becomes read-only, which removes the
+// lock convoy that throttles the fine-grained list; the price is the
+// second traversal and retries under heavy mutation.
+//
+// Unlinked nodes are not recycled (the GC reclaims them once unreachable),
+// which is what makes wandering onto a stale node during unlocked traversal
+// memory-safe.
+//
+// Progress: blocking (locks), with optimistic retries.
+type Optimistic[K cmp.Ordered] struct {
+	head *optNode[K] // sentinel
+}
+
+type optNode[K cmp.Ordered] struct {
+	mu  sync.Mutex
+	key K
+	// isSentinel marks the head node, which must compare before every key.
+	isSentinel bool
+	next       atomic.Pointer[optNode[K]] // atomic: read by unlocked traversals
+}
+
+// NewOptimistic returns an empty optimistically synchronized sorted-list set.
+func NewOptimistic[K cmp.Ordered]() *Optimistic[K] {
+	return &Optimistic[K]{head: &optNode[K]{isSentinel: true}}
+}
+
+// locate returns the unlocked (pred, curr) window for k:
+// pred.key < k <= curr.key with curr possibly nil.
+func (s *Optimistic[K]) locate(k K) (pred, curr *optNode[K]) {
+	pred = s.head
+	curr = pred.next.Load()
+	for curr != nil && curr.key < k {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+// validate re-traverses from the head and reports whether pred is still
+// reachable and still linked to curr. Caller holds pred's (and curr's)
+// locks, so a successful validation pins the window.
+func (s *Optimistic[K]) validate(pred, curr *optNode[K]) bool {
+	node := s.head
+	for node != nil {
+		if node == pred {
+			return pred.next.Load() == curr
+		}
+		// Stop once we passed pred's key position (pred unreachable).
+		if !node.isSentinel && pred != nil && !pred.isSentinel && node.key > pred.key {
+			return false
+		}
+		node = node.next.Load()
+	}
+	return false
+}
+
+// Add inserts k, reporting false if it was already present.
+func (s *Optimistic[K]) Add(k K) bool {
+	for {
+		pred, curr := s.locate(k)
+		pred.mu.Lock()
+		if curr != nil {
+			curr.mu.Lock()
+		}
+		if s.validate(pred, curr) {
+			if curr != nil && curr.key == k {
+				curr.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			n := &optNode[K]{key: k}
+			n.next.Store(curr)
+			pred.next.Store(n)
+			if curr != nil {
+				curr.mu.Unlock()
+			}
+			pred.mu.Unlock()
+			return true
+		}
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+		pred.mu.Unlock()
+	}
+}
+
+// Remove deletes k, reporting false if it was absent.
+func (s *Optimistic[K]) Remove(k K) bool {
+	for {
+		pred, curr := s.locate(k)
+		pred.mu.Lock()
+		if curr != nil {
+			curr.mu.Lock()
+		}
+		if s.validate(pred, curr) {
+			if curr == nil || curr.key != k {
+				if curr != nil {
+					curr.mu.Unlock()
+				}
+				pred.mu.Unlock()
+				return false
+			}
+			pred.next.Store(curr.next.Load())
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+		pred.mu.Unlock()
+	}
+}
+
+// Contains reports whether k is present. Like the mutating operations it
+// must lock and validate: without validation a key sitting in an unlinked
+// node could be reported present (optimistic lists, unlike lazy ones, have
+// no marks to check).
+func (s *Optimistic[K]) Contains(k K) bool {
+	for {
+		pred, curr := s.locate(k)
+		pred.mu.Lock()
+		if curr != nil {
+			curr.mu.Lock()
+		}
+		ok := s.validate(pred, curr)
+		found := ok && curr != nil && curr.key == k
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+		pred.mu.Unlock()
+		if ok {
+			return found
+		}
+	}
+}
+
+// Len counts the keys via unlocked traversal (quiescent-exact).
+func (s *Optimistic[K]) Len() int {
+	n := 0
+	for node := s.head.next.Load(); node != nil; node = node.next.Load() {
+		n++
+	}
+	return n
+}

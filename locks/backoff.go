@@ -1,0 +1,97 @@
+package locks
+
+import "runtime"
+
+// Defaults for Backoff when constructed via its zero value.
+const (
+	defaultBackoffMinSpins = 4
+	defaultBackoffMaxSpins = 1 << 12
+	// spinsBeforeYield bounds how much raw busy-waiting happens before the
+	// backoff starts yielding the processor to the Go scheduler. Without
+	// yielding, a spinner can occupy the OS thread that the lock holder
+	// needs, turning microsecond critical sections into scheduling stalls.
+	spinsBeforeYield = 1 << 8
+)
+
+// Backoff implements randomized exponential backoff for spin loops. The
+// zero value is ready to use. It is not safe for concurrent use; each
+// spinning goroutine owns its own Backoff.
+//
+// Pause busy-waits for a randomized duration that doubles (up to a cap) on
+// every call, and yields to the Go scheduler once the duration exceeds a
+// threshold. Reset restores the initial duration after a successful
+// acquisition, per the classic adaptive-backoff scheme.
+type Backoff struct {
+	cur  uint32
+	rng  uint32
+	min  uint32
+	max  uint32
+	init bool
+}
+
+// NewBackoff returns a Backoff bounded by [minSpins, maxSpins] iterations.
+// Values of zero select the defaults.
+func NewBackoff(minSpins, maxSpins uint32) *Backoff {
+	b := &Backoff{min: minSpins, max: maxSpins}
+	b.lazyInit()
+	return b
+}
+
+// Pause waits for the current backoff duration and doubles it, capped at
+// the maximum. Long waits yield the processor instead of burning it.
+func (b *Backoff) Pause() {
+	b.lazyInit()
+	// xorshift32 supplies the randomization; deterministic seeds are fine
+	// because each goroutine perturbs its own stream.
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 17
+	b.rng ^= b.rng << 5
+	spins := b.rng % b.cur
+
+	if b.cur < b.max {
+		b.cur *= 2
+	}
+
+	if spins > spinsBeforeYield {
+		runtime.Gosched()
+		return
+	}
+	for i := uint32(0); i < spins; i++ {
+		cpuRelax()
+	}
+}
+
+// Reset restores the backoff to its minimum duration. Call it after a
+// successful acquisition so the next contention episode starts small.
+func (b *Backoff) Reset() {
+	b.lazyInit()
+	b.cur = b.min
+}
+
+func (b *Backoff) lazyInit() {
+	if b.init {
+		return
+	}
+	if b.min == 0 {
+		b.min = defaultBackoffMinSpins
+	}
+	if b.max < b.min {
+		b.max = defaultBackoffMaxSpins
+		if b.max < b.min {
+			b.max = b.min
+		}
+	}
+	b.cur = b.min
+	if b.rng == 0 {
+		b.rng = 0x9e3779b9
+	}
+	b.init = true
+}
+
+// cpuRelax is a single spin-wait iteration. Pure Go has no PAUSE intrinsic;
+// a tiny amount of untracked work keeps the loop from being optimised away
+// while staying cheap.
+//
+//go:noinline
+func cpuRelax() {
+}

@@ -1,0 +1,120 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// CLHLock is the Craig–Landin–Hagersten queue lock. Like MCS it queues
+// waiters, but each thread spins on its *predecessor's* node rather than its
+// own: acquisition swaps a fresh node into the tail and waits for the
+// previous node's flag to clear. Release is a single store with no
+// successor discovery, which makes CLH release cheaper than MCS; the
+// trade-off is that spinning is on a line written by another core, which on
+// NUMA machines is why MCS is usually preferred there.
+//
+// The handle returned by Lock must be passed to Unlock. Handle recycling
+// follows the classic scheme: after release, the unlocker donates its
+// predecessor's node (now unreachable by everyone else) back to the pool.
+//
+// The zero value is ready to use. Progress: blocking, FIFO-fair.
+type CLHLock struct {
+	tail atomic.Pointer[clhNode]
+	pool sync.Pool
+	once sync.Once
+}
+
+type clhNode struct {
+	locked atomic.Uint32
+	_      pad.CacheLinePad
+}
+
+// CLHHandle identifies one acquisition of a CLHLock.
+type CLHHandle struct {
+	node *clhNode
+	pred *clhNode
+}
+
+func (l *CLHLock) init() {
+	l.once.Do(func() {
+		// The queue starts with a dummy released node so the first
+		// acquirer has a predecessor to spin on.
+		n := new(clhNode)
+		l.tail.Store(n)
+	})
+}
+
+// Lock acquires the lock and returns the handle that must be passed to the
+// matching Unlock call.
+func (l *CLHLock) Lock() CLHHandle {
+	l.init()
+	n, _ := l.pool.Get().(*clhNode)
+	if n == nil {
+		n = new(clhNode)
+	}
+	n.locked.Store(1)
+
+	pred := l.tail.Swap(n)
+	spins := 0
+	for pred.locked.Load() == 1 {
+		spins++
+		if spins%spinsBeforeYield == 0 {
+			yield()
+		}
+	}
+	return CLHHandle{node: n, pred: pred}
+}
+
+// TryLock attempts an uncontended acquisition. ok reports success; on
+// success the handle must be passed to Unlock.
+func (l *CLHLock) TryLock() (CLHHandle, bool) {
+	l.init()
+	cur := l.tail.Load()
+	if cur.locked.Load() == 1 {
+		return CLHHandle{}, false
+	}
+	n, _ := l.pool.Get().(*clhNode)
+	if n == nil {
+		n = new(clhNode)
+	}
+	n.locked.Store(1)
+	if l.tail.CompareAndSwap(cur, n) {
+		return CLHHandle{node: n, pred: cur}, true
+	}
+	l.pool.Put(n)
+	return CLHHandle{}, false
+}
+
+// Unlock releases the lock acquired with the given handle.
+func (l *CLHLock) Unlock(h CLHHandle) {
+	h.node.locked.Store(0)
+	// h.pred is no longer referenced by any thread: its owner released it
+	// and we have finished spinning on it. Recycle it for future Locks.
+	l.pool.Put(h.pred)
+}
+
+// Locker returns a sync.Locker view of the lock; see MCSLock.Locker for the
+// safety argument of the handle slot.
+func (l *CLHLock) Locker() sync.Locker {
+	return &clhLocker{l: l}
+}
+
+type clhLocker struct {
+	l *CLHLock
+	h CLHHandle
+}
+
+func (a *clhLocker) Lock() {
+	a.h = a.l.Lock()
+}
+
+func (a *clhLocker) Unlock() {
+	h := a.h
+	if h.node == nil {
+		panic("locks: Unlock of unlocked CLHLock")
+	}
+	a.h = CLHHandle{}
+	a.l.Unlock(h)
+}

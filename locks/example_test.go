@@ -1,0 +1,57 @@
+package locks_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/locks"
+)
+
+// MCS queue locks hand out a per-acquisition node; the Locker adapter
+// hides it behind the standard interface.
+func ExampleMCSLock() {
+	var (
+		l       locks.MCSLock
+		wg      sync.WaitGroup
+		counter int
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h := l.Lock()
+				counter++
+				l.Unlock(h)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+	// Output: 8000
+}
+
+// A seqlock publishes consistent multi-word snapshots without ever
+// blocking readers on readers.
+func ExampleSeqWords() {
+	s := locks.NewSeqWords(2)
+	s.Write([]uint64{21, 42}) // invariant: second = 2 × first
+
+	out := make([]uint64, 2)
+	s.Read(out)
+	fmt.Println(out[0], out[1])
+	// Output: 21 42
+}
+
+// The ticket lock is FIFO-fair: waiters acquire in arrival order.
+func ExampleTicketLock() {
+	var l locks.TicketLock
+	l.Lock()
+	fmt.Println(l.TryLock()) // held: TryLock must fail
+	l.Unlock()
+	fmt.Println(l.TryLock()) // free: TryLock succeeds
+	l.Unlock()
+	// Output:
+	// false
+	// true
+}

@@ -1,0 +1,545 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// exerciseMutex drives goroutines incrementing a plain (non-atomic) shared
+// counter under the lock; any mutual-exclusion failure shows up as a lost
+// update (and as a race under -race).
+func exerciseMutex(t *testing.T, lock sync.Locker, workers, iters int) {
+	t.Helper()
+	var (
+		wg      sync.WaitGroup
+		counter int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock.Lock()
+				counter++
+				lock.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := workers * iters; counter != want {
+		t.Fatalf("counter = %d, want %d: mutual exclusion violated", counter, want)
+	}
+}
+
+// stressScale returns worker count and iterations sized for the build:
+// spinning under the race detector is orders of magnitude slower, so the
+// instrumented build uses a configuration that still interleaves heavily
+// but finishes promptly.
+func stressScale() (workers, iters int) {
+	workers = 2 * runtime.GOMAXPROCS(0)
+	iters = 2000
+	if raceEnabled {
+		workers = min(8, runtime.GOMAXPROCS(0)+1)
+		iters = 400
+	}
+	return workers, iters
+}
+
+func TestMutualExclusion(t *testing.T) {
+	workers, iters := stressScale()
+
+	mcs := new(MCSLock)
+	clh := new(CLHLock)
+	tests := []struct {
+		name string
+		lock func() sync.Locker
+	}{
+		{name: "TAS", lock: func() sync.Locker { return new(TASLock) }},
+		{name: "TTAS", lock: func() sync.Locker { return new(TTASLock) }},
+		{name: "Backoff", lock: func() sync.Locker { return new(BackoffLock) }},
+		{name: "Ticket", lock: func() sync.Locker { return new(TicketLock) }},
+		{name: "RWSpin", lock: func() sync.Locker { return new(RWSpinLock) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			exerciseMutex(t, tt.lock(), workers, iters)
+		})
+	}
+
+	// Queue locks use handle APIs; exercise them directly rather than via a
+	// shared Locker adapter (one adapter supports one outstanding hold).
+	t.Run("MCS", func(t *testing.T) {
+		var (
+			wg      sync.WaitGroup
+			counter int
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					h := mcs.Lock()
+					counter++
+					mcs.Unlock(h)
+				}
+			}()
+		}
+		wg.Wait()
+		if want := workers * iters; counter != want {
+			t.Fatalf("counter = %d, want %d", counter, want)
+		}
+	})
+	t.Run("CLH", func(t *testing.T) {
+		var (
+			wg      sync.WaitGroup
+			counter int
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					h := clh.Lock()
+					counter++
+					clh.Unlock(h)
+				}
+			}()
+		}
+		wg.Wait()
+		if want := workers * iters; counter != want {
+			t.Fatalf("counter = %d, want %d", counter, want)
+		}
+	})
+}
+
+func TestLockerAdapters(t *testing.T) {
+	t.Run("MCS", func(t *testing.T) {
+		l := new(MCSLock)
+		var wg sync.WaitGroup
+		counter := 0
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				locker := l.Locker() // one adapter per goroutine
+				for i := 0; i < 1000; i++ {
+					locker.Lock()
+					counter++
+					locker.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != 8000 {
+			t.Fatalf("counter = %d, want 8000", counter)
+		}
+	})
+	t.Run("CLH", func(t *testing.T) {
+		l := new(CLHLock)
+		var wg sync.WaitGroup
+		counter := 0
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				locker := l.Locker()
+				for i := 0; i < 1000; i++ {
+					locker.Lock()
+					counter++
+					locker.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != 8000 {
+			t.Fatalf("counter = %d, want 8000", counter)
+		}
+	})
+}
+
+func TestTryLock(t *testing.T) {
+	t.Run("TAS", func(t *testing.T) {
+		l := new(TASLock)
+		if !l.TryLock() {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock()
+		if !l.TryLock() {
+			t.Fatal("TryLock after Unlock failed")
+		}
+		l.Unlock()
+	})
+	t.Run("TTAS", func(t *testing.T) {
+		l := new(TTASLock)
+		if !l.TryLock() {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock()
+	})
+	t.Run("Backoff", func(t *testing.T) {
+		l := new(BackoffLock)
+		if !l.TryLock() {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock()
+	})
+	t.Run("Ticket", func(t *testing.T) {
+		l := new(TicketLock)
+		if !l.TryLock() {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock()
+		if !l.TryLock() {
+			t.Fatal("TryLock after Unlock failed")
+		}
+		l.Unlock()
+	})
+	t.Run("MCS", func(t *testing.T) {
+		l := new(MCSLock)
+		h := l.TryLock()
+		if h == nil {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() != nil {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock(h)
+		h = l.TryLock()
+		if h == nil {
+			t.Fatal("TryLock after Unlock failed")
+		}
+		l.Unlock(h)
+	})
+	t.Run("CLH", func(t *testing.T) {
+		l := new(CLHLock)
+		h, ok := l.TryLock()
+		if !ok {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if _, ok := l.TryLock(); ok {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock(h)
+		if _, ok := l.TryLock(); !ok {
+			t.Fatal("TryLock after Unlock failed")
+		}
+	})
+	t.Run("RWSpin", func(t *testing.T) {
+		l := new(RWSpinLock)
+		if !l.TryLock() {
+			t.Fatal("writer TryLock on free lock failed")
+		}
+		if l.TryRLock() {
+			t.Fatal("reader TryRLock under writer succeeded")
+		}
+		l.Unlock()
+		if !l.TryRLock() {
+			t.Fatal("TryRLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("writer TryLock under reader succeeded")
+		}
+		l.RUnlock()
+	})
+}
+
+func TestPeterson(t *testing.T) {
+	var (
+		l       Peterson
+		wg      sync.WaitGroup
+		counter int
+	)
+	iters := 50000
+	if raceEnabled {
+		iters = 5000
+	}
+	for slot := 0; slot < 2; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock(slot)
+				counter++
+				l.Unlock(slot)
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if counter != 2*iters {
+		t.Fatalf("counter = %d, want %d", counter, 2*iters)
+	}
+}
+
+func TestRWSpinLockReadersShareWritersExclude(t *testing.T) {
+	var l RWSpinLock
+
+	// Multiple concurrent readers must be admitted simultaneously.
+	l.RLock()
+	if !l.TryRLock() {
+		t.Fatal("second concurrent reader rejected")
+	}
+	l.RUnlock()
+	l.RUnlock()
+
+	// Readers block writers; writers block readers (tested via Try variants
+	// above); here verify writer waits for reader drain.
+	l.RLock()
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(acquired)
+		l.Unlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("writer acquired lock while reader held it")
+	default:
+	}
+	l.RUnlock()
+	<-acquired
+}
+
+func TestRWSpinLockStress(t *testing.T) {
+	var (
+		l       RWSpinLock
+		wg      sync.WaitGroup
+		shared  [2]int // writers keep shared[0] == shared[1]
+		readers = runtime.GOMAXPROCS(0)
+	)
+	writes := 20000
+	if raceEnabled {
+		writes = 3000
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.RLock()
+				a, b := shared[0], shared[1]
+				l.RUnlock()
+				if a != b {
+					t.Errorf("reader saw torn write: %d != %d", a, b)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		l.Lock()
+		shared[0]++
+		shared[1]++
+		l.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	if shared[0] != writes || shared[1] != writes {
+		t.Fatalf("writes lost: %v", shared)
+	}
+}
+
+func TestRWSpinLockMisuse(t *testing.T) {
+	t.Run("unlock not held", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Unlock of unheld lock did not panic")
+			}
+		}()
+		var l RWSpinLock
+		l.Unlock()
+	})
+	t.Run("runlock not held", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RUnlock of unheld lock did not panic")
+			}
+		}()
+		var l RWSpinLock
+		l.RUnlock()
+	})
+}
+
+func TestLockerAdapterMisuse(t *testing.T) {
+	t.Run("MCS", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Unlock of unlocked adapter did not panic")
+			}
+		}()
+		new(MCSLock).Locker().Unlock()
+	})
+	t.Run("CLH", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Unlock of unlocked adapter did not panic")
+			}
+		}()
+		new(CLHLock).Locker().Unlock()
+	})
+}
+
+func TestTicketLockFIFO(t *testing.T) {
+	// With the lock held, start waiters one at a time (each guaranteed to
+	// have taken its ticket before the next starts); they must acquire in
+	// arrival order.
+	var l TicketLock
+	l.Lock()
+
+	const n = 8
+	order := make(chan int, n)
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Take the ticket inside Lock; signal only after we are surely
+			// enqueued is impossible without hooking internals, so serialise
+			// goroutine starts instead: ticket acquisition is the first
+			// atomic in Lock, and we give each starter time to reach it.
+			close2 := make(chan struct{})
+			go func() { close(close2) }()
+			<-close2
+			started <- struct{}{}
+			l.Lock()
+			order <- i
+			l.Unlock()
+		}(i)
+		<-started
+		// Give the goroutine time to execute the fetch-and-add in Lock.
+		for j := 0; j < 1000; j++ {
+			runtime.Gosched()
+		}
+	}
+	l.Unlock()
+	wg.Wait()
+	close(order)
+	prev := -1
+	for got := range order {
+		if got != prev+1 {
+			t.Fatalf("acquisition order violated FIFO: got %d after %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	b := NewBackoff(4, 64)
+	if b.cur != 4 {
+		t.Fatalf("initial backoff = %d, want 4", b.cur)
+	}
+	for i := 0; i < 10; i++ {
+		b.Pause()
+	}
+	if b.cur != 64 {
+		t.Fatalf("backoff after pauses = %d, want capped at 64", b.cur)
+	}
+	b.Reset()
+	if b.cur != 4 {
+		t.Fatalf("backoff after reset = %d, want 4", b.cur)
+	}
+}
+
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	b.Pause() // must not panic or divide by zero
+	b.Reset()
+	b.Pause()
+}
+
+func TestSeqlockSequence(t *testing.T) {
+	var s Seqlock
+	seq := s.ReadBegin()
+	if seq%2 != 0 {
+		t.Fatalf("ReadBegin returned odd sequence %d", seq)
+	}
+	if s.ReadRetry(seq) {
+		t.Fatal("ReadRetry with no writer reported retry")
+	}
+	s.WriteLock()
+	if !s.ReadRetry(seq) {
+		t.Fatal("ReadRetry during write did not report retry")
+	}
+	s.WriteUnlock()
+	if !s.ReadRetry(seq) {
+		t.Fatal("ReadRetry after write did not report retry")
+	}
+}
+
+func TestSeqWordsConsistentSnapshots(t *testing.T) {
+	s := NewSeqWords(2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readers := runtime.GOMAXPROCS(0)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]uint64, 2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Read(out)
+				if out[1] != 2*out[0] {
+					t.Errorf("torn read: got (%d, %d), want (x, 2x)", out[0], out[1])
+					return
+				}
+			}
+		}()
+	}
+	writes := uint64(20000)
+	if raceEnabled {
+		writes = 3000
+	}
+	for i := uint64(1); i <= writes; i++ {
+		s.Write([]uint64{i, 2 * i})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSeqWordsConcurrentWriters(t *testing.T) {
+	s := NewSeqWords(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < 5000; i++ {
+				v := uint64(w)*1000000 + i
+				s.Write([]uint64{v, 2 * v})
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := make([]uint64, 2)
+	s.Read(out)
+	if out[1] != 2*out[0] {
+		t.Fatalf("final state torn: %v", out)
+	}
+}

@@ -1,0 +1,129 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// MCSLock is the Mellor-Crummey/Scott queue lock. Arriving threads append a
+// queue node with one atomic swap and then spin on a flag in their own node,
+// so each waiter busy-waits on a private cache line; the releaser hands the
+// lock directly to its successor. This gives FIFO fairness and scalability
+// that stays flat as contention grows — the reference point against which
+// the survey measures all the simpler locks.
+//
+// The API is handle-based: Lock returns the queue node, which must be passed
+// to Unlock. Use Locker for a sync.Locker-shaped adapter. Nodes are pooled;
+// a node is recycled only after Unlock has severed every other thread's path
+// to it, so reuse cannot corrupt the queue.
+//
+// The zero value is an unlocked MCSLock. Progress: blocking, FIFO-fair.
+type MCSLock struct {
+	tail atomic.Pointer[MCSNode]
+	pool sync.Pool
+}
+
+// MCSNode is an MCS queue node: the handle returned by Lock.
+type MCSNode struct {
+	next   atomic.Pointer[MCSNode]
+	locked atomic.Uint32
+	_      pad.CacheLinePad
+}
+
+// Lock acquires the lock and returns the queue-node handle that must be
+// passed to the matching Unlock call.
+func (l *MCSLock) Lock() *MCSNode {
+	n, _ := l.pool.Get().(*MCSNode)
+	if n == nil {
+		n = new(MCSNode)
+	}
+	n.next.Store(nil)
+	n.locked.Store(1)
+
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		// Uncontended: we hold the lock immediately.
+		return n
+	}
+	pred.next.Store(n)
+	spins := 0
+	for n.locked.Load() == 1 {
+		spins++
+		if spins%spinsBeforeYield == 0 {
+			yield()
+		}
+	}
+	return n
+}
+
+// TryLock attempts an uncontended acquisition. On success it returns the
+// handle for Unlock; on failure it returns nil.
+func (l *MCSLock) TryLock() *MCSNode {
+	n, _ := l.pool.Get().(*MCSNode)
+	if n == nil {
+		n = new(MCSNode)
+	}
+	n.next.Store(nil)
+	n.locked.Store(1)
+	if l.tail.CompareAndSwap(nil, n) {
+		return n
+	}
+	l.pool.Put(n)
+	return nil
+}
+
+// Unlock releases the lock acquired with the given handle. It must only be
+// called once, by the holder, with the handle Lock returned.
+func (l *MCSLock) Unlock(n *MCSNode) {
+	next := n.next.Load()
+	if next == nil {
+		// No visible successor. If the tail is still us, the queue empties.
+		if l.tail.CompareAndSwap(n, nil) {
+			l.pool.Put(n)
+			return
+		}
+		// A successor is mid-enqueue: it swapped the tail but has not yet
+		// linked pred.next. Wait for the link to appear.
+		spins := 0
+		for next = n.next.Load(); next == nil; next = n.next.Load() {
+			spins++
+			if spins%spinsBeforeYield == 0 {
+				yield()
+			}
+		}
+	}
+	next.locked.Store(0)
+	// No other thread can reach n anymore: the successor spins on its own
+	// node and the tail has moved past n, so recycling is safe.
+	l.pool.Put(n)
+}
+
+// Locker returns a sync.Locker view of the lock. The adapter stores the
+// in-flight handle inside itself, which is safe because only the lock holder
+// runs between Lock and Unlock, and the release/acquire pair orders the
+// field accesses. Each Locker value supports one outstanding acquisition at
+// a time (like sync.Mutex); independent goroutines may share it.
+func (l *MCSLock) Locker() sync.Locker {
+	return &mcsLocker{l: l}
+}
+
+type mcsLocker struct {
+	l *MCSLock
+	h *MCSNode
+}
+
+func (a *mcsLocker) Lock() {
+	h := a.l.Lock()
+	a.h = h
+}
+
+func (a *mcsLocker) Unlock() {
+	h := a.h
+	if h == nil {
+		panic("locks: Unlock of unlocked MCSLock")
+	}
+	a.h = nil
+	a.l.Unlock(h)
+}

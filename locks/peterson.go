@@ -1,0 +1,40 @@
+package locks
+
+import "sync/atomic"
+
+// Peterson is Peterson's classic two-thread mutual-exclusion algorithm,
+// implemented with sequentially consistent atomics (plain loads/stores are
+// insufficient on modern memory models — the store of victim and the load of
+// the other thread's flag must not be reordered, which is exactly the
+// guarantee Go's atomics provide).
+//
+// It exists because the survey literature builds the theory of mutual
+// exclusion from it; it is not a practical lock. The two participants are
+// identified by slots 0 and 1, and each slot must be used by at most one
+// goroutine at a time.
+//
+// The zero value is an unlocked Peterson lock. Progress: blocking,
+// starvation-free for two threads.
+type Peterson struct {
+	flag   [2]atomic.Uint32
+	victim atomic.Uint32
+}
+
+// Lock acquires the lock for the goroutine occupying the given slot (0 or 1).
+func (l *Peterson) Lock(slot int) {
+	other := 1 - slot
+	l.flag[slot].Store(1)
+	l.victim.Store(uint32(slot))
+	spins := 0
+	for l.flag[other].Load() == 1 && l.victim.Load() == uint32(slot) {
+		spins++
+		if spins%spinsBeforeYield == 0 {
+			yield()
+		}
+	}
+}
+
+// Unlock releases the lock held by the given slot.
+func (l *Peterson) Unlock(slot int) {
+	l.flag[slot].Store(0)
+}

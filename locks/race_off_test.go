@@ -1,0 +1,6 @@
+//go:build !race
+
+package locks
+
+// raceEnabled scales down spin-heavy stress tests under the race detector.
+const raceEnabled = false

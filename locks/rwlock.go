@@ -1,0 +1,102 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var _ sync.Locker = (*RWSpinLock)(nil)
+
+// rwWriterBit marks a held or pending writer in the RWSpinLock state word;
+// the low bits count active readers.
+const rwWriterBit uint32 = 1 << 31
+
+// RWSpinLock is a writer-preference reader–writer spin lock built on a
+// single state word: the top bit records a held or pending writer and the
+// remaining bits count active readers. Writers announce themselves by
+// setting the bit (blocking new readers) and then wait for the reader count
+// to drain; readers increment the count only while no writer is announced.
+//
+// Writer preference matters for the data-structure use cases in this module:
+// under read-heavy workloads a reader-preference lock starves updaters
+// indefinitely.
+//
+// The zero value is an unlocked RWSpinLock. Progress: blocking; writers are
+// favoured over readers, writers among themselves are unfair.
+type RWSpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock in exclusive (writer) mode.
+func (l *RWSpinLock) Lock() {
+	var b Backoff
+	// Phase 1: claim the writer bit, excluding other writers and stopping
+	// new readers from entering.
+	for {
+		s := l.state.Load()
+		if s&rwWriterBit == 0 && l.state.CompareAndSwap(s, s|rwWriterBit) {
+			break
+		}
+		b.Pause()
+	}
+	// Phase 2: wait for in-flight readers to drain.
+	b.Reset()
+	for l.state.Load() != rwWriterBit {
+		b.Pause()
+	}
+}
+
+// TryLock attempts to acquire the lock in writer mode without waiting. It
+// succeeds only when there are no readers and no writer.
+func (l *RWSpinLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, rwWriterBit)
+}
+
+// Unlock releases a writer acquisition.
+func (l *RWSpinLock) Unlock() {
+	for {
+		s := l.state.Load()
+		if s&rwWriterBit == 0 {
+			panic("locks: Unlock of RWSpinLock not held in writer mode")
+		}
+		if l.state.CompareAndSwap(s, s&^rwWriterBit) {
+			return
+		}
+	}
+}
+
+// RLock acquires the lock in shared (reader) mode.
+func (l *RWSpinLock) RLock() {
+	var b Backoff
+	for {
+		s := l.state.Load()
+		if s&rwWriterBit == 0 && l.state.CompareAndSwap(s, s+1) {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// TryRLock attempts to acquire the lock in reader mode without waiting.
+func (l *RWSpinLock) TryRLock() bool {
+	s := l.state.Load()
+	return s&rwWriterBit == 0 && l.state.CompareAndSwap(s, s+1)
+}
+
+// RUnlock releases a reader acquisition.
+func (l *RWSpinLock) RUnlock() {
+	s := l.state.Add(^uint32(0)) // decrement
+	if s&^rwWriterBit == ^uint32(0)&^rwWriterBit {
+		panic("locks: RUnlock of RWSpinLock not held in reader mode")
+	}
+}
+
+// RLocker returns a sync.Locker whose Lock/Unlock map to RLock/RUnlock.
+func (l *RWSpinLock) RLocker() sync.Locker {
+	return rlocker{l}
+}
+
+type rlocker struct{ l *RWSpinLock }
+
+func (r rlocker) Lock()   { r.l.RLock() }
+func (r rlocker) Unlock() { r.l.RUnlock() }

@@ -1,0 +1,107 @@
+package locks
+
+import "sync/atomic"
+
+// Seqlock is a sequence lock: an optimistic reader–writer protocol where
+// readers never write shared state. The writer increments a sequence number
+// to odd before mutating and back to even after; readers snapshot the
+// sequence, read the protected data, and retry if the sequence was odd or
+// changed. Reads are wait-free when no writer is active and impose zero
+// coherence traffic on other readers, which is why seqlocks protect hot
+// read-mostly metadata (the Linux kernel's time-keeping is the canonical
+// user).
+//
+// The protected data must be read with atomic word operations (see SeqWords)
+// because readers may observe a torn write mid-update — the sequence check
+// detects and discards such reads, but the loads themselves must be
+// well-defined. Writers must be serialised externally or via WriteLock's
+// built-in spin.
+//
+// The zero value is ready to use. Progress: readers are obstruction-free
+// (they starve only if writers keep writing); writers block each other.
+type Seqlock struct {
+	seq atomic.Uint64
+}
+
+// WriteLock enters the writer critical section, spinning while another
+// writer is active. On return the sequence is odd and readers will retry.
+func (s *Seqlock) WriteLock() {
+	var b Backoff
+	for {
+		seq := s.seq.Load()
+		if seq&1 == 0 && s.seq.CompareAndSwap(seq, seq+1) {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// WriteUnlock leaves the writer critical section, making the sequence even
+// again. It must only be called by the current writer.
+func (s *Seqlock) WriteUnlock() {
+	s.seq.Add(1)
+}
+
+// ReadBegin returns a snapshot of the sequence to validate with ReadRetry,
+// waiting out any in-progress write first.
+func (s *Seqlock) ReadBegin() uint64 {
+	spins := 0
+	for {
+		seq := s.seq.Load()
+		if seq&1 == 0 {
+			return seq
+		}
+		spins++
+		if spins%spinsBeforeYield == 0 {
+			yield()
+		}
+	}
+}
+
+// ReadRetry reports whether a read section that started at the given
+// sequence must be retried because a writer intervened.
+func (s *Seqlock) ReadRetry(seq uint64) bool {
+	return s.seq.Load() != seq
+}
+
+// SeqWords couples a Seqlock with a fixed-size array of 64-bit words,
+// providing consistent multi-word snapshots with wait-free-in-the-absence-
+// of-writers reads. It is the building block for seqlock-protected records:
+// encode the record into words, Write it, and Read always observes a
+// consistent version.
+type SeqWords struct {
+	lock  Seqlock
+	words []atomic.Uint64
+}
+
+// NewSeqWords returns a SeqWords protecting n 64-bit words, all zero.
+func NewSeqWords(n int) *SeqWords {
+	return &SeqWords{words: make([]atomic.Uint64, n)}
+}
+
+// Len returns the number of protected words.
+func (s *SeqWords) Len() int { return len(s.words) }
+
+// Write stores vals as one atomic snapshot. len(vals) must equal Len.
+// Concurrent writers are serialised by the embedded Seqlock.
+func (s *SeqWords) Write(vals []uint64) {
+	s.lock.WriteLock()
+	for i, v := range vals {
+		s.words[i].Store(v)
+	}
+	s.lock.WriteUnlock()
+}
+
+// Read copies a consistent snapshot into out. len(out) must equal Len.
+// It retries until it observes a version no writer disturbed.
+func (s *SeqWords) Read(out []uint64) {
+	for {
+		seq := s.lock.ReadBegin()
+		for i := range out {
+			out[i] = s.words[i].Load()
+		}
+		if !s.lock.ReadRetry(seq) {
+			return
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ sync.Locker = (*TASLock)(nil)
+	_ sync.Locker = (*TTASLock)(nil)
+	_ sync.Locker = (*BackoffLock)(nil)
+)
+
+// TASLock is the test-and-set spin lock: acquisition loops on an atomic
+// swap. Every spin iteration is a write, so under contention the lock word
+// ping-pongs between caches and throughput collapses — this is the textbook
+// worst case that experiment F1 demonstrates.
+//
+// The zero value is an unlocked TASLock. Progress: blocking, unfair.
+type TASLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning until it succeeds.
+func (l *TASLock) Lock() {
+	spins := 0
+	for l.state.Swap(1) == 1 {
+		// Unconditional swap is the defining (mis)feature of TAS; yield
+		// periodically so a descheduled holder can run.
+		spins++
+		if spins%spinsBeforeYield == 0 {
+			yield()
+		}
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning and reports whether
+// it succeeded.
+func (l *TASLock) TryLock() bool {
+	return l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. It must only be called by the current holder.
+func (l *TASLock) Unlock() {
+	l.state.Store(0)
+}
+
+// TTASLock is the test-and-test-and-set lock: it spins on a plain read of
+// the lock word and attempts the atomic swap only when the lock appears
+// free. Spinning reads hit the local cache, eliminating the coherence storm
+// of TASLock while the lock is held; the remaining weakness is the stampede
+// of swaps at each release.
+//
+// The zero value is an unlocked TTASLock. Progress: blocking, unfair.
+type TTASLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning until it succeeds.
+func (l *TTASLock) Lock() {
+	for {
+		// Test phase: spin locally while the lock is held.
+		spins := 0
+		for l.state.Load() == 1 {
+			spins++
+			if spins%spinsBeforeYield == 0 {
+				yield()
+			}
+		}
+		// Set phase: race to grab it.
+		if l.state.Swap(1) == 0 {
+			return
+		}
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning and reports whether
+// it succeeded.
+func (l *TTASLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. It must only be called by the current holder.
+func (l *TTASLock) Unlock() {
+	l.state.Store(0)
+}
+
+// BackoffLock is TTAS with randomized exponential backoff: after a failed
+// attempt each contender waits a randomized, geometrically growing duration
+// before retrying. Backoff spreads the release-time stampede over time,
+// which the literature shows recovers most of the lost scalability of
+// TAS-style locks without any queueing.
+//
+// The zero value is an unlocked BackoffLock. Progress: blocking, unfair
+// (backoff actively favours recently-arrived threads).
+type BackoffLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning with exponential backoff until it
+// succeeds.
+func (l *BackoffLock) Lock() {
+	var b Backoff
+	for {
+		spins := 0
+		for l.state.Load() == 1 {
+			spins++
+			if spins%spinsBeforeYield == 0 {
+				yield()
+			}
+		}
+		if l.state.Swap(1) == 0 {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning and reports whether
+// it succeeded.
+func (l *BackoffLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. It must only be called by the current holder.
+func (l *BackoffLock) Unlock() {
+	l.state.Store(0)
+}
+
+func yield() {
+	// Centralised so every spin loop in the package escalates identically.
+	gosched()
+}

@@ -1,0 +1,107 @@
+// Package pqueue implements concurrent priority queues: a mutex-guarded
+// binary heap baseline and the lock-free skip-list-based priority queue in
+// the style of Lotan & Shavit.
+//
+// Priority queues stress a structural hot spot no hash or balance trick can
+// remove: every DeleteMin fights over the minimum. The heap serialises
+// completely (every operation locks the root); the skip-list design spreads
+// inserts across the ordering and lets DeleteMin contenders claim distinct
+// minimal nodes by racing logical-deletion marks down the bottom level.
+// Experiment F8 regenerates the comparison.
+package pqueue
+
+import (
+	"sync"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.PriorityQueue[int] = (*Heap[int])(nil)
+	_ cds.PriorityQueue[int] = (*SkipList[int])(nil)
+)
+
+// Heap is a coarse-locked binary min-heap. less defines the priority
+// order: less(a, b) means a has higher priority (comes out first).
+//
+// Progress: blocking.
+type Heap[T any] struct {
+	mu    sync.Mutex
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Insert adds v.
+func (h *Heap[T]) Insert(v T) {
+	h.mu.Lock()
+	h.items = append(h.items, v)
+	h.siftUp(len(h.items) - 1)
+	h.mu.Unlock()
+}
+
+// TryDeleteMin removes and returns the minimum element; ok is false if the
+// heap was empty.
+func (h *Heap[T]) TryDeleteMin() (v T, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.items)
+	if n == 0 {
+		return v, false
+	}
+	v = h.items[0]
+	h.items[0] = h.items[n-1]
+	var zero T
+	h.items[n-1] = zero
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.siftDown(0)
+	}
+	return v, true
+}
+
+// Len reports the number of elements.
+func (h *Heap[T]) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.items)
+}
+
+// siftUp restores the heap property from index i toward the root.
+// Caller holds h.mu.
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property from index i toward the leaves.
+// Caller holds h.mu.
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

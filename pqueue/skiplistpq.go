@@ -1,0 +1,207 @@
+package pqueue
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// pqMaxLevel bounds tower height for the priority-queue skip list.
+const pqMaxLevel = 32
+
+// SkipList is a lock-free priority queue in the style of Lotan & Shavit
+// ("Skiplist-Based Concurrent Priority Queues", IPDPS 2000), built on a
+// Herlihy–Shavit lock-free skip list. Inserts place items by (priority,
+// sequence) — the sequence number makes every key unique, so duplicate
+// priorities are legal and FIFO among themselves. TryDeleteMin walks the
+// bottom level from the head and races to claim the first unclaimed node by
+// marking it; contenders that lose move on to the next node, so concurrent
+// DeleteMins spread across the minimal run instead of all fighting for one
+// CAS.
+//
+// Weakened semantics (as in the literature): TryDeleteMin is linearizable
+// with respect to Insert, but two concurrent TryDeleteMins may return
+// values out of priority order with respect to each other — the classic
+// relaxation that buys scalability.
+//
+// Progress: lock-free.
+type SkipList[P cmp.Ordered] struct {
+	head   *pqNode[P]
+	seq    atomic.Uint64
+	size   atomic.Int64
+	levels sync.Pool
+}
+
+type pqNode[P cmp.Ordered] struct {
+	prio     P
+	seq      uint64 // tiebreaker: unique per node, FIFO among equal prio
+	isHead   bool
+	topLevel int
+	next     [pqMaxLevel]atomic.Pointer[pqRef[P]]
+}
+
+// pqRef is an immutable (successor, mark) pair for one level.
+type pqRef[P cmp.Ordered] struct {
+	next   *pqNode[P]
+	marked bool
+}
+
+// before reports whether node a orders strictly before key (prio, seq).
+func (n *pqNode[P]) before(prio P, seq uint64) bool {
+	if n.prio != prio {
+		return n.prio < prio
+	}
+	return n.seq < seq
+}
+
+// NewSkipList returns an empty lock-free skip-list priority queue.
+func NewSkipList[P cmp.Ordered]() *SkipList[P] {
+	h := &pqNode[P]{isHead: true, topLevel: pqMaxLevel - 1}
+	for i := 0; i < pqMaxLevel; i++ {
+		h.next[i].Store(&pqRef[P]{})
+	}
+	s := &SkipList[P]{head: h}
+	var seed atomic.Uint64
+	s.levels.New = func() any {
+		return xrand.New(seed.Add(0x9e3779b97f4a7c15))
+	}
+	return s
+}
+
+func (s *SkipList[P]) randomLevel() int {
+	rng := s.levels.Get().(*xrand.Rand)
+	v := rng.Uint64()
+	s.levels.Put(rng)
+	h := 1
+	for v&1 == 1 && h < pqMaxLevel {
+		h++
+		v >>= 1
+	}
+	return h - 1 // topLevel index
+}
+
+// find locates per-level windows for key (prio, seq), snipping marked nodes
+// (helping). Mirrors skiplist.LockFree.find, including the marked-pred
+// restart that keeps half-removed nodes from being resurrected.
+func (s *SkipList[P]) find(prio P, seq uint64, preds *[pqMaxLevel]*pqNode[P], predRefs *[pqMaxLevel]*pqRef[P], succs *[pqMaxLevel]*pqNode[P]) {
+retry:
+	for {
+		pred := s.head
+		for level := pqMaxLevel - 1; level >= 0; level-- {
+			predRef := pred.next[level].Load()
+			if predRef.marked {
+				continue retry
+			}
+			curr := predRef.next
+			for curr != nil {
+				currRef := curr.next[level].Load()
+				if currRef.marked {
+					newRef := &pqRef[P]{next: currRef.next}
+					if !pred.next[level].CompareAndSwap(predRef, newRef) {
+						continue retry
+					}
+					predRef = newRef
+					curr = newRef.next
+					continue
+				}
+				if curr.before(prio, seq) {
+					pred, predRef, curr = curr, currRef, currRef.next
+					continue
+				}
+				break
+			}
+			preds[level] = pred
+			predRefs[level] = predRef
+			succs[level] = curr
+		}
+		return
+	}
+}
+
+// Insert adds v. Duplicate priorities are fine; among equals, earlier
+// inserts are dequeued first.
+func (s *SkipList[P]) Insert(v P) {
+	seq := s.seq.Add(1)
+	topLevel := s.randomLevel()
+	var preds, succs [pqMaxLevel]*pqNode[P]
+	var predRefs [pqMaxLevel]*pqRef[P]
+	for {
+		s.find(v, seq, &preds, &predRefs, &succs)
+		n := &pqNode[P]{prio: v, seq: seq, topLevel: topLevel}
+		for level := 0; level <= topLevel; level++ {
+			n.next[level].Store(&pqRef[P]{next: succs[level]})
+		}
+		if !preds[0].next[0].CompareAndSwap(predRefs[0], &pqRef[P]{next: n}) {
+			continue
+		}
+		s.size.Add(1)
+
+		for level := 1; level <= topLevel; level++ {
+			for {
+				nRef := n.next[level].Load()
+				if nRef.marked {
+					return // already being deleted; stop linking
+				}
+				succ := succs[level]
+				if nRef.next != succ {
+					if !n.next[level].CompareAndSwap(nRef, &pqRef[P]{next: succ}) {
+						continue
+					}
+				}
+				if preds[level].next[level].CompareAndSwap(predRefs[level], &pqRef[P]{next: n}) {
+					break
+				}
+				s.find(v, seq, &preds, &predRefs, &succs)
+				if succs[0] != n {
+					return // unlinked meanwhile; stop
+				}
+			}
+		}
+		return
+	}
+}
+
+// TryDeleteMin removes and returns a minimal element; ok is false if the
+// queue was observed empty. See the type comment for the relaxed ordering
+// between concurrent calls.
+func (s *SkipList[P]) TryDeleteMin() (v P, ok bool) {
+	for {
+		curr := s.head.next[0].Load().next
+		for curr != nil {
+			ref := curr.next[0].Load()
+			if ref.marked {
+				curr = ref.next // already claimed; try the next node
+				continue
+			}
+			// Claim curr by marking its bottom level.
+			if curr.next[0].CompareAndSwap(ref, &pqRef[P]{next: ref.next, marked: true}) {
+				s.size.Add(-1)
+				// Mark the upper levels and physically clean up.
+				for level := curr.topLevel; level >= 1; level-- {
+					r := curr.next[level].Load()
+					for !r.marked {
+						curr.next[level].CompareAndSwap(r, &pqRef[P]{next: r.next, marked: true})
+						r = curr.next[level].Load()
+					}
+				}
+				var preds [pqMaxLevel]*pqNode[P]
+				var predRefs [pqMaxLevel]*pqRef[P]
+				var succs [pqMaxLevel]*pqNode[P]
+				s.find(curr.prio, curr.seq, &preds, &predRefs, &succs)
+				return curr.prio, true
+			}
+			// Lost the claim race (or curr's successor changed): reload.
+		}
+		if curr == nil {
+			return v, false
+		}
+	}
+}
+
+// Len reports the number of elements (atomic counter; exact in quiescent
+// states).
+func (s *SkipList[P]) Len() int {
+	return int(s.size.Load())
+}

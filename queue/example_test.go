@@ -1,0 +1,73 @@
+package queue_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/queue"
+)
+
+// The Michael–Scott queue is the standard unbounded lock-free MPMC FIFO.
+func ExampleMS() {
+	q := queue.NewMS[int]()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q.Enqueue(i)
+		}(i)
+	}
+	wg.Wait()
+
+	sum := 0
+	for {
+		v, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		sum += v
+	}
+	fmt.Println("sum:", sum)
+	// Output: sum: 6
+}
+
+// The bounded MPMC ring rejects enqueues once full — backpressure without
+// blocking.
+func ExampleMPMC() {
+	q := queue.NewMPMC[string](2)
+	fmt.Println(q.TryEnqueue("a"))
+	fmt.Println(q.TryEnqueue("b"))
+	fmt.Println(q.TryEnqueue("c")) // full
+	v, _ := q.TryDequeue()
+	fmt.Println(v)
+	// Output:
+	// true
+	// true
+	// false
+	// a
+}
+
+// The SPSC ring serves exactly one producer and one consumer with
+// wait-free operations — the cheapest possible handoff.
+func ExampleSPSC() {
+	q := queue.NewSPSC[int](8)
+	done := make(chan int)
+	go func() { // the single consumer
+		total := 0
+		for received := 0; received < 3; {
+			if v, ok := q.TryDequeue(); ok {
+				total += v
+				received++
+			}
+		}
+		done <- total
+	}()
+	for _, v := range []int{10, 20, 30} { // the single producer
+		for !q.TryEnqueue(v) {
+		}
+	}
+	fmt.Println(<-done)
+	// Output: 60
+}

@@ -1,0 +1,134 @@
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// MPMC is a bounded multi-producer/multi-consumer queue over a circular
+// array, in the style popularised by Dmitry Vyukov. Each slot carries a
+// sequence number: producers claim a ticket from the enqueue cursor with
+// fetch-and-add-like CAS and wait for their slot's sequence to say "free",
+// consumers do the symmetric dance on the dequeue cursor. Compared with the
+// linked queues, all data lives in one flat array (no allocation per
+// element, dense cache behaviour) at the cost of a fixed capacity.
+//
+// Linearization points: TryEnqueue at the successful enqueue-cursor CAS;
+// TryDequeue at the successful dequeue-cursor CAS; full/empty returns at
+// the slot-sequence load that observed the condition.
+//
+// Progress: not strictly lock-free — a producer that claims a slot and
+// stalls before publishing delays the consumer of that slot — but every
+// cursor operation is bounded and the design is the standard "practically
+// non-blocking" bounded queue used in high-performance systems.
+type MPMC[T any] struct {
+	buf     []mpmcSlot[T]
+	mask    uint64
+	_       pad.CacheLinePad
+	enqueue atomic.Uint64
+	_       pad.CacheLinePad
+	dequeue atomic.Uint64
+	_       pad.CacheLinePad
+}
+
+type mpmcSlot[T any] struct {
+	sequence atomic.Uint64
+	value    T
+	_        pad.CacheLinePad
+}
+
+// NewMPMC returns an empty bounded queue with the given capacity, rounded
+// up to a power of two (minimum 2).
+func NewMPMC[T any](capacity int) *MPMC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &MPMC[T]{
+		buf:  make([]mpmcSlot[T], n),
+		mask: uint64(n - 1),
+	}
+	for i := range q.buf {
+		q.buf[i].sequence.Store(uint64(i))
+	}
+	return q
+}
+
+// TryEnqueue adds v at the tail; it reports false if the queue was full.
+func (q *MPMC[T]) TryEnqueue(v T) bool {
+	for {
+		pos := q.enqueue.Load()
+		slot := &q.buf[pos&q.mask]
+		seq := slot.sequence.Load()
+		switch {
+		case seq == pos:
+			// Slot free for this lap: claim the ticket.
+			if q.enqueue.CompareAndSwap(pos, pos+1) {
+				slot.value = v
+				slot.sequence.Store(pos + 1) // publish to consumers
+				return true
+			}
+		case seq < pos:
+			// Slot still occupied by the previous lap: queue is full.
+			return false
+		default:
+			// Another producer advanced the cursor; reload and retry.
+		}
+	}
+}
+
+// TryDequeue removes and returns the head element; ok is false if the
+// queue was empty.
+func (q *MPMC[T]) TryDequeue() (v T, ok bool) {
+	for {
+		pos := q.dequeue.Load()
+		slot := &q.buf[pos&q.mask]
+		seq := slot.sequence.Load()
+		switch {
+		case seq == pos+1:
+			// Slot published for this lap: claim it.
+			if q.dequeue.CompareAndSwap(pos, pos+1) {
+				v = slot.value
+				var zero T
+				slot.value = zero // release reference for the GC
+				// Free the slot for the producers' next lap.
+				slot.sequence.Store(pos + q.mask + 1)
+				return v, true
+			}
+		case seq < pos+1:
+			return v, false // nothing published yet: empty
+		default:
+			// Another consumer advanced the cursor; reload and retry.
+		}
+	}
+}
+
+// Cap reports the fixed capacity.
+func (q *MPMC[T]) Cap() int { return len(q.buf) }
+
+// Len reports the difference of the cursors: the number of claimed-and-not-
+// yet-consumed slots. Exact in quiescent states.
+func (q *MPMC[T]) Len() int {
+	// Order matters: loading dequeue first can otherwise yield negative
+	// values when producers race ahead between the two loads.
+	deq := q.dequeue.Load()
+	enq := q.enqueue.Load()
+	if enq < deq {
+		return 0
+	}
+	n := int(enq - deq)
+	if n > len(q.buf) {
+		n = len(q.buf)
+	}
+	return n
+}
+
+// String describes the queue state for debugging.
+func (q *MPMC[T]) String() string {
+	return fmt.Sprintf("MPMC(cap=%d len=%d)", q.Cap(), q.Len())
+}

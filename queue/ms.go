@@ -1,0 +1,106 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/locks"
+)
+
+// MS is the Michael & Scott lock-free queue (PODC 1996), the algorithm
+// behind java.util.concurrent's ConcurrentLinkedQueue: a linked list with a
+// dummy node where enqueue CASes the tail node's next pointer and then
+// swings the tail, and dequeue CASes the head forward. The tail is allowed
+// to lag by one node; every operation helps complete a stalled enqueue it
+// observes (the "helping" technique that makes the algorithm lock-free
+// rather than merely non-blocking in the common case).
+//
+// Linearization points: Enqueue at its successful next-pointer CAS;
+// TryDequeue at its successful head CAS; empty TryDequeue at the load of
+// head.next == nil while head == tail.
+//
+// ABA safety: nodes are never recycled (see Treiber stack note); the GC
+// guarantees a pointer compares equal only to the same allocation.
+//
+// The zero value is NOT usable; construct with NewMS. Progress: lock-free.
+type MS[T any] struct {
+	head atomic.Pointer[msNode[T]]
+	tail atomic.Pointer[msNode[T]]
+}
+
+type msNode[T any] struct {
+	value T
+	next  atomic.Pointer[msNode[T]]
+}
+
+// NewMS returns an empty Michael–Scott queue.
+func NewMS[T any]() *MS[T] {
+	q := &MS[T]{}
+	dummy := &msNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue adds v at the tail.
+func (q *MS[T]) Enqueue(v T) {
+	n := &msNode[T]{value: v}
+	var b locks.Backoff
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; re-read
+		}
+		if next != nil {
+			// Tail is lagging: help swing it, then retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			// Linearized. Swinging the tail may fail if someone helped.
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+		b.Pause()
+	}
+}
+
+// TryDequeue removes and returns the head element; ok is false if the queue
+// was observed empty.
+func (q *MS[T]) TryDequeue() (v T, ok bool) {
+	var b locks.Backoff
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return v, false // empty
+			}
+			// Tail lagging behind a completed enqueue: help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		// Read the value before the CAS; if the CAS fails the value is
+		// simply discarded. Values are written once, before publication,
+		// so this read can never be torn.
+		val := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return val, true
+		}
+		b.Pause()
+	}
+}
+
+// Len counts elements by traversing from the head. The count is exact only
+// in quiescent states; under concurrency it is best-effort.
+func (q *MS[T]) Len() int {
+	n := 0
+	for node := q.head.Load().next.Load(); node != nil; node = node.next.Load() {
+		n++
+	}
+	return n
+}

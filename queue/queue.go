@@ -1,0 +1,91 @@
+// Package queue implements the concurrent FIFO queue algorithms from the
+// survey literature: a coarse-locked queue, the Michael–Scott two-lock
+// queue, the Michael–Scott lock-free queue, a bounded array-based MPMC
+// queue (Vyukov-style), and a single-producer/single-consumer ring.
+//
+// Queues are the survey's canonical illustration that a structure with two
+// access points (head and tail) admits more parallelism than a stack: the
+// two-lock queue lets one enqueuer and one dequeuer run concurrently, and
+// the lock-free queue removes the locks entirely. The bounded ring trades
+// unbounded growth for per-slot sequence numbers and the throughput of
+// array locality. Experiment F4 regenerates the classic comparison.
+package queue
+
+import (
+	"sync"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Queue[int]        = (*Mutex[int])(nil)
+	_ cds.Queue[int]        = (*TwoLock[int])(nil)
+	_ cds.Queue[int]        = (*MS[int])(nil)
+	_ cds.BoundedQueue[int] = (*MPMC[int])(nil)
+	_ cds.BoundedQueue[int] = (*SPSC[int])(nil)
+)
+
+// Mutex is the coarse-locked baseline queue: a growable ring buffer guarded
+// by one sync.Mutex. Enqueuers and dequeuers serialise on the same lock.
+//
+// The zero value is an empty queue. Progress: blocking.
+type Mutex[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	head  int
+	count int
+}
+
+// NewMutex returns an empty coarse-locked queue.
+func NewMutex[T any]() *Mutex[T] {
+	return &Mutex[T]{}
+}
+
+// Enqueue adds v at the tail.
+func (q *Mutex[T]) Enqueue(v T) {
+	q.mu.Lock()
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	q.mu.Unlock()
+}
+
+// TryDequeue removes and returns the head element; ok is false if the queue
+// was empty.
+func (q *Mutex[T]) TryDequeue() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release reference for the GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v, true
+}
+
+// Len reports the number of elements.
+func (q *Mutex[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// grow doubles the ring capacity. Caller holds q.mu.
+func (q *Mutex[T]) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -1,0 +1,420 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	cds "github.com/cds-suite/cds"
+)
+
+func unboundedImpls() map[string]func() cds.Queue[int] {
+	return map[string]func() cds.Queue[int]{
+		"Mutex":   func() cds.Queue[int] { return NewMutex[int]() },
+		"TwoLock": func() cds.Queue[int] { return NewTwoLock[int]() },
+		"MS":      func() cds.Queue[int] { return NewMS[int]() },
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	for name, mk := range unboundedImpls() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if _, ok := q.TryDequeue(); ok {
+				t.Fatal("TryDequeue on empty queue reported ok")
+			}
+			for i := 0; i < 100; i++ {
+				q.Enqueue(i)
+			}
+			if got := q.Len(); got != 100 {
+				t.Fatalf("Len = %d, want 100", got)
+			}
+			for i := 0; i < 100; i++ {
+				v, ok := q.TryDequeue()
+				if !ok || v != i {
+					t.Fatalf("TryDequeue = (%d, %v), want (%d, true)", v, ok, i)
+				}
+			}
+			if _, ok := q.TryDequeue(); ok {
+				t.Fatal("TryDequeue on drained queue reported ok")
+			}
+			if got := q.Len(); got != 0 {
+				t.Fatalf("Len after drain = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestSequentialFIFOBounded(t *testing.T) {
+	for name, q := range map[string]cds.BoundedQueue[int]{
+		"MPMC": NewMPMC[int](16),
+		"SPSC": NewSPSC[int](16),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if q.Cap() != 16 {
+				t.Fatalf("Cap = %d, want 16", q.Cap())
+			}
+			if _, ok := q.TryDequeue(); ok {
+				t.Fatal("TryDequeue on empty queue reported ok")
+			}
+			for i := 0; i < 16; i++ {
+				if !q.TryEnqueue(i) {
+					t.Fatalf("TryEnqueue(%d) failed below capacity", i)
+				}
+			}
+			if q.TryEnqueue(99) {
+				t.Fatal("TryEnqueue succeeded on full queue")
+			}
+			if got := q.Len(); got != 16 {
+				t.Fatalf("Len = %d, want 16", got)
+			}
+			for i := 0; i < 16; i++ {
+				v, ok := q.TryDequeue()
+				if !ok || v != i {
+					t.Fatalf("TryDequeue = (%d, %v), want (%d, true)", v, ok, i)
+				}
+			}
+			if _, ok := q.TryDequeue(); ok {
+				t.Fatal("TryDequeue on drained queue reported ok")
+			}
+		})
+	}
+}
+
+func TestBoundedWraparound(t *testing.T) {
+	// Many laps around a small ring exercise sequence-number reuse.
+	for name, q := range map[string]cds.BoundedQueue[int]{
+		"MPMC": NewMPMC[int](4),
+		"SPSC": NewSPSC[int](4),
+	} {
+		t.Run(name, func(t *testing.T) {
+			next := 0
+			for lap := 0; lap < 1000; lap++ {
+				for i := 0; i < 3; i++ {
+					if !q.TryEnqueue(lap*3 + i) {
+						t.Fatalf("lap %d: enqueue failed", lap)
+					}
+				}
+				for i := 0; i < 3; i++ {
+					v, ok := q.TryDequeue()
+					if !ok || v != next {
+						t.Fatalf("lap %d: dequeue = (%d, %v), want (%d, true)", lap, v, ok, next)
+					}
+					next++
+				}
+			}
+		})
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for give, want := range map[int]int{0: 2, 1: 2, 2: 2, 3: 4, 5: 8, 8: 8, 1000: 1024} {
+		if got := NewMPMC[int](give).Cap(); got != want {
+			t.Errorf("NewMPMC(%d).Cap() = %d, want %d", give, got, want)
+		}
+		if got := NewSPSC[int](give).Cap(); got != want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", give, got, want)
+		}
+	}
+}
+
+func TestPropertyMatchesModelQueue(t *testing.T) {
+	for name, mk := range unboundedImpls() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []int16) bool {
+				q := mk()
+				var model []int16
+				for _, op := range ops {
+					if op >= 0 {
+						q.Enqueue(int(op))
+						model = append(model, op)
+					} else {
+						v, ok := q.TryDequeue()
+						if len(model) == 0 {
+							if ok {
+								return false
+							}
+							continue
+						}
+						want := model[0]
+						model = model[1:]
+						if !ok || v != int(want) {
+							return false
+						}
+					}
+				}
+				return q.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentConservationQueue checks exactly-once delivery across
+// concurrent producers and consumers for the MPMC-capable queues.
+func TestConcurrentConservationQueue(t *testing.T) {
+	type testCase struct {
+		enqueue func(int)
+		dequeue func() (int, bool)
+	}
+	producers := runtime.GOMAXPROCS(0)
+	consumers := runtime.GOMAXPROCS(0)
+	const perProducer = 20000
+	total := producers * perProducer
+
+	mpmc := NewMPMC[int](1024)
+	cases := map[string]testCase{
+		"Mutex": func() testCase {
+			q := NewMutex[int]()
+			return testCase{q.Enqueue, q.TryDequeue}
+		}(),
+		"TwoLock": func() testCase {
+			q := NewTwoLock[int]()
+			return testCase{q.Enqueue, q.TryDequeue}
+		}(),
+		"MS": func() testCase {
+			q := NewMS[int]()
+			return testCase{q.Enqueue, q.TryDequeue}
+		}(),
+		"MPMC": {
+			enqueue: func(v int) {
+				for !mpmc.TryEnqueue(v) {
+					runtime.Gosched()
+				}
+			},
+			dequeue: mpmc.TryDequeue,
+		},
+	}
+
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					base := p * perProducer
+					for i := 0; i < perProducer; i++ {
+						tc.enqueue(base + i)
+					}
+				}(p)
+			}
+
+			var consumed atomic.Int64
+			results := make(chan int, total)
+			var cwg sync.WaitGroup
+			for c := 0; c < consumers; c++ {
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					for consumed.Load() < int64(total) {
+						if v, ok := tc.dequeue(); ok {
+							consumed.Add(1)
+							results <- v
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			cwg.Wait()
+			close(results)
+
+			seen := make([]bool, total)
+			n := 0
+			for v := range results {
+				if v < 0 || v >= total {
+					t.Fatalf("dequeued out-of-range value %d", v)
+				}
+				if seen[v] {
+					t.Fatalf("value %d dequeued twice", v)
+				}
+				seen[v] = true
+				n++
+			}
+			if n != total {
+				t.Fatalf("dequeued %d values, want %d", n, total)
+			}
+		})
+	}
+}
+
+// TestPerProducerOrder: FIFO queues must preserve each producer's program
+// order even under MPMC concurrency.
+func TestPerProducerOrder(t *testing.T) {
+	producers := 4
+	const perProducer = 30000
+	mpmc := NewMPMC[int](512)
+
+	cases := map[string]struct {
+		enqueue func(int)
+		dequeue func() (int, bool)
+	}{
+		"TwoLock": func() struct {
+			enqueue func(int)
+			dequeue func() (int, bool)
+		} {
+			q := NewTwoLock[int]()
+			return struct {
+				enqueue func(int)
+				dequeue func() (int, bool)
+			}{q.Enqueue, q.TryDequeue}
+		}(),
+		"MS": func() struct {
+			enqueue func(int)
+			dequeue func() (int, bool)
+		} {
+			q := NewMS[int]()
+			return struct {
+				enqueue func(int)
+				dequeue func() (int, bool)
+			}{q.Enqueue, q.TryDequeue}
+		}(),
+		"MPMC": {
+			enqueue: func(v int) {
+				for !mpmc.TryEnqueue(v) {
+					runtime.Gosched()
+				}
+			},
+			dequeue: mpmc.TryDequeue,
+		},
+	}
+
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						tc.enqueue(p*perProducer + i) // value encodes (producer, seq)
+					}
+				}(p)
+			}
+
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+
+			lastSeq := make([]int, producers)
+			for i := range lastSeq {
+				lastSeq[i] = -1
+			}
+			got := 0
+			for got < producers*perProducer {
+				v, ok := tc.dequeue()
+				if !ok {
+					select {
+					case <-done:
+						// Producers finished; drain what remains.
+						if v, ok = tc.dequeue(); !ok {
+							t.Fatalf("queue empty after %d/%d values", got, producers*perProducer)
+						}
+					default:
+						continue
+					}
+				}
+				p, seq := v/perProducer, v%perProducer
+				if seq <= lastSeq[p] {
+					t.Fatalf("producer %d order violated: seq %d after %d", p, seq, lastSeq[p])
+				}
+				lastSeq[p] = seq
+				got++
+			}
+		})
+	}
+}
+
+// TestSPSCConcurrent runs the ring at full tilt with one producer and one
+// consumer and verifies the exact sequence comes out.
+func TestSPSCConcurrent(t *testing.T) {
+	q := NewSPSC[int](64)
+	const total = 1 << 20
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			for !q.TryEnqueue(i) {
+				runtime.Gosched()
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		var v int
+		var ok bool
+		for {
+			if v, ok = q.TryDequeue(); ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		if v != i {
+			t.Fatalf("dequeued %d, want %d", v, i)
+		}
+	}
+	<-done
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("ring should be empty")
+	}
+}
+
+func TestMPMCFullEmptyTransitions(t *testing.T) {
+	q := NewMPMC[string](2)
+	if !q.TryEnqueue("a") || !q.TryEnqueue("b") {
+		t.Fatal("fill failed")
+	}
+	if q.TryEnqueue("c") {
+		t.Fatal("enqueue on full succeeded")
+	}
+	if v, ok := q.TryDequeue(); !ok || v != "a" {
+		t.Fatalf("got (%q, %v), want (a, true)", v, ok)
+	}
+	if !q.TryEnqueue("c") {
+		t.Fatal("enqueue after dequeue failed")
+	}
+	for _, want := range []string{"b", "c"} {
+		if v, ok := q.TryDequeue(); !ok || v != want {
+			t.Fatalf("got (%q, %v), want (%q, true)", v, ok, want)
+		}
+	}
+}
+
+func TestQueueLenUnderConcurrency(t *testing.T) {
+	// Len must never go negative or exceed capacity for bounded queues.
+	q := NewMPMC[int](64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				q.TryEnqueue(1)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				q.TryDequeue()
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		if n := q.Len(); n < 0 || n > q.Cap() {
+			t.Fatalf("Len = %d out of [0,%d]", n, q.Cap())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,99 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+// SPSC is a single-producer/single-consumer bounded ring buffer: the
+// wait-free fast path of the queue family. With exactly one goroutine on
+// each end, head and tail are each written by only one party, so the only
+// synchronization is a pair of acquire/release cursor publications — no CAS
+// anywhere. Producers and consumers cache the remote cursor and refresh it
+// only when the cached value suggests full/empty, which removes almost all
+// coherence traffic in steady state (the "cached cursor" refinement of the
+// Lamport ring).
+//
+// Exactly one goroutine may call TryEnqueue and one TryDequeue at a time;
+// violating this is a correctness bug (use MPMC instead).
+//
+// Progress: wait-free for both parties.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    pad.CacheLinePad
+
+	head       atomic.Uint64 // next slot to consume; written by consumer
+	cachedTail uint64        // consumer's snapshot of tail
+	_          pad.CacheLinePad
+
+	tail       atomic.Uint64 // next slot to fill; written by producer
+	cachedHead uint64        // producer's snapshot of head
+	_          pad.CacheLinePad
+}
+
+// NewSPSC returns an empty SPSC ring with the given capacity, rounded up
+// to a power of two (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{
+		buf:  make([]T, n),
+		mask: uint64(n - 1),
+	}
+}
+
+// TryEnqueue adds v at the tail; it reports false if the ring was full.
+// Producer-side only.
+func (q *SPSC[T]) TryEnqueue(v T) bool {
+	tail := q.tail.Load() // own cursor: plain read would do, Load keeps vet happy
+	if tail-q.cachedHead > q.mask {
+		q.cachedHead = q.head.Load()
+		if tail-q.cachedHead > q.mask {
+			return false
+		}
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1) // publish
+	return true
+}
+
+// TryDequeue removes and returns the head element; ok is false if the ring
+// was empty. Consumer-side only.
+func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
+	head := q.head.Load()
+	if head == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if head == q.cachedTail {
+			return v, false
+		}
+	}
+	v = q.buf[head&q.mask]
+	var zero T
+	q.buf[head&q.mask] = zero // release reference for the GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Cap reports the fixed capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len reports tail−head. Exact in quiescent states.
+func (q *SPSC[T]) Len() int {
+	head := q.head.Load()
+	tail := q.tail.Load()
+	if tail < head {
+		return 0
+	}
+	n := int(tail - head)
+	if n > len(q.buf) {
+		n = len(q.buf)
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TwoLock is the Michael & Scott two-lock queue (PODC 1996): a linked list
+// with a dummy head node, one lock for enqueuers and a separate lock for
+// dequeuers. Because the dummy node keeps head and tail from ever aliasing
+// a live node simultaneously, an enqueue and a dequeue can proceed fully in
+// parallel; only operations on the same end serialise.
+//
+// Linearization points: Enqueue at the store linking the new node (under
+// the tail lock); TryDequeue at the head advance (under the head lock);
+// empty TryDequeue at its read of head.next.
+//
+// Progress: blocking (two independent locks).
+type TwoLock[T any] struct {
+	headMu sync.Mutex // protects head (dequeuers)
+	tailMu sync.Mutex // protects tail (enqueuers)
+	head   *tlNode[T] // dummy node; head.next is the real front
+	tail   *tlNode[T]
+}
+
+type tlNode[T any] struct {
+	value T
+	next  atomic.Pointer[tlNode[T]]
+}
+
+// NewTwoLock returns an empty two-lock queue.
+func NewTwoLock[T any]() *TwoLock[T] {
+	dummy := &tlNode[T]{}
+	return &TwoLock[T]{head: dummy, tail: dummy}
+}
+
+// Enqueue adds v at the tail.
+func (q *TwoLock[T]) Enqueue(v T) {
+	n := &tlNode[T]{value: v}
+	q.tailMu.Lock()
+	// The link store is atomic because a concurrent dequeuer reads
+	// head.next under the *other* lock, and Len traverses locklessly.
+	q.tail.next.Store(n)
+	q.tail = n
+	q.tailMu.Unlock()
+}
+
+// TryDequeue removes and returns the head element; ok is false if the queue
+// was empty.
+func (q *TwoLock[T]) TryDequeue() (v T, ok bool) {
+	q.headMu.Lock()
+	next := q.head.next.Load()
+	if next == nil {
+		q.headMu.Unlock()
+		return v, false
+	}
+	v = next.value
+	q.head = next
+	q.headMu.Unlock()
+	return v, true
+}
+
+// Len counts elements by traversing from head to tail. The count is exact
+// only in quiescent states; under concurrency it is best-effort.
+func (q *TwoLock[T]) Len() int {
+	q.headMu.Lock()
+	head := q.head
+	q.headMu.Unlock()
+	n := 0
+	for node := head.next.Load(); node != nil; node = node.next.Load() {
+		n++
+	}
+	return n
+}

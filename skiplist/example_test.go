@@ -1,0 +1,41 @@
+package skiplist_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/skiplist"
+)
+
+// The lock-free skip list is the scalable ordered set: O(log n) expected
+// operations with wait-free membership tests.
+func ExampleLockFree() {
+	s := skiplist.NewLockFree[int]()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w * 250; k < (w+1)*250; k++ {
+				s.Add(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Println(s.Len(), s.Contains(999), s.Contains(1000))
+	// Output: 1000 true false
+}
+
+// The lazy skip list trades lock-based updates for the same wait-free
+// reads; it is the design java.util.concurrent's map descends from.
+func ExampleLazy() {
+	s := skiplist.NewLazy[string]()
+	s.Add("cherry")
+	s.Add("apple")
+	s.Add("banana")
+	s.Remove("cherry")
+	fmt.Println(s.Len(), s.Contains("apple"))
+	// Output: 2 true
+}

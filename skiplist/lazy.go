@@ -1,0 +1,211 @@
+package skiplist
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+)
+
+// Lazy is the lazy lock-based skip list. Traversals never lock; Add and
+// Remove lock only the predecessor towers they are about to relink,
+// validating with per-node marked/fullyLinked flags instead of re-traversal
+// (the skip-list analogue of the lazy list). A node becomes logically
+// present when fullyLinked flips to true and logically absent when marked
+// flips to true — those two flag writes are the linearization points, which
+// is what lets Contains run wait-free with no validation loop.
+//
+// Progress: Add/Remove blocking (optimistic, fine-grained locks);
+// Contains wait-free.
+type Lazy[K cmp.Ordered] struct {
+	head   *lazyNode[K] // sentinel tower at full height
+	levels *levelGen
+	size   atomic.Int64
+}
+
+type lazyNode[K cmp.Ordered] struct {
+	mu          sync.Mutex
+	key         K
+	isHead      bool
+	topLayer    int // highest level this node occupies
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	next        [maxLevel]atomic.Pointer[lazyNode[K]]
+}
+
+// NewLazy returns an empty lazy skip-list set.
+func NewLazy[K cmp.Ordered]() *Lazy[K] {
+	return &Lazy[K]{
+		head:   &lazyNode[K]{isHead: true, topLayer: maxLevel - 1},
+		levels: newLevelGen(),
+	}
+}
+
+// find fills preds/succs with the per-level windows for k and returns the
+// highest level at which a node with key k was found, or -1.
+func (s *Lazy[K]) find(k K, preds, succs *[maxLevel]*lazyNode[K]) int {
+	lFound := -1
+	pred := s.head
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < k {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+		if lFound == -1 && curr != nil && curr.key == k {
+			lFound = level
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+	return lFound
+}
+
+// Add inserts k, reporting false if it was already present.
+func (s *Lazy[K]) Add(k K) bool {
+	topLayer := s.levels.next() - 1
+	var preds, succs [maxLevel]*lazyNode[K]
+	for {
+		lFound := s.find(k, &preds, &succs)
+		if lFound != -1 {
+			found := succs[lFound]
+			if !found.marked.Load() {
+				// Present (or appearing): wait until the inserter finishes
+				// linking so our false return is linearizable.
+				for !found.fullyLinked.Load() {
+					spinYield()
+				}
+				return false
+			}
+			// Marked: it is on its way out; retry until it is gone.
+			continue
+		}
+
+		// Lock the predecessors bottom-up and validate each window.
+		highestLocked := -1
+		valid := true
+		var prevPred *lazyNode[K]
+		for level := 0; valid && level <= topLayer; level++ {
+			pred, succ := preds[level], succs[level]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = level
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() &&
+				(succ == nil || !succ.marked.Load()) &&
+				pred.next[level].Load() == succ
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue
+		}
+
+		n := &lazyNode[K]{key: k, topLayer: topLayer}
+		for level := 0; level <= topLayer; level++ {
+			n.next[level].Store(succs[level])
+		}
+		for level := 0; level <= topLayer; level++ {
+			preds[level].next[level].Store(n)
+		}
+		n.fullyLinked.Store(true) // linearization point
+		unlockPreds(&preds, highestLocked)
+		s.size.Add(1)
+		return true
+	}
+}
+
+// Remove deletes k, reporting false if it was absent.
+func (s *Lazy[K]) Remove(k K) bool {
+	var victim *lazyNode[K]
+	isMarked := false
+	topLayer := -1
+	var preds, succs [maxLevel]*lazyNode[K]
+	for {
+		lFound := s.find(k, &preds, &succs)
+		if !isMarked {
+			if lFound == -1 {
+				return false
+			}
+			victim = succs[lFound]
+			if !victim.fullyLinked.Load() || victim.topLayer != lFound || victim.marked.Load() {
+				return false
+			}
+			topLayer = victim.topLayer
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false // lost the race to another remover
+			}
+			victim.marked.Store(true) // linearization point
+			isMarked = true
+		}
+
+		highestLocked := -1
+		valid := true
+		var prevPred *lazyNode[K]
+		for level := 0; valid && level <= topLayer; level++ {
+			pred := preds[level]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = level
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && pred.next[level].Load() == victim
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue // victim stays marked; re-find fresh predecessors
+		}
+
+		for level := topLayer; level >= 0; level-- {
+			preds[level].next[level].Store(victim.next[level].Load())
+		}
+		victim.mu.Unlock()
+		unlockPreds(&preds, highestLocked)
+		s.size.Add(-1)
+		return true
+	}
+}
+
+// Contains reports whether k is present. Wait-free: one traversal and two
+// flag loads.
+func (s *Lazy[K]) Contains(k K) bool {
+	pred := s.head
+	var found *lazyNode[K]
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < k {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+		if curr != nil && curr.key == k {
+			found = curr
+			break
+		}
+	}
+	return found != nil && found.fullyLinked.Load() && !found.marked.Load()
+}
+
+// Len reports the number of keys (atomic counter; exact in quiescent
+// states).
+func (s *Lazy[K]) Len() int {
+	return int(s.size.Load())
+}
+
+// unlockPreds releases the distinct predecessor locks acquired up to level
+// highestLocked, mirroring the acquisition loop's dedup logic.
+func unlockPreds[K cmp.Ordered](preds *[maxLevel]*lazyNode[K], highestLocked int) {
+	var prevPred *lazyNode[K]
+	for level := 0; level <= highestLocked; level++ {
+		if preds[level] != prevPred {
+			preds[level].mu.Unlock()
+			prevPred = preds[level]
+		}
+	}
+}
+
+func spinYield() {
+	// Tiny wait inside rarely-taken wait loops (e.g. waiting for
+	// fullyLinked); delegating to the scheduler keeps the holder running.
+	yield()
+}

@@ -1,0 +1,62 @@
+// Package skiplist implements the two canonical concurrent skip lists from
+// the survey literature: the lazy lock-based skip list of Herlihy, Lev,
+// Luchangco & Shavit ("A Simple Optimistic Skiplist Algorithm", SIROCCO
+// 2007 — the algorithm behind java.util.concurrent's design lineage) and
+// the lock-free skip list of Herlihy & Shavit (ch. 14.4), a simplification
+// of Fraser's.
+//
+// Skip lists dominate concurrent ordered-set design because balance is
+// probabilistic rather than structural: there are no rotations to
+// synchronise, and every mutation touches a small expected set of nodes.
+// Both implementations provide wait-free Contains. Experiment F7
+// regenerates the update-mix scalability comparison.
+package skiplist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+func yield() { runtime.Gosched() }
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Set[int] = (*Lazy[int])(nil)
+	_ cds.Set[int] = (*LockFree[int])(nil)
+)
+
+// maxLevel bounds tower height: 2^32 expected elements is plenty for a
+// benchmark-scale in-memory set.
+const maxLevel = 32
+
+// levelGen draws geometric(1/2) tower heights in [1, maxLevel], using a
+// pooled PRNG so concurrent inserters do not contend on a shared generator.
+type levelGen struct {
+	pool sync.Pool
+}
+
+func newLevelGen() *levelGen {
+	g := &levelGen{}
+	var seed atomic.Uint64
+	g.pool.New = func() any {
+		return xrand.New(seed.Add(0x9e3779b97f4a7c15))
+	}
+	return g
+}
+
+// next returns a height in [1, maxLevel]: height h with probability 2^-h.
+func (g *levelGen) next() int {
+	rng := g.pool.Get().(*xrand.Rand)
+	v := rng.Uint64()
+	g.pool.Put(rng)
+	h := 1
+	for v&1 == 1 && h < maxLevel {
+		h++
+		v >>= 1
+	}
+	return h
+}

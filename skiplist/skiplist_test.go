@@ -1,0 +1,309 @@
+package skiplist
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+func implementations() []struct {
+	name string
+	mk   func() cds.Set[int]
+} {
+	return []struct {
+		name string
+		mk   func() cds.Set[int]
+	}{
+		{name: "Lazy", mk: func() cds.Set[int] { return NewLazy[int]() }},
+		{name: "LockFree", mk: func() cds.Set[int] { return NewLockFree[int]() }},
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			if s.Contains(10) || s.Remove(10) {
+				t.Fatal("empty set misbehaves")
+			}
+			for _, k := range []int{5, 3, 9, 1, 7} {
+				if !s.Add(k) {
+					t.Fatalf("Add(%d) failed", k)
+				}
+			}
+			if s.Add(5) {
+				t.Fatal("duplicate Add succeeded")
+			}
+			if got := s.Len(); got != 5 {
+				t.Fatalf("Len = %d, want 5", got)
+			}
+			for _, k := range []int{1, 3, 5, 7, 9} {
+				if !s.Contains(k) {
+					t.Fatalf("missing %d", k)
+				}
+			}
+			for _, k := range []int{0, 2, 4, 6, 8} {
+				if s.Contains(k) {
+					t.Fatalf("phantom %d", k)
+				}
+			}
+			if !s.Remove(5) || s.Remove(5) || s.Contains(5) {
+				t.Fatal("Remove semantics wrong")
+			}
+			if got := s.Len(); got != 4 {
+				t.Fatalf("Len = %d, want 4", got)
+			}
+		})
+	}
+}
+
+func TestLargeSequential(t *testing.T) {
+	// Enough keys to exercise multi-level towers thoroughly.
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			rng := xrand.New(42)
+			const n = 20000
+			perm := rng.Perm(n)
+			for _, k := range perm {
+				if !s.Add(k) {
+					t.Fatalf("Add(%d) failed", k)
+				}
+			}
+			if got := s.Len(); got != n {
+				t.Fatalf("Len = %d, want %d", got, n)
+			}
+			for i := 0; i < n; i++ {
+				if !s.Contains(i) {
+					t.Fatalf("missing %d", i)
+				}
+			}
+			for i := 0; i < n; i += 2 {
+				if !s.Remove(i) {
+					t.Fatalf("Remove(%d) failed", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if want := i%2 == 1; s.Contains(i) != want {
+					t.Fatalf("Contains(%d) = %v, want %v", i, !want, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyMatchesModel(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			f := func(ops []int8) bool {
+				s := tt.mk()
+				model := make(map[int]bool)
+				for _, raw := range ops {
+					k := int(raw % 16)
+					switch {
+					case raw%3 == 0:
+						if s.Add(k) == model[k] {
+							return false
+						}
+						model[k] = true
+					case raw%3 == 1 || raw%3 == -1:
+						if s.Remove(k) != model[k] {
+							return false
+						}
+						delete(model, k)
+					default:
+						if s.Contains(k) != model[k] {
+							return false
+						}
+					}
+				}
+				return s.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDisjointKeysConcurrent(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			workers := min(8, runtime.GOMAXPROCS(0))
+			const ops = 6000
+			models := make([]map[int]bool, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w) + 7)
+					model := make(map[int]bool)
+					for i := 0; i < ops; i++ {
+						k := w + workers*rng.Intn(512)
+						switch rng.Intn(3) {
+						case 0:
+							if s.Add(k) == model[k] {
+								t.Errorf("worker %d: Add(%d) inconsistent", w, k)
+								return
+							}
+							model[k] = true
+						case 1:
+							if s.Remove(k) != model[k] {
+								t.Errorf("worker %d: Remove(%d) inconsistent", w, k)
+								return
+							}
+							delete(model, k)
+						default:
+							if s.Contains(k) != model[k] {
+								t.Errorf("worker %d: Contains(%d) inconsistent", w, k)
+								return
+							}
+						}
+					}
+					models[w] = model
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			total := 0
+			for w, model := range models {
+				total += len(model)
+				for k := range model {
+					if !s.Contains(k) {
+						t.Fatalf("worker %d: key %d lost", w, k)
+					}
+				}
+			}
+			if got := s.Len(); got != total {
+				t.Fatalf("Len = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+func TestContendedChurn(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			workers := 2 * runtime.GOMAXPROCS(0)
+			const ops = 4000
+			const keyRange = 32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w)*1299709 + 11)
+					for i := 0; i < ops; i++ {
+						k := rng.Intn(keyRange)
+						switch rng.Intn(3) {
+						case 0:
+							s.Add(k)
+						case 1:
+							s.Remove(k)
+						default:
+							s.Contains(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Post-conditions: Len matches visible keys; all in range.
+			visible := 0
+			for k := 0; k < keyRange; k++ {
+				if s.Contains(k) {
+					visible++
+				}
+			}
+			if got := s.Len(); got != visible {
+				t.Fatalf("Len = %d, visible = %d", got, visible)
+			}
+		})
+	}
+}
+
+// TestUniqueKeyChurn: each goroutine adds and removes its own unique keys;
+// the set must end empty and no operation may fail.
+func TestUniqueKeyChurn(t *testing.T) {
+	for _, tt := range implementations() {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tt.mk()
+			workers := runtime.GOMAXPROCS(0)
+			const pairs = 4000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < pairs; i++ {
+						k := w*pairs + i
+						if !s.Add(k) {
+							t.Errorf("Add(%d) of unique key failed", k)
+							return
+						}
+						if !s.Contains(k) {
+							t.Errorf("Contains(%d) of just-added key failed", k)
+							return
+						}
+						if !s.Remove(k) {
+							t.Errorf("Remove(%d) of just-added key failed", k)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if got := s.Len(); got != 0 {
+				t.Fatalf("Len = %d after matched churn, want 0", got)
+			}
+		})
+	}
+}
+
+func TestLevelGenDistribution(t *testing.T) {
+	g := newLevelGen()
+	const samples = 1 << 16
+	counts := make([]int, maxLevel+1)
+	for i := 0; i < samples; i++ {
+		h := g.next()
+		if h < 1 || h > maxLevel {
+			t.Fatalf("height %d out of range", h)
+		}
+		counts[h]++
+	}
+	// Height 1 should be ~half; height 2 ~quarter. Very loose bounds.
+	if counts[1] < samples/3 || counts[1] > 2*samples/3 {
+		t.Fatalf("height-1 frequency %d/%d far from 1/2", counts[1], samples)
+	}
+	if counts[2] < samples/8 || counts[2] > samples/2 {
+		t.Fatalf("height-2 frequency %d/%d far from 1/4", counts[2], samples)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	for _, s := range []cds.Set[string]{NewLazy[string](), NewLockFree[string]()} {
+		for _, k := range []string{"m", "a", "z", "g"} {
+			if !s.Add(k) {
+				t.Fatalf("Add(%q) failed", k)
+			}
+		}
+		if !s.Contains("a") || s.Contains("q") {
+			t.Fatal("string membership wrong")
+		}
+		if !s.Remove("m") || s.Remove("m") {
+			t.Fatal("string removal wrong")
+		}
+	}
+}

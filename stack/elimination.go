@@ -1,0 +1,139 @@
+package stack
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// Elimination is the elimination-backoff stack of Hendler, Shavit &
+// Yerushalmi (SPAA 2004): a Treiber stack whose contention fallback is an
+// array of Exchangers. When the head CAS fails, the operation backs off
+// *into* the elimination array instead of merely waiting: a push and a pop
+// that meet there cancel directly — the pop returns the push's value and
+// neither touches the stack. Each elimination is a pair of operations
+// completed with zero contention on the top pointer, so throughput grows
+// with concurrency exactly where Treiber's stack degrades.
+//
+// Correctness rests on the observation that a push immediately followed by
+// a pop leaves the stack unchanged, so an eliminated pair can be linearized
+// back-to-back at the moment of their exchange.
+//
+// Progress: lock-free (the slow path always falls back to the Treiber CAS
+// loop).
+type Elimination[T any] struct {
+	stack Treiber[T]
+	arr   []Exchanger[elimOp[T]]
+
+	// rngs hands per-P PRNG state to operations for slot selection.
+	rngs sync.Pool
+
+	// spins is how long an operation waits in the array per visit.
+	spins int
+
+	// Elimination statistics for experiment T3. Recorded only when
+	// statsEnabled to keep the hot path free of shared writes by default.
+	statsEnabled atomic.Bool
+	hits         atomic.Int64
+	misses       atomic.Int64
+}
+
+type elimOp[T any] struct {
+	value  T
+	isPush bool
+}
+
+// NewElimination returns an elimination-backoff stack with the given
+// elimination-array width and per-visit spin budget. width <= 0 selects 8;
+// spins <= 0 selects 128.
+func NewElimination[T any](width, spins int) *Elimination[T] {
+	if width <= 0 {
+		width = 8
+	}
+	if spins <= 0 {
+		spins = 128
+	}
+	s := &Elimination[T]{
+		arr:   make([]Exchanger[elimOp[T]], width),
+		spins: spins,
+	}
+	var seed atomic.Uint64
+	s.rngs.New = func() any {
+		return xrand.New(seed.Add(1) * 0x9e3779b97f4a7c15)
+	}
+	return s
+}
+
+// EnableStats turns on hit/miss accounting (a shared atomic per elimination
+// attempt; leave off for throughput benchmarks of the stack itself).
+func (s *Elimination[T]) EnableStats(on bool) {
+	s.statsEnabled.Store(on)
+}
+
+// Stats returns the number of successful eliminations (pairs count once per
+// participant) and failed elimination visits recorded so far.
+func (s *Elimination[T]) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Push adds v to the top of the stack.
+func (s *Elimination[T]) Push(v T) {
+	n := &tnode[T]{value: v}
+	for {
+		head := s.stack.head.Load()
+		n.next = head
+		if s.stack.head.CompareAndSwap(head, n) {
+			return
+		}
+		// Contention: try to meet a pop in the elimination array.
+		if op, ok := s.visit(elimOp[T]{value: v, isPush: true}); ok && !op.isPush {
+			return // eliminated against a pop
+		}
+	}
+}
+
+// TryPop removes and returns the top element; ok is false if the stack was
+// observed empty. A pop eliminated against a concurrent push returns that
+// push's value without touching the stack.
+func (s *Elimination[T]) TryPop() (v T, ok bool) {
+	for {
+		head := s.stack.head.Load()
+		if head == nil {
+			return v, false
+		}
+		if s.stack.head.CompareAndSwap(head, head.next) {
+			return head.value, true
+		}
+		if op, okEx := s.visit(elimOp[T]{isPush: false}); okEx && op.isPush {
+			return op.value, true // eliminated against a push
+		}
+	}
+}
+
+// visit performs one elimination attempt on a random slot. It reports the
+// exchanged operation and whether an exchange happened at all; callers must
+// check role compatibility (push↔pop) before treating it as elimination.
+// Incompatible exchanges (push↔push, pop↔pop) are harmless: both parties
+// observe the mismatch and retry on the stack.
+func (s *Elimination[T]) visit(op elimOp[T]) (elimOp[T], bool) {
+	rng := s.rngs.Get().(*xrand.Rand)
+	idx := rng.Intn(len(s.arr))
+	s.rngs.Put(rng)
+
+	other, ok := s.arr[idx].Exchange(op, s.spins)
+	eliminated := ok && other.isPush != op.isPush
+	if s.statsEnabled.Load() {
+		if eliminated {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+	}
+	return other, eliminated
+}
+
+// Len counts the elements in the backing stack (see Treiber.Len caveats).
+func (s *Elimination[T]) Len() int {
+	return s.stack.Len()
+}

@@ -1,0 +1,69 @@
+package stack_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/stack"
+)
+
+// The Treiber stack is the default lock-free LIFO: safe for any number of
+// concurrent pushers and poppers.
+func ExampleTreiber() {
+	s := stack.NewTreiber[string]()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Push(fmt.Sprintf("job-%d", i))
+		}(i)
+	}
+	wg.Wait()
+
+	n := 0
+	for {
+		if _, ok := s.TryPop(); !ok {
+			break
+		}
+		n++
+	}
+	fmt.Println(n, "jobs drained")
+	// Output: 4 jobs drained
+}
+
+// The elimination stack behaves identically to Treiber's; under heavy
+// contention concurrent push/pop pairs cancel in the elimination array
+// instead of fighting for the top pointer.
+func ExampleElimination() {
+	s := stack.NewElimination[int](0, 0) // default width and spin budget
+	s.Push(1)
+	s.Push(2)
+	v, ok := s.TryPop()
+	fmt.Println(v, ok)
+	// Output: 2 true
+}
+
+// An Exchanger pairs up two goroutines and swaps their values.
+func ExampleExchanger() {
+	e := stack.NewExchanger[string]()
+	done := make(chan string)
+	go func() {
+		for {
+			if v, ok := e.Exchange("from-b", 1<<16); ok {
+				done <- v
+				return
+			}
+		}
+	}()
+	var got string
+	for {
+		if v, ok := e.Exchange("from-a", 1<<16); ok {
+			got = v
+			break
+		}
+	}
+	fmt.Println(got, <-done)
+	// Output: from-b from-a
+}

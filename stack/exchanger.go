@@ -1,0 +1,77 @@
+package stack
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Exchanger is a lock-free rendezvous point: two goroutines calling
+// Exchange within overlapping windows swap values. It is the building block
+// of the elimination array (and of java.util.concurrent's Exchanger).
+//
+// The protocol is asymmetric: the first arriver installs an offer in the
+// slot and waits; the second arriver claims the offer with a CAS, deposits
+// its own value, and releases the waiter. Either party can time out; a
+// waiter withdraws its offer by CASing the slot back to nil, and if that
+// CAS fails a partner has already committed, so the exchange completes.
+//
+// Linearization point: the claimer's successful CAS of the slot.
+//
+// The zero value is ready to use. Progress: lock-free.
+type Exchanger[T any] struct {
+	slot atomic.Pointer[offer[T]]
+}
+
+type offer[T any] struct {
+	mine   T
+	theirs T
+	// state is 0 while the offer awaits a partner and 1 once the partner
+	// has deposited theirs; the store of 1 releases the waiting goroutine.
+	state atomic.Uint32
+}
+
+// NewExchanger returns a ready Exchanger.
+func NewExchanger[T any]() *Exchanger[T] {
+	return &Exchanger[T]{}
+}
+
+// Exchange offers v for up to spins polling iterations. If a partner
+// arrives in time, it returns the partner's value and true; otherwise it
+// withdraws and returns false.
+func (e *Exchanger[T]) Exchange(v T, spins int) (T, bool) {
+	var zero T
+	for attempt := 0; attempt <= spins; attempt++ {
+		cur := e.slot.Load()
+		if cur == nil {
+			// Try to become the waiter.
+			of := &offer[T]{mine: v}
+			if !e.slot.CompareAndSwap(nil, of) {
+				continue // raced with another offerer; re-inspect
+			}
+			for i := attempt; i <= spins; i++ {
+				if of.state.Load() == 1 {
+					return of.theirs, true
+				}
+			}
+			// Timed out: withdraw. A failed CAS means a partner claimed the
+			// offer between our last poll and now — finish the exchange.
+			if e.slot.CompareAndSwap(of, nil) {
+				return zero, false
+			}
+			// Partner committed; completion is a handful of its
+			// instructions away.
+			for of.state.Load() != 1 {
+				runtime.Gosched()
+			}
+			return of.theirs, true
+		}
+		// An offer is waiting: claim it by emptying the slot, then settle.
+		if e.slot.CompareAndSwap(cur, nil) {
+			cur.theirs = v
+			theirs := cur.mine
+			cur.state.Store(1)
+			return theirs, true
+		}
+	}
+	return zero, false
+}

@@ -1,0 +1,69 @@
+// Package stack implements the concurrent stack algorithms from the survey
+// literature: a coarse-locked stack, Treiber's lock-free stack, and the
+// elimination-backoff stack of Hendler, Shavit & Yerushalmi, together with
+// the lock-free rendezvous Exchanger it is built on.
+//
+// Stacks look inherently sequential — every operation fights over one top
+// pointer — which is exactly why they are the survey's showcase for
+// elimination: a concurrent push and pop cancel each other without ever
+// touching the top pointer, so under high contention the elimination array
+// turns the bottleneck into parallelism. Experiments F3 and T3 regenerate
+// the classic comparison and the elimination hit-rate behind it.
+package stack
+
+import (
+	"sync"
+
+	cds "github.com/cds-suite/cds"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ cds.Stack[int] = (*Mutex[int])(nil)
+	_ cds.Stack[int] = (*Treiber[int])(nil)
+	_ cds.Stack[int] = (*Elimination[int])(nil)
+)
+
+// Mutex is the coarse-locked baseline stack: a slice guarded by one
+// sync.Mutex. Simple, exact, and serial — the reference point for every
+// scalability figure.
+//
+// The zero value is an empty stack. Progress: blocking.
+type Mutex[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewMutex returns an empty coarse-locked stack.
+func NewMutex[T any]() *Mutex[T] {
+	return &Mutex[T]{}
+}
+
+// Push adds v to the top of the stack.
+func (s *Mutex[T]) Push(v T) {
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+}
+
+// TryPop removes and returns the top element; ok is false if the stack was
+// empty.
+func (s *Mutex[T]) TryPop() (v T, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return v, false
+	}
+	v = s.items[len(s.items)-1]
+	var zero T
+	s.items[len(s.items)-1] = zero // release reference for the GC
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+// Len reports the number of elements.
+func (s *Mutex[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

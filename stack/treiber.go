@@ -1,0 +1,77 @@
+package stack
+
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/locks"
+)
+
+// Treiber is R. K. Treiber's lock-free stack: a singly linked list whose
+// head is replaced by compare-and-swap. Push and pop each retry a single
+// CAS under contention, with randomized backoff between failures.
+//
+// Linearization points: a successful Push linearizes at its successful CAS
+// of the head; a successful TryPop at its successful CAS; an empty TryPop at
+// its load of a nil head.
+//
+// ABA safety: nodes are never recycled by the stack — a popped node is left
+// to the garbage collector — so a head CAS can only succeed against the very
+// node value it read (this is the standard way GC'd languages sidestep the
+// ABA problem that hazard pointers/epochs solve in C/C++; see
+// internal/epoch for the protocol itself).
+//
+// The zero value is an empty stack. Progress: lock-free (a failed CAS
+// implies another operation succeeded).
+type Treiber[T any] struct {
+	head atomic.Pointer[tnode[T]]
+}
+
+type tnode[T any] struct {
+	value T
+	next  *tnode[T]
+}
+
+// NewTreiber returns an empty Treiber stack.
+func NewTreiber[T any]() *Treiber[T] {
+	return &Treiber[T]{}
+}
+
+// Push adds v to the top of the stack.
+func (s *Treiber[T]) Push(v T) {
+	n := &tnode[T]{value: v}
+	var b locks.Backoff
+	for {
+		head := s.head.Load()
+		n.next = head
+		if s.head.CompareAndSwap(head, n) {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// TryPop removes and returns the top element; ok is false if the stack was
+// observed empty.
+func (s *Treiber[T]) TryPop() (v T, ok bool) {
+	var b locks.Backoff
+	for {
+		head := s.head.Load()
+		if head == nil {
+			return v, false
+		}
+		if s.head.CompareAndSwap(head, head.next) {
+			return head.value, true
+		}
+		b.Pause()
+	}
+}
+
+// Len counts the elements by traversing the list. The count is a consistent
+// snapshot only in quiescent states; under concurrency it is best-effort.
+func (s *Treiber[T]) Len() int {
+	n := 0
+	for node := s.head.Load(); node != nil; node = node.next {
+		n++
+	}
+	return n
+}

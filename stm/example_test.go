@@ -1,0 +1,49 @@
+package stm_test
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cds-suite/cds/stm"
+)
+
+// Atomically composes reads and writes over any number of TVars into one
+// atomic transaction — the composability that individual concurrent
+// structures cannot offer.
+func ExampleAtomically() {
+	checking := stm.NewTVar(100)
+	savings := stm.NewTVar(0)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ { // ten concurrent 10-unit transfers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stm.Atomically(func(tx *stm.Txn) {
+				c := checking.Read(tx)
+				if c < 10 {
+					return
+				}
+				checking.Write(tx, c-10)
+				savings.Write(tx, savings.Read(tx)+10)
+			})
+		}()
+	}
+	wg.Wait()
+
+	fmt.Println(checking.Load(), savings.Load(), checking.Load()+savings.Load())
+	// Output: 0 100 100
+}
+
+// Read-your-writes within a transaction.
+func ExampleTVar_Read() {
+	v := stm.NewTVar("initial")
+	stm.Atomically(func(tx *stm.Txn) {
+		v.Write(tx, "updated")
+		fmt.Println(v.Read(tx)) // sees the pending write
+	})
+	fmt.Println(v.Load())
+	// Output:
+	// updated
+	// updated
+}

@@ -1,0 +1,249 @@
+// Package stm implements a word-based software transactional memory in the
+// style of TL2 (Dice, Shalev & Shavit, DISC 2006): a global version clock,
+// per-variable versioned write-locks, invisible readers with commit-time
+// write-back, and NO_WAIT conflict resolution.
+//
+// Transactional memory is the survey's answer to the composability problem:
+// operations on any number of TVars become atomic together, without a
+// global lock and without designing a bespoke concurrent structure. The
+// price is speculative execution — conflicting transactions abort and
+// retry — which experiment F11 quantifies against a coarse lock.
+//
+// # Usage
+//
+//	x := stm.NewTVar(0)
+//	y := stm.NewTVar(0)
+//	stm.Atomically(func(tx *stm.Txn) {
+//		v := x.Read(tx)
+//		y.Write(tx, v+1)
+//	})
+//
+// The closure may run several times (aborted attempts); it must be pure
+// apart from TVar reads and writes. Reads observe a consistent snapshot as
+// of transaction start: the classic TL2 guarantee that no zombie
+// transaction ever sees a half-committed state.
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/locks"
+)
+
+// clock is the global version clock shared by all TVars. A single program-
+// wide clock is the standard TL2 design: it is only a monotonic source of
+// versions, so sharing it across unrelated TVars affects freshness
+// bookkeeping, never correctness.
+var clock atomic.Uint64
+
+// conflict is the private panic payload that aborts an attempt.
+type conflict struct{}
+
+// TVar is a transactional variable holding a value of type T.
+//
+// The versioned lock word encodes (version << 1) | lockedBit. Values are
+// boxed so that commit write-back is a single atomic pointer store and
+// optimistic readers can never observe a torn value.
+type TVar[T any] struct {
+	lock atomic.Uint64
+	val  atomic.Pointer[T]
+}
+
+// NewTVar returns a TVar initialised to v.
+func NewTVar[T any](v T) *TVar[T] {
+	t := &TVar[T]{}
+	t.val.Store(&v)
+	return t
+}
+
+// Read returns the variable's value within the transaction. If the
+// transaction wrote the variable earlier, the pending value is returned
+// (read-your-writes). A conflicting concurrent commit aborts the attempt.
+func (v *TVar[T]) Read(tx *Txn) T {
+	if pending, ok := tx.writes[v]; ok {
+		return *pending.(*T)
+	}
+	for {
+		l1 := v.lock.Load()
+		if l1&1 == 1 {
+			abort() // locked by a committing writer
+		}
+		val := v.val.Load()
+		l2 := v.lock.Load()
+		if l1 != l2 {
+			continue // version moved mid-read; re-sample
+		}
+		if l1>>1 > tx.rv {
+			abort() // newer than our snapshot: not consistent with rv
+		}
+		tx.reads = append(tx.reads, &v.lock)
+		return *val
+	}
+}
+
+// Write records v's new value in the transaction; it takes effect only if
+// the transaction commits.
+func (v *TVar[T]) Write(tx *Txn, val T) {
+	if _, seen := tx.writes[v]; !seen {
+		tx.order = append(tx.order, v)
+	}
+	tx.writes[v] = &val
+}
+
+// Load reads the variable outside any transaction: a consistent,
+// linearizable single-variable read.
+func (v *TVar[T]) Load() T {
+	spins := 0
+	for {
+		l1 := v.lock.Load()
+		if l1&1 == 1 {
+			// Mid-commit; the owner is a few instructions from releasing.
+			spins++
+			if spins%256 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		val := v.val.Load()
+		if v.lock.Load() == l1 {
+			return *val
+		}
+	}
+}
+
+// tvar is the type-erased view of a TVar used by the commit machinery.
+type tvar interface {
+	lockWord() *atomic.Uint64
+	commit(boxed any)
+}
+
+func (v *TVar[T]) lockWord() *atomic.Uint64 { return &v.lock }
+
+func (v *TVar[T]) commit(boxed any) { v.val.Store(boxed.(*T)) }
+
+// Txn is one transaction attempt. It is created by Atomically and must not
+// escape the closure or be shared between goroutines.
+type Txn struct {
+	rv     uint64 // read version: global clock at attempt start
+	reads  []*atomic.Uint64
+	writes map[tvar]any
+	order  []tvar // write set in first-write order (stable locking)
+}
+
+// abort unwinds the attempt; Atomically catches it and retries.
+func abort() {
+	panic(conflict{})
+}
+
+// Retry aborts the current attempt unconditionally. Combined with a
+// condition check it expresses "block until", TL2-style busy retry:
+//
+//	stm.Atomically(func(tx *stm.Txn) {
+//		if q.len.Read(tx) == 0 {
+//			stm.Retry()
+//		}
+//		...
+//	})
+func Retry() {
+	abort()
+}
+
+// Atomically runs fn transactionally: all TVar reads see a consistent
+// snapshot and all writes commit atomically, or the attempt aborts and fn
+// reruns. Do not nest Atomically calls.
+func Atomically(fn func(tx *Txn)) {
+	var b locks.Backoff
+	for {
+		if runAttempt(fn) {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// runAttempt executes fn once, returning true on commit.
+func runAttempt(fn func(tx *Txn)) (committed bool) {
+	tx := &Txn{
+		rv:     clock.Load(),
+		writes: make(map[tvar]any),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isConflict := r.(conflict); isConflict {
+				return // committed stays false: retry
+			}
+			panic(r) // user panic: propagate
+		}
+	}()
+	fn(tx)
+	return tx.commitAttempt()
+}
+
+// commitAttempt performs the TL2 commit protocol. It returns true on
+// success; on conflict it releases any acquired locks and returns false.
+func (tx *Txn) commitAttempt() bool {
+	if len(tx.order) == 0 {
+		// Read-only transactions need no validation beyond the per-read
+		// checks already done against rv.
+		return true
+	}
+
+	// Phase 1: lock the write set (NO_WAIT: any contention aborts).
+	lockedThrough := -1
+	for i, v := range tx.order {
+		w := v.lockWord()
+		cur := w.Load()
+		if cur&1 == 1 || cur>>1 > tx.rv || !w.CompareAndSwap(cur, cur|1) {
+			tx.releaseLocks(lockedThrough, 0)
+			return false
+		}
+		lockedThrough = i
+	}
+
+	// Phase 2: increment the global clock.
+	wv := clock.Add(1)
+
+	// Phase 3: validate the read set (skippable iff rv+1 == wv: nothing
+	// committed since our snapshot).
+	if wv != tx.rv+1 {
+		for _, r := range tx.reads {
+			cur := r.Load()
+			if cur>>1 > tx.rv || (cur&1 == 1 && !tx.ownsLock(r)) {
+				tx.releaseLocks(lockedThrough, 0)
+				return false
+			}
+		}
+	}
+
+	// Phase 4: write back and release with the new version.
+	for _, v := range tx.order {
+		v.commit(tx.writes[v])
+	}
+	tx.releaseLocks(lockedThrough, wv)
+	return true
+}
+
+// ownsLock reports whether the lock word belongs to the write set.
+func (tx *Txn) ownsLock(w *atomic.Uint64) bool {
+	for _, v := range tx.order {
+		if v.lockWord() == w {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocks unlocks write-set entries [0, through]. With wv == 0 the
+// old version is restored (abort); otherwise the word becomes wv<<1
+// (commit release).
+func (tx *Txn) releaseLocks(through int, wv uint64) {
+	for i := 0; i <= through; i++ {
+		w := tx.order[i].lockWord()
+		if wv == 0 {
+			w.Store(w.Load() &^ 1)
+		} else {
+			w.Store(wv << 1)
+		}
+	}
+}
