@@ -29,12 +29,14 @@ func runA1(cfg Config) []Figure {
 	th := runtime.GOMAXPROCS(0)
 	fig := Figure{
 		ID:     "A1",
+		Family: "stack",
 		Title:  fmt.Sprintf("elimination width sweep at %d threads, 50/50 push-pop", th),
 		XLabel: "width",
 	}
 	var thr, hit Series
 	thr.Label = "Mops"
 	hit.Label = "hit-rate%"
+	hit.Unit = UnitPercent
 	for _, width := range []int{1, 2, 4, 8, 16, 32} {
 		s := stack.NewElimination[int](width, 128)
 		s.EnableStats(true)
@@ -57,12 +59,14 @@ func runA2(cfg Config) []Figure {
 	th := runtime.GOMAXPROCS(0)
 	fig := Figure{
 		ID:     "A2",
+		Family: "stack",
 		Title:  fmt.Sprintf("elimination spin sweep at %d threads, width 8", th),
 		XLabel: "spins",
 	}
 	var thr, hit Series
 	thr.Label = "Mops"
 	hit.Label = "hit-rate%"
+	hit.Unit = UnitPercent
 	for _, spins := range []int{16, 64, 256, 1024, 4096} {
 		s := stack.NewElimination[int](8, spins)
 		s.EnableStats(true)
@@ -100,6 +104,7 @@ func runA3(cfg Config) []Figure {
 	const keyRange = 1 << 16
 	fig := Figure{
 		ID:     "A3",
+		Family: "cmap",
 		Title:  fmt.Sprintf("striped map stripes sweep at %d threads, 50%% reads", th),
 		XLabel: "stripes",
 	}
@@ -124,6 +129,7 @@ func runA4(cfg Config) []Figure {
 	th := runtime.GOMAXPROCS(0)
 	fig := Figure{
 		ID:     "A4",
+		Family: "counter",
 		Title:  fmt.Sprintf("sharded counter shards sweep at %d threads, inc-only", th),
 		XLabel: "shards",
 	}

@@ -1,16 +1,64 @@
 // Package bench is the measurement harness behind the experiment suite in
 // DESIGN.md: deterministic workload generation (uniform and Zipfian key
-// streams), a worker runner with a synchronised start line, and text
-// rendering of throughput series in the shape the survey figures use
-// (throughput vs. thread count, one series per algorithm).
+// streams), a worker runner with a synchronised start line, per-operation
+// latency sampling into log-bucketed histograms, a mixed-workload scenario
+// engine, and two renderers — aligned text tables in the shape the survey
+// figures use, and a machine-readable JSON Report for tracking results
+// across revisions.
 //
 // Use cmd/cdsbench to regenerate every figure/table, or the testing.B
 // benches in the repository root for quick single-configuration runs.
+//
+// # JSON schema
+//
+// A serialized Report (cdsbench -format json) is one JSON object:
+//
+//	{
+//	  "schema": "cds-bench/v1",
+//	  "meta": {
+//	    "go_version":   "go1.24.0",     // runtime.Version()
+//	    "goos":         "linux",
+//	    "goarch":       "amd64",
+//	    "num_cpu":      8,
+//	    "gomaxprocs":   8,
+//	    "git_revision": "abc1234",      // build/VCS info; "unknown" if absent
+//	    "quick":        false,          // -quick smoke sizing was in effect
+//	    "unix_time":    1750000000      // seconds; 0 in golden-file tests
+//	  },
+//	  "records": [ Record... ]
+//	}
+//
+// and each Record is one measured cell:
+//
+//	{
+//	  "family":     "queue",           // structure family ("queue", "cmap", ...)
+//	  "algo":       "MS",              // algorithm / implementation label
+//	  "scenario":   "enq-heavy-70/30", // workload description
+//	  "threads":    4,                 // worker count
+//	  "ops":        400000,            // operations completed; omitted on
+//	  "elapsed_ns": 12345678,          // figure-derived records (as is
+//	  "ns_per_op":  81.6,              // elapsed_ns / ns_per_op), which
+//	                                   // keep only the headline value
+//	  "value":      12.251,            // headline metric in "unit"
+//	  "unit":       "mops",            // "mops" unless noted (e.g. "percent")
+//	  "p50_ns":     71,                // latency percentiles; present only
+//	  "p90_ns":     102,               // when the cell sampled per-op
+//	  "p99_ns":     913,               // latency (scenario records do,
+//	  "p999_ns":    4096,              // figure-derived records do not)
+//	  "samples":    400000             // latency samples behind them
+//	}
+//
+// Records are append-only across schema versions: consumers must ignore
+// unknown fields, and field removals or meaning changes bump the schema
+// string.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +75,9 @@ type Result struct {
 	Ops int64
 	// Elapsed is the wall-clock duration of the measured region.
 	Elapsed time.Duration
+	// Latency holds per-operation latency samples when the configuration
+	// was measured with RunLatency; nil for plain Run.
+	Latency *Histogram
 }
 
 // Throughput returns million operations per second.
@@ -43,6 +94,121 @@ func (r Result) NsPerOp() float64 {
 		return 0
 	}
 	return float64(r.Elapsed.Nanoseconds()) / float64(r.Ops)
+}
+
+// Record converts the result into the labelled form a Report carries,
+// folding in latency percentiles when the result sampled them.
+func (r Result) Record(family, algo, scenario string) Record {
+	rec := Record{
+		Family:    family,
+		Algo:      algo,
+		Scenario:  scenario,
+		Threads:   r.Workers,
+		Ops:       r.Ops,
+		ElapsedNs: r.Elapsed.Nanoseconds(),
+		Value:     r.Throughput(),
+		Unit:      UnitMops,
+		NsPerOp:   r.NsPerOp(),
+	}
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		s := r.Latency.Summary()
+		rec.P50Ns = s.P50
+		rec.P90Ns = s.P90
+		rec.P99Ns = s.P99
+		rec.P999Ns = s.P999
+		rec.Samples = s.Samples
+	}
+	return rec
+}
+
+// Units a Record's headline Value can carry. Throughput cells use
+// UnitMops; derived metrics (e.g. the elimination hit-rate tables) label
+// themselves so consumers never mistake a percentage for a throughput.
+const (
+	UnitMops    = "mops"
+	UnitPercent = "percent"
+)
+
+// Record is one measured cell of a Report: a (family, algorithm, scenario,
+// threads) coordinate with its throughput and, when sampled, latency
+// percentiles. See the package documentation for the JSON schema.
+type Record struct {
+	Family    string  `json:"family"`
+	Algo      string  `json:"algo"`
+	Scenario  string  `json:"scenario"`
+	Threads   int     `json:"threads"`
+	Ops       int64   `json:"ops,omitempty"`
+	ElapsedNs int64   `json:"elapsed_ns,omitempty"`
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit"`
+	NsPerOp   float64 `json:"ns_per_op,omitempty"`
+	P50Ns     int64   `json:"p50_ns,omitempty"`
+	P90Ns     int64   `json:"p90_ns,omitempty"`
+	P99Ns     int64   `json:"p99_ns,omitempty"`
+	P999Ns    int64   `json:"p999_ns,omitempty"`
+	Samples   uint64  `json:"samples,omitempty"`
+}
+
+// Meta describes the environment a Report was produced in, so that two
+// BENCH_*.json files are only ever compared with their context attached.
+type Meta struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	GitRevision string `json:"git_revision"`
+	Quick       bool   `json:"quick"`
+	UnixTime    int64  `json:"unix_time"`
+}
+
+// Report is the machine-readable output of a benchmark run: environment
+// metadata plus every measured record. It is the unit cmd/cdsbench
+// serializes and future revisions diff against checked-in baselines.
+type Report struct {
+	Schema  string   `json:"schema"`
+	Meta    Meta     `json:"meta"`
+	Records []Record `json:"records"`
+}
+
+// ReportSchema identifies the current JSON layout.
+const ReportSchema = "cds-bench/v1"
+
+// NewMeta captures the current environment. The git revision comes from
+// the binary's embedded VCS build info when present ("unknown" otherwise —
+// callers with better context, like cmd/cdsbench, may overwrite it).
+func NewMeta(quick bool) Meta {
+	return Meta{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GitRevision: vcsRevision(),
+		Quick:       quick,
+		UnixTime:    time.Now().Unix(),
+	}
+}
+
+func vcsRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// WriteJSON serializes the report, indented for reviewable diffs.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode report: %w", err)
+	}
+	return nil
 }
 
 // Run executes a workload: workers goroutines each perform opsPerWorker
@@ -117,6 +283,14 @@ type Point struct {
 type Series struct {
 	// Label names the algorithm/configuration.
 	Label string
+	// Unit names what the Mops column actually carries; empty means
+	// UnitMops. A few tables reuse the column for derived metrics (hit
+	// rates), and the unit keeps their Report records honest.
+	Unit string
+	// Family overrides the figure's family for this series' records.
+	// Cross-family tables (the T1 overview) use it so each row lands in
+	// its own structure family in a Report.
+	Family string
 	// Points are the samples in sweep order.
 	Points []Point
 }
@@ -127,10 +301,42 @@ type Figure struct {
 	ID string
 	// Title describes the figure.
 	Title string
+	// Family is the structure family the figure measures ("queue",
+	// "locks", ...); it labels the records derived from the figure.
+	Family string
 	// XLabel names the sweep parameter.
 	XLabel string
 	// Series are the curves.
 	Series []Series
+}
+
+// Records flattens the figure into Report records: one per (series,
+// point), labelled with the figure's family and title. Figure records
+// carry no latency percentiles — only scenario cells, measured with
+// RunLatency, have them.
+func (f Figure) Records() []Record {
+	var recs []Record
+	for _, s := range f.Series {
+		unit := s.Unit
+		if unit == "" {
+			unit = UnitMops
+		}
+		family := s.Family
+		if family == "" {
+			family = f.Family
+		}
+		for _, p := range s.Points {
+			recs = append(recs, Record{
+				Family:   family,
+				Algo:     s.Label,
+				Scenario: f.ID + ": " + f.Title,
+				Threads:  p.X,
+				Value:    p.Mops,
+				Unit:     unit,
+			})
+		}
+	}
+	return recs
 }
 
 // Render writes the figure as an aligned text table: one row per X value,

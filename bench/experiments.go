@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,17 +58,22 @@ func (c Config) ops(def int) int {
 
 // Experiment is one reproducible figure or table from DESIGN.md.
 type Experiment struct {
-	// ID is the DESIGN.md identifier (F1..F12, T1..T3).
+	// ID is the DESIGN.md identifier (F1..F12, T1..T3, A1..A4, S1..).
 	ID string
 	// Title describes what the experiment shows.
 	Title string
 	// Run produces the figure(s).
 	Run func(cfg Config) []Figure
+	// Records produces Report records directly. It is set on experiments
+	// (the scenario matrix) whose native output is records with latency
+	// percentiles; when nil, BuildReport flattens Run's figures instead.
+	Records func(cfg Config) []Record
 }
 
-// Experiments returns the full suite in DESIGN.md order.
+// Experiments returns the full suite: the DESIGN.md figures and tables
+// followed by the mixed-workload scenario matrix (S experiments).
 func Experiments() []Experiment {
-	return []Experiment{
+	return append([]Experiment{
 		{ID: "F1", Title: "Spin-lock scalability (tiny critical section)", Run: runF1},
 		{ID: "F2", Title: "Shared counter throughput", Run: runF2},
 		{ID: "F3", Title: "Stack algorithms, 50/50 push-pop", Run: runF3},
@@ -83,7 +89,57 @@ func Experiments() []Experiment {
 		{ID: "T1", Title: "Single-thread throughput overview (Mops/s; ns/op = 1000/Mops)", Run: runT1},
 		{ID: "T2", Title: "Contention sensitivity under Zipf skew (maps, full threads)", Run: runT2},
 		{ID: "T3", Title: "Elimination hit rate (column = hits per 100 visits)", Run: runT3},
+	}, ScenarioExperiments()...)
+}
+
+// ScenarioExperiments exposes the workload-mix matrix of bench/scenario.go
+// as one experiment per structure family (S1, S2, ...): each runs at
+// least two scenario mixes per family with per-operation latency sampling,
+// rendered as throughput and p99 tables in text mode and as latency-rich
+// records in a JSON Report.
+func ScenarioExperiments() []Experiment {
+	var exps []Experiment
+	for i, family := range ScenarioFamilies() {
+		exps = append(exps, Experiment{
+			ID:    fmt.Sprintf("S%d", i+1),
+			Title: fmt.Sprintf("Scenario mixes: %s (throughput + p99 latency)", family),
+			Run: func(cfg Config) []Figure {
+				return scenarioFigures(family, runFamilyRecords(cfg, family))
+			},
+			Records: func(cfg Config) []Record {
+				return runFamilyRecords(cfg, family)
+			},
+		})
 	}
+	return exps
+}
+
+func runFamilyRecords(cfg Config, family string) []Record {
+	var recs []Record
+	for _, s := range Scenarios() {
+		if s.Family == family {
+			recs = append(recs, s.Run(cfg)...)
+		}
+	}
+	return recs
+}
+
+// BuildReport runs the given experiments (as selected by cmd/cdsbench)
+// and assembles their results into a Report. Experiments with a native
+// Records function contribute latency-rich records; the rest contribute
+// their figures flattened one record per point.
+func BuildReport(cfg Config, exps []Experiment) Report {
+	rep := Report{Schema: ReportSchema, Meta: NewMeta(cfg.Quick)}
+	for _, e := range exps {
+		if e.Records != nil {
+			rep.Records = append(rep.Records, e.Records(cfg)...)
+			continue
+		}
+		for _, fig := range e.Run(cfg) {
+			rep.Records = append(rep.Records, fig.Records()...)
+		}
+	}
+	return rep
 }
 
 // Find returns the experiment with the given ID, searching the main suite
@@ -140,7 +196,7 @@ func runF1(cfg Config) []Figure {
 			return func() sync.Locker { return l.Locker() }
 		}},
 	}
-	fig := Figure{ID: "F1", Title: "lock throughput, counter critical section", XLabel: "threads"}
+	fig := Figure{ID: "F1", Title: "lock throughput, counter critical section", Family: "locks", XLabel: "threads"}
 	for _, im := range impls {
 		var s Series
 		s.Label = im.label
@@ -167,7 +223,7 @@ func runF1(cfg Config) []Figure {
 
 func runF2(cfg Config) []Figure {
 	ops := cfg.ops(500000)
-	fig := Figure{ID: "F2", Title: "counter increment throughput", XLabel: "threads"}
+	fig := Figure{ID: "F2", Title: "counter increment throughput", Family: "counter", XLabel: "threads"}
 
 	type impl struct {
 		label string
@@ -218,7 +274,7 @@ func runF2(cfg Config) []Figure {
 
 func runF3(cfg Config) []Figure {
 	ops := cfg.ops(300000)
-	fig := Figure{ID: "F3", Title: "stack ops/sec, 50/50 push-pop, prefill 1k", XLabel: "threads"}
+	fig := Figure{ID: "F3", Title: "stack ops/sec, 50/50 push-pop, prefill 1k", Family: "stack", XLabel: "threads"}
 	impls := map[string]func() cds.Stack[int]{
 		"Mutex":       func() cds.Stack[int] { return stack.NewMutex[int]() },
 		"Treiber":     func() cds.Stack[int] { return stack.NewTreiber[int]() },
@@ -255,7 +311,7 @@ func runF3(cfg Config) []Figure {
 
 func runF4(cfg Config) []Figure {
 	ops := cfg.ops(300000)
-	fig := Figure{ID: "F4", Title: "queue ops/sec, 50/50 enq-deq, prefill 1k", XLabel: "threads"}
+	fig := Figure{ID: "F4", Title: "queue ops/sec, 50/50 enq-deq, prefill 1k", Family: "queue", XLabel: "threads"}
 
 	type mkops func() func(w int) func(int)
 	impls := []struct {
@@ -338,7 +394,7 @@ func opsQueue(q cds.Queue[int]) func(w int) func(int) {
 func runF5(cfg Config) []Figure {
 	ops := cfg.ops(100000)
 	const keyRange = 1024
-	fig := Figure{ID: "F5", Title: "sorted-list sets, 90% contains / 5% add / 5% remove, keys 0..1023", XLabel: "threads"}
+	fig := Figure{ID: "F5", Title: "sorted-list sets, 90% contains / 5% add / 5% remove, keys 0..1023", Family: "list", XLabel: "threads"}
 	impls := []struct {
 		label string
 		mk    func() cds.Set[int]
@@ -441,6 +497,7 @@ func runF6(cfg Config) []Figure {
 		for _, readPct := range []uint64{50, 90, 99} {
 			fig := Figure{
 				ID:     "F6",
+				Family: "cmap",
 				Title:  fmt.Sprintf("hash maps, %d%% reads, %s keys 0..%d", readPct, dist.name, keyRange-1),
 				XLabel: "threads",
 			}
@@ -491,7 +548,7 @@ func mapMixOp(m cds.Map[int, int], keyRange int, theta float64, readPct uint64) 
 func runF7(cfg Config) []Figure {
 	ops := cfg.ops(200000)
 	const keyRange = 1 << 16
-	fig := Figure{ID: "F7", Title: "skip lists, 90% contains / 5% add / 5% remove, keys 0..65535", XLabel: "threads"}
+	fig := Figure{ID: "F7", Title: "skip lists, 90% contains / 5% add / 5% remove, keys 0..65535", Family: "skiplist", XLabel: "threads"}
 	impls := []struct {
 		label string
 		mk    func() cds.Set[int]
@@ -520,7 +577,7 @@ func runF7(cfg Config) []Figure {
 
 func runF8(cfg Config) []Figure {
 	ops := cfg.ops(100000)
-	fig := Figure{ID: "F8", Title: "priority queues, 50/50 insert-deleteMin, prefill 4k", XLabel: "threads"}
+	fig := Figure{ID: "F8", Title: "priority queues, 50/50 insert-deleteMin, prefill 4k", Family: "pqueue", XLabel: "threads"}
 	impls := []struct {
 		label string
 		mk    func() cds.PriorityQueue[int]
@@ -562,6 +619,7 @@ func runF9(cfg Config) []Figure {
 	ownerOps := cfg.ops(2000000)
 	fig := Figure{
 		ID:     "F9",
+		Family: "deque",
 		Title:  "work-stealing system throughput (M tasks/s, ~300ns tasks) vs. stealers",
 		XLabel: "stealers",
 	}
@@ -663,7 +721,7 @@ func next(k int) int {
 
 func runF10(cfg Config) []Figure {
 	episodes := cfg.ops(20000)
-	fig := Figure{ID: "F10", Title: "barrier episodes per second (Mops column = M episodes/s × threads)", XLabel: "threads"}
+	fig := Figure{ID: "F10", Title: "barrier episodes per second (Mops column = M episodes/s × threads)", Family: "barrier", XLabel: "threads"}
 	type mk func(n int) []interface{ Wait() }
 	impls := []struct {
 		label string
@@ -718,6 +776,7 @@ func runF11(cfg Config) []Figure {
 	for _, accounts := range []int{64, 1 << 16} {
 		fig := Figure{
 			ID:     "F11",
+			Family: "stm",
 			Title:  fmt.Sprintf("bank transfers/s, %d accounts", accounts),
 			XLabel: "threads",
 		}
@@ -781,6 +840,7 @@ func runF12(cfg Config) []Figure {
 	ops := cfg.ops(200000)
 	fig := Figure{
 		ID:     "F12",
+		Family: "reclaim",
 		Title:  "reclamation read-side cost: 90% protected reads / 10% swap+retire",
 		XLabel: "threads",
 	}
@@ -840,10 +900,14 @@ func runF12(cfg Config) []Figure {
 
 func runT1(cfg Config) []Figure {
 	ops := cfg.ops(1000000)
-	fig := Figure{ID: "T1", Title: "single-thread throughput (Mops/s)", XLabel: "thread"}
+	fig := Figure{ID: "T1", Title: "single-thread throughput (Mops/s)", Family: "overview", XLabel: "thread"}
+	// Each row is a different structure family, so the series carry their
+	// own family labels into the Report.
+	families := map[string]string{"stack": "stack", "queue": "queue", "cmap": "cmap", "skip": "skiplist"}
 	add := func(label string, op func(i int)) {
 		res := Run(1, ops, func(int) func(int) { return op })
-		fig.Series = append(fig.Series, Series{Label: label, Points: []Point{{X: 1, Mops: res.Throughput()}}})
+		fam := families[strings.SplitN(label, ".", 2)[0]]
+		fig.Series = append(fig.Series, Series{Label: label, Family: fam, Points: []Point{{X: 1, Mops: res.Throughput()}}})
 	}
 
 	ms := stack.NewMutex[int]()
@@ -892,6 +956,7 @@ func runT2(cfg Config) []Figure {
 	const keyRange = 1 << 16
 	fig := Figure{
 		ID:     "T2",
+		Family: "cmap",
 		Title:  fmt.Sprintf("map throughput at %d threads vs. Zipf skew (X = θ×100), 50%% reads", th),
 		XLabel: "theta*100",
 	}
@@ -918,11 +983,13 @@ func runT3(cfg Config) []Figure {
 	ops := cfg.ops(200000)
 	fig := Figure{
 		ID:     "T3",
+		Family: "stack",
 		Title:  "elimination-backoff stack: hits per 100 elimination visits",
 		XLabel: "threads",
 	}
 	var s Series
 	s.Label = "hit-rate%"
+	s.Unit = UnitPercent
 	for _, th := range cfg.threads() {
 		st := stack.NewElimination[int](0, 0)
 		st.EnableStats(true)

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramExactSmallValues: below 2^histSubBits every value has its
+// own bucket, so percentiles are exact.
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 31; v++ {
+		h.Record(v)
+	}
+	if got := h.Percentile(50); got != 16 {
+		t.Fatalf("p50 of 1..31 = %d, want 16", got)
+	}
+	if got := h.Percentile(100); got != 31 {
+		t.Fatalf("p100 of 1..31 = %d, want 31", got)
+	}
+	if h.Min() != 1 || h.Max() != 31 {
+		t.Fatalf("min/max = %d/%d, want 1/31", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramPercentilesKnownDistribution checks the log-bucketed
+// percentiles against a known uniform distribution: quantisation error is
+// bounded by the sub-bucket resolution (1/2^histSubBits ≈ 3.1%).
+func TestHistogramPercentilesKnownDistribution(t *testing.T) {
+	h := NewHistogram()
+	const n = 100000
+	for v := int64(1); v <= n; v++ {
+		h.Record(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{50, 50000},
+		{90, 90000},
+		{99, 99000},
+		{99.9, 99900},
+	} {
+		got := h.Percentile(tc.p)
+		if relErr := math.Abs(float64(got)-tc.want) / tc.want; relErr > 0.04 {
+			t.Errorf("p%.1f = %d, want %.0f ±4%% (err %.2f%%)", tc.p, got, tc.want, 100*relErr)
+		}
+	}
+}
+
+// TestHistogramMerge: merging per-worker histograms must yield the same
+// percentiles as recording everything into one.
+func TestHistogramMerge(t *testing.T) {
+	whole, a, b := NewHistogram(), NewHistogram(), NewHistogram()
+	for v := int64(1); v <= 10000; v++ {
+		whole.Record(v)
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := NewHistogram()
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged min/max = %d/%d, want %d/%d", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		if m, w := merged.Percentile(p), whole.Percentile(p); m != w {
+			t.Errorf("p%v: merged %d != whole %d", p, m, w)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(0) // coarse-clock sample: clamped to 1ns, never lost
+	h.Record(-5)
+	if h.Count() != 2 || h.Min() != 1 || h.Percentile(99) != 1 {
+		t.Fatalf("clamped samples mishandled: count=%d min=%d p99=%d", h.Count(), h.Min(), h.Percentile(99))
+	}
+	// A huge value must neither panic nor land outside the bucket table.
+	big := int64(1) << 62
+	h.Record(big)
+	if got := h.Percentile(100); got != big {
+		t.Fatalf("p100 after huge sample = %d, want %d (max-clamped)", got, big)
+	}
+}
+
+// TestBucketRoundTrip: every bucket's representative value maps back to
+// the same bucket, and indices are monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	for idx := 0; idx < histBuckets; idx++ {
+		v := bucketValue(idx)
+		if v > 0 && bucketIndex(v) != idx {
+			t.Fatalf("bucketIndex(bucketValue(%d)) = %d", idx, bucketIndex(v))
+		}
+	}
+	prev := -1
+	for _, v := range []int64{1, 2, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 40, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx <= prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = idx
+	}
+}
+
+// TestRunLatencySamplesEveryOp: the merged histogram must hold exactly
+// one sample per operation with plausible non-zero percentiles.
+func TestRunLatencySamplesEveryOp(t *testing.T) {
+	var sink [2]int
+	res := RunLatency(2, 5000, func(w int) func(int) {
+		return func(i int) { sink[w] += i }
+	})
+	if res.Latency == nil {
+		t.Fatal("RunLatency returned no histogram")
+	}
+	if res.Latency.Count() != uint64(res.Ops) {
+		t.Fatalf("samples = %d, ops = %d", res.Latency.Count(), res.Ops)
+	}
+	if p50, p99 := res.Latency.Percentile(50), res.Latency.Percentile(99); p50 <= 0 || p99 < p50 {
+		t.Fatalf("implausible percentiles: p50=%d p99=%d", p50, p99)
+	}
+	_ = sink
+}

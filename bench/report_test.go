@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fully deterministic report: fixed meta, one
+// latency-rich scenario record and one figure-derived record, covering
+// both serialization shapes.
+func goldenReport() Report {
+	return Report{
+		Schema: ReportSchema,
+		Meta: Meta{
+			GoVersion:   "go1.24.0",
+			GOOS:        "linux",
+			GOARCH:      "amd64",
+			NumCPU:      8,
+			GOMAXPROCS:  8,
+			GitRevision: "abc1234",
+			Quick:       true,
+			UnixTime:    0,
+		},
+		Records: []Record{
+			{
+				Family:    "queue",
+				Algo:      "MS",
+				Scenario:  "enq-heavy-70/30",
+				Threads:   4,
+				Ops:       400000,
+				ElapsedNs: 32000000,
+				Value:     12.5,
+				Unit:      UnitMops,
+				NsPerOp:   80,
+				P50Ns:     71,
+				P90Ns:     102,
+				P99Ns:     913,
+				P999Ns:    4096,
+				Samples:   400000,
+			},
+			{
+				Family:   "stack",
+				Algo:     "hit-rate%",
+				Scenario: "T3: elimination-backoff stack: hits per 100 elimination visits",
+				Threads:  8,
+				Value:    37.5,
+				Unit:     UnitPercent,
+			},
+		},
+	}
+}
+
+// TestReportGoldenJSON locks the serialized layout: any schema drift must
+// show up as a reviewed golden-file diff (and a ReportSchema bump when it
+// changes meaning).
+func TestReportGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./bench -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("serialized report drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestReportRoundTrip: what WriteJSON emits, encoding/json reads back
+// unchanged — the property BENCH_*.json consumers rely on.
+func TestReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := goldenReport()
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != in.Schema || out.Meta != in.Meta || len(out.Records) != len(in.Records) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range in.Records {
+		if out.Records[i] != in.Records[i] {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, out.Records[i], in.Records[i])
+		}
+	}
+}
+
+func TestResultRecordConversion(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	res := Result{Workers: 4, Ops: 1000, Elapsed: 2 * time.Millisecond, Latency: h}
+	rec := res.Record("queue", "MS", "test-mix")
+	if rec.Family != "queue" || rec.Algo != "MS" || rec.Scenario != "test-mix" || rec.Threads != 4 {
+		t.Fatalf("labels wrong: %+v", rec)
+	}
+	if rec.Value != res.Throughput() || rec.NsPerOp != res.NsPerOp() || rec.ElapsedNs != res.Elapsed.Nanoseconds() {
+		t.Fatalf("metrics wrong: %+v", rec)
+	}
+	if rec.P50Ns == 0 || rec.P99Ns == 0 || rec.Samples != 1000 {
+		t.Fatalf("latency fields missing: %+v", rec)
+	}
+	// Without sampling, latency fields stay zero and omitted from JSON.
+	plain := Result{Workers: 1, Ops: 10, Elapsed: time.Millisecond}.Record("stack", "Treiber", "x")
+	if plain.P50Ns != 0 || plain.Samples != 0 {
+		t.Fatalf("unsampled record has latency fields: %+v", plain)
+	}
+	b, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("p50_ns")) {
+		t.Fatalf("unsampled record serialized latency fields: %s", b)
+	}
+}
+
+func TestFigureRecords(t *testing.T) {
+	fig := Figure{
+		ID:     "F4",
+		Title:  "queue ops/sec",
+		Family: "queue",
+		XLabel: "threads",
+		Series: []Series{
+			{Label: "MS", Points: []Point{{X: 1, Mops: 5}, {X: 2, Mops: 8}}},
+			{Label: "hit", Unit: UnitPercent, Points: []Point{{X: 1, Mops: 50}}},
+		},
+	}
+	recs := fig.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Family != "queue" || recs[0].Algo != "MS" || recs[0].Unit != UnitMops || recs[0].Value != 5 {
+		t.Fatalf("record 0 wrong: %+v", recs[0])
+	}
+	if recs[2].Unit != UnitPercent {
+		t.Fatalf("unit not propagated: %+v", recs[2])
+	}
+}
+
+// TestBuildReport exercises the assembly path with one synthetic records
+// experiment and one synthetic figure experiment.
+func TestBuildReport(t *testing.T) {
+	exps := []Experiment{
+		{ID: "X1", Title: "records-native", Records: func(Config) []Record {
+			return []Record{{Family: "queue", Algo: "MS", Scenario: "m", Threads: 1, Unit: UnitMops, P50Ns: 10}}
+		}},
+		{ID: "X2", Title: "figure-derived", Run: func(Config) []Figure {
+			return []Figure{{ID: "X2", Title: "t", Family: "stack", XLabel: "threads",
+				Series: []Series{{Label: "A", Points: []Point{{X: 1, Mops: 1}}}}}}
+		}},
+	}
+	rep := BuildReport(Config{Quick: true}, exps)
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Meta.GoVersion == "" || rep.Meta.GOMAXPROCS == 0 || !rep.Meta.Quick {
+		t.Fatalf("meta not captured: %+v", rep.Meta)
+	}
+	if len(rep.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(rep.Records))
+	}
+	if rep.Records[0].P50Ns != 10 || rep.Records[1].Family != "stack" {
+		t.Fatalf("records wrong: %+v", rep.Records)
+	}
+}

@@ -1,0 +1,741 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/barrier"
+	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/deque"
+	"github.com/cds-suite/cds/fc"
+	"github.com/cds-suite/cds/internal/epoch"
+	"github.com/cds-suite/cds/internal/hazard"
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/list"
+	"github.com/cds-suite/cds/locks"
+	"github.com/cds-suite/cds/pqueue"
+	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/skiplist"
+	"github.com/cds-suite/cds/stack"
+	"github.com/cds-suite/cds/stm"
+)
+
+// The scenario engine complements the throughput-vs-threads figures with a
+// matrix of mixed workloads: read/write ratio sweeps, Zipfian vs. uniform
+// key streams, and producer/consumer-asymmetric mixes. Every cell is
+// measured with RunLatency, so scenario records carry the tail-latency
+// percentiles the throughput figures cannot observe — the regime where
+// lock-free and blocking designs differ most (Cederman et al.).
+
+// mixBlock is the period over which MixGen proportions are exact.
+const mixBlock = 100
+
+// MixGen generates a deterministic stream of operation kinds with exact
+// proportions: every consecutive block of 100 draws contains exactly
+// pcts[k] operations of kind k, in an order shuffled by the seeded
+// generator. Exactness (rather than i.i.d. sampling) keeps op mixes
+// identical across algorithms and runs, so cells differ only in the
+// structure under test.
+type MixGen struct {
+	proto []uint8
+	block []uint8
+	pos   int
+	rng   *xrand.Rand
+}
+
+// NewMixGen returns a generator over kinds 0..len(pcts)-1. The
+// percentages must be non-negative and sum to 100.
+func NewMixGen(seed uint64, pcts ...int) *MixGen {
+	sum := 0
+	for _, p := range pcts {
+		if p < 0 {
+			panic(fmt.Sprintf("bench: negative mix percentage %d", p))
+		}
+		sum += p
+	}
+	if sum != mixBlock {
+		panic(fmt.Sprintf("bench: mix percentages sum to %d, want %d", sum, mixBlock))
+	}
+	g := &MixGen{
+		proto: make([]uint8, 0, mixBlock),
+		block: make([]uint8, mixBlock),
+		pos:   mixBlock, // force a refill on first Next
+		rng:   xrand.New(seed),
+	}
+	for kind, p := range pcts {
+		for i := 0; i < p; i++ {
+			g.proto = append(g.proto, uint8(kind))
+		}
+	}
+	return g
+}
+
+// Next returns the next operation kind.
+func (g *MixGen) Next() int {
+	if g.pos == mixBlock {
+		copy(g.block, g.proto)
+		// Fisher-Yates with the per-worker generator: a fresh exact-count
+		// permutation per block.
+		for i := mixBlock - 1; i > 0; i-- {
+			j := g.rng.Intn(i + 1)
+			g.block[i], g.block[j] = g.block[j], g.block[i]
+		}
+		g.pos = 0
+	}
+	k := g.block[g.pos]
+	g.pos++
+	return int(k)
+}
+
+// ScenarioAlgo is one implementation measured under a scenario.
+type ScenarioAlgo struct {
+	// Label names the implementation.
+	Label string
+	// Run measures one cell: construct a fresh structure, prefill it,
+	// and drive the scenario's mix at the given thread count with
+	// latency sampling.
+	Run func(cfg Config, threads int) Result
+}
+
+// Scenario is one workload mix applied to every algorithm of a family.
+type Scenario struct {
+	// Family is the structure family ("stack", "queue", ...).
+	Family string
+	// Name describes the mix (e.g. "enq-heavy-70/30-uniform").
+	Name string
+	// Algos are the implementations measured under this mix.
+	Algos []ScenarioAlgo
+}
+
+// Run measures the scenario across the configured thread sweep, returning
+// one record per (algorithm, thread count).
+func (s Scenario) Run(cfg Config) []Record {
+	var recs []Record
+	for _, a := range s.Algos {
+		for _, th := range cfg.threads() {
+			recs = append(recs, a.Run(cfg, th).Record(s.Family, a.Label, s.Name))
+		}
+	}
+	return recs
+}
+
+// Scenarios returns the full mixed-workload matrix: at least two scenario
+// cells per structure family beyond the throughput-vs-threads figures.
+func Scenarios() []Scenario {
+	var all []Scenario
+	all = append(all, stackScenarios()...)
+	all = append(all, queueScenarios()...)
+	all = append(all, mapScenarios()...)
+	all = append(all, listScenarios()...)
+	all = append(all, skiplistScenarios()...)
+	all = append(all, pqueueScenarios()...)
+	all = append(all, dequeScenarios()...)
+	all = append(all, counterScenarios()...)
+	all = append(all, stmScenarios()...)
+	all = append(all, lockScenarios()...)
+	all = append(all, barrierScenarios()...)
+	all = append(all, reclaimScenarios()...)
+	return all
+}
+
+// ScenarioFamilies returns the distinct families in matrix order.
+func ScenarioFamilies() []string {
+	var fams []string
+	seen := map[string]bool{}
+	for _, s := range Scenarios() {
+		if !seen[s.Family] {
+			seen[s.Family] = true
+			fams = append(fams, s.Family)
+		}
+	}
+	return fams
+}
+
+// RunScenarioRecords measures the whole matrix.
+func RunScenarioRecords(cfg Config) []Record {
+	var recs []Record
+	for _, s := range Scenarios() {
+		recs = append(recs, s.Run(cfg)...)
+	}
+	return recs
+}
+
+// scenarioFigures renders a family's records as text-mode figures: one
+// throughput figure and one p99-latency figure per scenario.
+func scenarioFigures(family string, recs []Record) []Figure {
+	var order []string
+	byScenario := map[string][]Record{}
+	for _, r := range recs {
+		if _, ok := byScenario[r.Scenario]; !ok {
+			order = append(order, r.Scenario)
+		}
+		byScenario[r.Scenario] = append(byScenario[r.Scenario], r)
+	}
+	var figs []Figure
+	for _, name := range order {
+		group := byScenario[name]
+		thr := Figure{
+			ID:     "S-" + family,
+			Title:  fmt.Sprintf("%s scenario %q, throughput (Mops/s)", family, name),
+			Family: family,
+			XLabel: "threads",
+		}
+		lat := Figure{
+			ID:     "S-" + family,
+			Title:  fmt.Sprintf("%s scenario %q, p99 latency (column = µs)", family, name),
+			Family: family,
+			XLabel: "threads",
+		}
+		var algos []string
+		seen := map[string]bool{}
+		for _, r := range group {
+			if !seen[r.Algo] {
+				seen[r.Algo] = true
+				algos = append(algos, r.Algo)
+			}
+		}
+		for _, algo := range algos {
+			ts := Series{Label: algo}
+			ls := Series{Label: algo, Unit: "us"}
+			for _, r := range group {
+				if r.Algo != algo {
+					continue
+				}
+				ts.Points = append(ts.Points, Point{X: r.Threads, Mops: r.Value})
+				ls.Points = append(ls.Points, Point{X: r.Threads, Mops: float64(r.P99Ns) / 1e3})
+			}
+			thr.Series = append(thr.Series, ts)
+			lat.Series = append(lat.Series, ls)
+		}
+		figs = append(figs, thr, lat)
+	}
+	return figs
+}
+
+// --- family matrices --------------------------------------------------------
+
+func stackScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.Stack[int]
+	}{
+		{"Mutex", func() cds.Stack[int] { return stack.NewMutex[int]() }},
+		{"Treiber", func() cds.Stack[int] { return stack.NewTreiber[int]() }},
+		{"Elimination", func() cds.Stack[int] { return stack.NewElimination[int](0, 0) }},
+		{"FC", func() cds.Stack[int] { return fc.NewStack[int]() }},
+	}
+	mkScenario := func(name string, pushPct int) Scenario {
+		s := Scenario{Family: "stack", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				st := mk()
+				for i := 0; i < 1024; i++ {
+					st.Push(i)
+				}
+				ops := cfg.ops(200000)
+				return RunLatency(th, ops/th+1, func(w int) func(int) {
+					mix := NewMixGen(uint64(w)*7919+1, pushPct, 100-pushPct)
+					return func(i int) {
+						if mix.Next() == 0 {
+							st.Push(i)
+						} else {
+							st.TryPop()
+						}
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("push-heavy-70/30", 70),
+		mkScenario("pop-heavy-30/70", 30),
+	}
+}
+
+func queueScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.Queue[int]
+	}{
+		{"Mutex", func() cds.Queue[int] { return queue.NewMutex[int]() }},
+		{"TwoLock", func() cds.Queue[int] { return queue.NewTwoLock[int]() }},
+		{"MS", func() cds.Queue[int] { return queue.NewMS[int]() }},
+		{"FC", func() cds.Queue[int] { return fc.NewQueue[int]() }},
+	}
+	mixed := Scenario{Family: "queue", Name: "enq-heavy-70/30"}
+	split := Scenario{Family: "queue", Name: "producer-consumer-split"}
+	for _, im := range impls {
+		mk := im.mk
+		mixed.Algos = append(mixed.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			q := mk()
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			ops := cfg.ops(200000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*7919+1, 70, 30)
+				return func(i int) {
+					if mix.Next() == 0 {
+						q.Enqueue(i)
+					} else {
+						q.TryDequeue()
+					}
+				}
+			})
+		}})
+		split.Algos = append(split.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			q := mk()
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			ops := cfg.ops(200000)
+			// Even workers produce, odd workers consume — the asymmetric
+			// regime where head and tail contention decouple (and where
+			// the two-lock queue earns its second lock).
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				if w%2 == 0 {
+					return func(i int) { q.Enqueue(i) }
+				}
+				return func(int) { q.TryDequeue() }
+			})
+		}})
+	}
+	return []Scenario{mixed, split}
+}
+
+func mapScenarios() []Scenario {
+	const keyRange = 1 << 16
+	mkScenario := func(name string, readPct int, theta float64) Scenario {
+		s := Scenario{Family: "cmap", Name: name}
+		for _, im := range mapImpls() {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				m := mk()
+				pre := xrand.New(7)
+				for i := 0; i < keyRange/2; i++ {
+					m.Store(pre.Intn(keyRange), i)
+				}
+				ops := cfg.ops(100000)
+				write := (100 - readPct) / 2
+				return RunLatency(th, ops/th+1, func(w int) func(int) {
+					keys, err := NewKeyStream(keyRange, theta, uint64(w)+1)
+					if err != nil {
+						panic(err) // static parameters; cannot fail at runtime
+					}
+					mix := NewMixGen(uint64(w)*912367+5, readPct, write, 100-readPct-write)
+					return func(int) {
+						k := int(keys.Next())
+						switch mix.Next() {
+						case 0:
+							m.Load(k)
+						case 1:
+							m.Store(k, 42)
+						default:
+							m.Delete(k)
+						}
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("read90/10-uniform", 90, 0),
+		mkScenario("read50/50-zipf0.99", 50, 0.99),
+	}
+}
+
+func setScenario(family, name string, readPct, keyRange int, theta float64, impls []struct {
+	label string
+	mk    func() cds.Set[int]
+}) Scenario {
+	s := Scenario{Family: family, Name: name}
+	for _, im := range impls {
+		mk := im.mk
+		s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			set := mk()
+			pre := xrand.New(99)
+			for i := 0; i < keyRange/2; i++ {
+				set.Add(pre.Intn(keyRange))
+			}
+			ops := cfg.ops(60000)
+			write := (100 - readPct) / 2
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				keys, err := NewKeyStream(uint64(keyRange), theta, uint64(w)*2654435761+1)
+				if err != nil {
+					panic(err) // static parameters; cannot fail at runtime
+				}
+				mix := NewMixGen(uint64(w)*31+7, readPct, write, 100-readPct-write)
+				return func(int) {
+					k := int(keys.Next())
+					switch mix.Next() {
+					case 0:
+						set.Contains(k)
+					case 1:
+						set.Add(k)
+					default:
+						set.Remove(k)
+					}
+				}
+			})
+		}})
+	}
+	return s
+}
+
+func listScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.Set[int]
+	}{
+		{"Coarse", func() cds.Set[int] { return list.NewCoarse[int]() }},
+		{"Lazy", func() cds.Set[int] { return list.NewLazy[int]() }},
+		{"Harris", func() cds.Set[int] { return list.NewHarris[int]() }},
+	}
+	return []Scenario{
+		setScenario("list", "read90/10-uniform-1k", 90, 1024, 0, impls),
+		setScenario("list", "read50/50-uniform-1k", 50, 1024, 0, impls),
+	}
+}
+
+func skiplistScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.Set[int]
+	}{
+		{"Lazy", func() cds.Set[int] { return skiplist.NewLazy[int]() }},
+		{"LockFree", func() cds.Set[int] { return skiplist.NewLockFree[int]() }},
+	}
+	return []Scenario{
+		setScenario("skiplist", "read90/10-zipf0.99", 90, 1<<16, 0.99, impls),
+		setScenario("skiplist", "read50/50-uniform", 50, 1<<16, 0, impls),
+	}
+}
+
+func pqueueScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.PriorityQueue[int]
+	}{
+		{"LockedHeap", func() cds.PriorityQueue[int] {
+			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
+		}},
+		{"SkipListPQ", func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
+	}
+	mkScenario := func(name string, insertPct int) Scenario {
+		s := Scenario{Family: "pqueue", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				pq := mk()
+				pre := xrand.New(11)
+				for i := 0; i < 4096; i++ {
+					pq.Insert(pre.Intn(1 << 20))
+				}
+				ops := cfg.ops(60000)
+				return RunLatency(th, ops/th+1, func(w int) func(int) {
+					mix := NewMixGen(uint64(w)*13+17, insertPct, 100-insertPct)
+					rng := xrand.New(uint64(w) + 17)
+					return func(int) {
+						if mix.Next() == 0 {
+							pq.Insert(rng.Intn(1 << 20))
+						} else {
+							pq.TryDeleteMin()
+						}
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("insert-heavy-90/10", 90),
+		mkScenario("balanced-50/50", 50),
+	}
+}
+
+func dequeScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.Deque[int]
+	}{
+		{"ChaseLev", func() cds.Deque[int] { return deque.NewChaseLev[int](1024) }},
+		{"MutexDeque", func() cds.Deque[int] { return deque.NewMutex[int]() }},
+	}
+	// Worker 0 is the deque's owner (PushBottom/TryPopBottom are
+	// owner-only on Chase-Lev); every other worker is a thief driving
+	// TryPopTop. The two mixes vary how much the owner feeds the thieves.
+	mkScenario := func(name string, pushPct int) Scenario {
+		s := Scenario{Family: "deque", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				d := mk()
+				ops := cfg.ops(200000)
+				return RunLatency(th, ops/th+1, func(w int) func(int) {
+					if w > 0 {
+						return func(int) { d.TryPopTop() }
+					}
+					mix := NewMixGen(uint64(w)*43+3, pushPct, 100-pushPct)
+					return func(i int) {
+						if mix.Next() == 0 {
+							d.PushBottom(i)
+						} else {
+							d.TryPopBottom()
+						}
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("owner-push-heavy-75/25", 75),
+		mkScenario("owner-balanced-50/50", 50),
+	}
+}
+
+func counterScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() cds.Counter
+	}{
+		{"Atomic", func() cds.Counter { return &counter.Atomic{} }},
+		{"Sharded", func() cds.Counter { return counter.NewSharded(0) }},
+		{"Approx", func() cds.Counter { return counter.NewApprox(0, 64) }},
+	}
+	mkScenario := func(name string, incPct int) Scenario {
+		s := Scenario{Family: "counter", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				c := mk()
+				ops := cfg.ops(300000)
+				return RunLatency(th, ops/th+1, func(w int) func(int) {
+					if incPct == 100 {
+						return func(int) { c.Inc() }
+					}
+					mix := NewMixGen(uint64(w)*53+9, incPct, 100-incPct)
+					return func(int) {
+						if mix.Next() == 0 {
+							c.Inc()
+						} else {
+							c.Load()
+						}
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("inc-only", 100),
+		mkScenario("inc90/load10", 90),
+	}
+}
+
+func stmScenarios() []Scenario {
+	mkScenario := func(name string, accounts int) Scenario {
+		s := Scenario{Family: "stm", Name: name}
+		s.Algos = append(s.Algos, ScenarioAlgo{Label: "STM", Run: func(cfg Config, th int) Result {
+			vars := make([]*stm.TVar[int], accounts)
+			for i := range vars {
+				vars[i] = stm.NewTVar(1000)
+			}
+			ops := cfg.ops(60000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 23)
+				return func(int) {
+					from, to := rng.Intn(accounts), rng.Intn(accounts)
+					if from == to {
+						to = (to + 1) % accounts
+					}
+					stm.Atomically(func(tx *stm.Txn) {
+						f := vars[from].Read(tx)
+						vars[from].Write(tx, f-1)
+						vars[to].Write(tx, vars[to].Read(tx)+1)
+					})
+				}
+			})
+		}})
+		s.Algos = append(s.Algos, ScenarioAlgo{Label: "GlobalLock", Run: func(cfg Config, th int) Result {
+			balances := make([]int, accounts)
+			var mu sync.Mutex
+			ops := cfg.ops(60000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				rng := xrand.New(uint64(w) + 23)
+				return func(int) {
+					from, to := rng.Intn(accounts), rng.Intn(accounts)
+					if from == to {
+						to = (to + 1) % accounts
+					}
+					mu.Lock()
+					balances[from]--
+					balances[to]++
+					mu.Unlock()
+				}
+			})
+		}})
+		return s
+	}
+	return []Scenario{
+		mkScenario("transfer-64-accounts", 64),
+		mkScenario("transfer-8k-accounts", 1<<13),
+	}
+}
+
+func barrierScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func(n int) []interface{ Wait() }
+	}{
+		{"Sense", func(n int) []interface{ Wait() } {
+			b := barrier.NewSense(n)
+			hs := make([]interface{ Wait() }, n)
+			for i := range hs {
+				hs[i] = b.Handle()
+			}
+			return hs
+		}},
+		{"Tree", func(n int) []interface{ Wait() } {
+			b := barrier.NewTree(n)
+			hs := make([]interface{ Wait() }, n)
+			for i := range hs {
+				hs[i] = b.Handle()
+			}
+			return hs
+		}},
+		{"Dissemination", func(n int) []interface{ Wait() } {
+			b := barrier.NewDissemination(n)
+			hs := make([]interface{ Wait() }, n)
+			for i := range hs {
+				hs[i] = b.Handle()
+			}
+			return hs
+		}},
+	}
+	// phaseWork sets how much local computation separates episodes: 0 is
+	// the pure synchronisation cost, larger values stagger the arrivals —
+	// the regime where tree/dissemination structure pays off because early
+	// arrivals overlap waiting with the stragglers' work.
+	mkScenario := func(name string, phaseWork int) Scenario {
+		s := Scenario{Family: "barrier", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				hs := mk(th)
+				episodes := cfg.ops(20000)
+				return RunLatency(th, episodes, func(w int) func(int) {
+					h := hs[w]
+					sink := uint64(w)
+					return func(int) {
+						for k := 0; k < phaseWork*(w+1)/th; k++ {
+							xrand.SplitMix64(&sink)
+						}
+						h.Wait()
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("back-to-back-episodes", 0),
+		mkScenario("staggered-arrival", 64),
+	}
+}
+
+func reclaimScenarios() []Scenario {
+	type node struct{ v int }
+	mkScenario := func(name string, readPct int) Scenario {
+		s := Scenario{Family: "reclaim", Name: name}
+		s.Algos = append(s.Algos, ScenarioAlgo{Label: "EBR", Run: func(cfg Config, th int) Result {
+			c := epoch.NewCollector()
+			var shared atomic.Pointer[node]
+			shared.Store(&node{})
+			ops := cfg.ops(100000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				p := c.Register()
+				mix := NewMixGen(uint64(w)*61+31, readPct, 100-readPct)
+				return func(int) {
+					if mix.Next() == 0 {
+						p.Pin()
+						_ = shared.Load()
+						p.Unpin()
+					} else {
+						old := shared.Swap(&node{})
+						p.Retire(func() { _ = old })
+					}
+				}
+			})
+		}})
+		s.Algos = append(s.Algos, ScenarioAlgo{Label: "HazardPtr", Run: func(cfg Config, th int) Result {
+			d := hazard.NewDomain()
+			var shared atomic.Pointer[node]
+			shared.Store(&node{})
+			ops := cfg.ops(100000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				h := d.NewHandle(1)
+				mix := NewMixGen(uint64(w)*61+31, readPct, 100-readPct)
+				return func(int) {
+					if mix.Next() == 0 {
+						hazard.Protect(h.Slot(0), &shared)
+						h.Slot(0).Clear()
+					} else {
+						old := shared.Swap(&node{})
+						h.Retire(old, func() { _ = old })
+					}
+				}
+			})
+		}})
+		return s
+	}
+	return []Scenario{
+		mkScenario("read-mostly-90/10", 90),
+		mkScenario("swap-heavy-50/50", 50),
+	}
+}
+
+func lockScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func() sync.Locker
+	}{
+		{"sync.Mutex", func() sync.Locker { return &sync.Mutex{} }},
+		{"Backoff", func() sync.Locker { return &locks.BackoffLock{} }},
+		{"Ticket", func() sync.Locker { return &locks.TicketLock{} }},
+	}
+	// csWork controls the critical-section length: 0 is the tiny
+	// increment-only section of F1, larger values emulate real protected
+	// work (~4ns per SplitMix64 round).
+	mkScenario := func(name string, csWork int) Scenario {
+		s := Scenario{Family: "locks", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				l := mk()
+				shared := uint64(0)
+				ops := cfg.ops(100000)
+				return RunLatency(th, ops/th+1, func(w int) func(int) {
+					return func(int) {
+						l.Lock()
+						shared++
+						for k := 0; k < csWork; k++ {
+							xrand.SplitMix64(&shared)
+						}
+						l.Unlock()
+					}
+				})
+			}})
+		}
+		return s
+	}
+	return []Scenario{
+		mkScenario("tiny-critical-section", 0),
+		mkScenario("long-critical-section-~250ns", 64),
+	}
+}

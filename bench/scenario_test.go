@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestMixGenExactCounts: every block of 100 draws carries exactly the
+// configured proportions — the property that makes op mixes identical
+// across algorithms.
+func TestMixGenExactCounts(t *testing.T) {
+	g := NewMixGen(42, 90, 5, 5)
+	counts := map[int]int{}
+	const blocks = 10
+	for i := 0; i < blocks*mixBlock; i++ {
+		counts[g.Next()]++
+	}
+	if counts[0] != 90*blocks || counts[1] != 5*blocks || counts[2] != 5*blocks {
+		t.Fatalf("counts = %v, want exactly 900/50/50", counts)
+	}
+	// Per-block exactness, not just in aggregate.
+	g = NewMixGen(7, 70, 30)
+	for b := 0; b < 5; b++ {
+		block := map[int]int{}
+		for i := 0; i < mixBlock; i++ {
+			block[g.Next()]++
+		}
+		if block[0] != 70 || block[1] != 30 {
+			t.Fatalf("block %d counts = %v, want exactly 70/30", b, block)
+		}
+	}
+}
+
+// TestMixGenDeterministic: the same seed replays the same stream, and the
+// stream is genuinely shuffled (not the sorted prototype block).
+func TestMixGenDeterministic(t *testing.T) {
+	a, b := NewMixGen(1, 50, 50), NewMixGen(1, 50, 50)
+	var seqA []int
+	sorted := true
+	for i := 0; i < 200; i++ {
+		x := a.Next()
+		if x != b.Next() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+		seqA = append(seqA, x)
+		if i > 0 && i < mixBlock && seqA[i] < seqA[i-1] {
+			sorted = false
+		}
+	}
+	if sorted {
+		t.Fatal("first block came out in prototype order; shuffle is not running")
+	}
+	c := NewMixGen(2, 50, 50)
+	diverged := false
+	for i := 0; i < 200; i++ {
+		if c.Next() != seqA[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestMixGenRejectsBadPercentages(t *testing.T) {
+	for _, pcts := range [][]int{{50, 40}, {101}, {-1, 101}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMixGen(%v) did not panic", pcts)
+				}
+			}()
+			NewMixGen(1, pcts...)
+		}()
+	}
+}
+
+// TestScenarioMatrixShape: every structure family must contribute at
+// least two scenario mixes, each with at least two algorithms (the
+// acceptance bar for the mixed-workload engine).
+func TestScenarioMatrixShape(t *testing.T) {
+	perFamily := map[string]int{}
+	for _, s := range Scenarios() {
+		perFamily[s.Family]++
+		if len(s.Algos) < 2 {
+			t.Errorf("scenario %s/%s has %d algos, want >= 2", s.Family, s.Name, len(s.Algos))
+		}
+		if s.Name == "" {
+			t.Errorf("unnamed scenario in family %s", s.Family)
+		}
+	}
+	if len(perFamily) < 8 {
+		t.Errorf("only %d families in the matrix: %v", len(perFamily), perFamily)
+	}
+	for fam, n := range perFamily {
+		if n < 2 {
+			t.Errorf("family %s has %d scenarios, want >= 2", fam, n)
+		}
+	}
+}
+
+// TestScenarioRecordsCarryLatency runs one cheap cell end-to-end and
+// checks the records have the latency fields the JSON trajectory needs.
+func TestScenarioRecordsCarryLatency(t *testing.T) {
+	cfg := Config{Quick: true, Threads: []int{1, 2}, Ops: 2000}
+	var scen Scenario
+	for _, s := range Scenarios() {
+		if s.Family == "counter" {
+			scen = s
+			break
+		}
+	}
+	recs := scen.Run(cfg)
+	if want := len(scen.Algos) * 2; len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Family != "counter" || r.Algo == "" || r.Scenario == "" {
+			t.Errorf("incomplete record labels: %+v", r)
+		}
+		if r.Ops == 0 || r.ElapsedNs == 0 || r.Value <= 0 || r.Unit != UnitMops {
+			t.Errorf("degenerate measurement: %+v", r)
+		}
+		if r.P50Ns <= 0 || r.P99Ns < r.P50Ns || r.P999Ns < r.P99Ns || r.Samples != uint64(r.Ops) {
+			t.Errorf("latency fields wrong: p50=%d p99=%d p999=%d samples=%d ops=%d",
+				r.P50Ns, r.P99Ns, r.P999Ns, r.Samples, r.Ops)
+		}
+	}
+}

@@ -1,21 +1,28 @@
 // Command cdsbench regenerates the experiment figures and tables from
-// DESIGN.md: throughput-scalability series for every structure family,
-// printed as aligned text tables (one row per thread count, one column per
-// algorithm).
+// DESIGN.md — throughput-scalability series for every structure family
+// plus the mixed-workload scenario matrix with latency percentiles — as
+// aligned text tables or as a machine-readable JSON report.
 //
 // Usage:
 //
-//	cdsbench                  # run the full suite
-//	cdsbench -experiment F4   # one experiment
-//	cdsbench -quick           # smoke-sized workloads
-//	cdsbench -threads 1,2,4,8 # custom sweep
-//	cdsbench -list            # list experiment IDs
+//	cdsbench                       # run the full suite, text tables
+//	cdsbench -experiment F4        # one experiment
+//	cdsbench -quick                # smoke-sized workloads
+//	cdsbench -threads 1,2,4,8      # custom sweep
+//	cdsbench -list                 # list experiment IDs
+//	cdsbench -format json -o f.json# serialize a bench.Report (see package
+//	                               # bench docs for the schema)
+//
+// The JSON report embeds the Go version, GOMAXPROCS, and the git revision,
+// so checked-in BENCH_*.json files are diffable across commits: the perf
+// trajectory of the repository is the series of these files.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 
@@ -32,12 +39,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdsbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "", "experiment ID to run (e.g. F1, A2); empty runs the main suite")
+		experiment = fs.String("experiment", "", "experiment ID to run (e.g. F1, A2, S3); empty runs the main suite")
 		ablations  = fs.Bool("ablations", false, "also run the ablation sweeps (A1..A4)")
 		quick      = fs.Bool("quick", false, "smoke-sized workloads")
 		threads    = fs.String("threads", "", "comma-separated thread sweep (default: 1,2,4,...,GOMAXPROCS)")
 		ops        = fs.Int("ops", 0, "per-worker operations (0 = per-experiment default)")
 		list       = fs.Bool("list", false, "list experiments and exit")
+		format     = fs.String("format", "text", "output format: text (aligned tables) or json (bench.Report)")
+		out        = fs.String("o", "", "output file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,15 +85,51 @@ func run(args []string) error {
 		selected = []bench.Experiment{e}
 	}
 
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *format == "json" {
+		rep := bench.BuildReport(cfg, selected)
+		if rep.Meta.GitRevision == "unknown" {
+			if rev := gitRevision(); rev != "" {
+				rep.Meta.GitRevision = rev
+			}
+		}
+		return rep.WriteJSON(w)
+	}
 	for _, e := range selected {
-		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "# %s — %s\n", e.ID, e.Title)
 		for _, fig := range e.Run(cfg) {
-			if err := fig.Render(os.Stdout); err != nil {
+			if err := fig.Render(w); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// gitRevision asks the working tree's git for HEAD. It is only a fallback
+// for when the binary carries no embedded VCS stamping (the `go run`
+// case): the build info, when present, names the commit the binary was
+// actually built from, whereas the CWD's HEAD may be a different commit
+// or a different repository entirely. Returns "" when git or the
+// repository is unavailable.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -1,0 +1,3 @@
+module github.com/cds-suite/cds
+
+go 1.24

@@ -9,12 +9,15 @@ import (
 	cds "github.com/cds-suite/cds"
 	"github.com/cds-suite/cds/cmap"
 	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/deque"
 	"github.com/cds-suite/cds/internal/xrand"
 	"github.com/cds-suite/cds/lincheck"
 	"github.com/cds-suite/cds/list"
+	"github.com/cds-suite/cds/pqueue"
 	"github.com/cds-suite/cds/queue"
 	"github.com/cds-suite/cds/skiplist"
 	"github.com/cds-suite/cds/stack"
+	"github.com/cds-suite/cds/stm"
 )
 
 // The integration strategy: many small windows (few clients, few ops each)
@@ -228,6 +231,135 @@ func TestLinearizableCounters(t *testing.T) {
 			})
 		})
 	}
+}
+
+// TestLinearizableDeques covers the work-stealing family. Chase-Lev
+// restricts PushBottom/TryPopBottom to one owner goroutine, so client 0
+// plays the owner (mixing pushes and bottom pops) while the remaining
+// clients are thieves racing TryPopTop — the steal/take races on the last
+// element are exactly the windows the checker must see.
+func TestLinearizableDeques(t *testing.T) {
+	impls := map[string]func() cds.Deque[int]{
+		"Mutex":    func() cds.Deque[int] { return deque.NewMutex[int]() },
+		"ChaseLev": func() cds.Deque[int] { return deque.NewChaseLev[int](8) },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.DequeModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				d := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						switch {
+						case client != 0:
+							p := rec.Begin(client, lincheck.DequePopTop{})
+							v, ok := d.TryPopTop()
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						case rng.Intn(2) == 0:
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.DequePushBottom{Value: v})
+							d.PushBottom(v)
+							p.End(nil)
+						default:
+							p := rec.Begin(client, lincheck.DequePopBottom{})
+							v, ok := d.TryPopBottom()
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLinearizablePriorityQueues draws values from the tiny range so that
+// duplicate minima are common: the multiset model must accept any of the
+// tied instances while still rejecting out-of-order deliveries.
+func TestLinearizablePriorityQueues(t *testing.T) {
+	impls := map[string]func() cds.PriorityQueue[int]{
+		"LockedHeap": func() cds.PriorityQueue[int] {
+			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
+		},
+		"SkipListPQ": func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.PQModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				pq := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						if rng.Intn(2) == 0 {
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.PQInsert{Value: v})
+							pq.Insert(v)
+							p.End(nil)
+						} else {
+							p := rec.Begin(client, lincheck.PQDeleteMin{})
+							v, ok := pq.TryDeleteMin()
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLinearizableSTMCounter checks STM atomicity through the counter
+// model: racing read-modify-write transactions must never lose an update,
+// which is precisely what a torn TL2 commit would produce.
+func TestLinearizableSTMCounter(t *testing.T) {
+	runWindows(t, lincheck.CounterModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+		v := stm.NewTVar(int64(0))
+		return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+			for i := 0; i < linOpsPerCli; i++ {
+				if rng.Intn(2) == 0 {
+					d := int64(rng.Intn(3) - 1)
+					p := rec.Begin(client, lincheck.CounterAdd{Delta: d})
+					stm.Atomically(func(tx *stm.Txn) {
+						v.Write(tx, v.Read(tx)+d)
+					})
+					p.End(nil)
+				} else {
+					p := rec.Begin(client, lincheck.CounterLoad{})
+					p.End(v.Load())
+				}
+			}
+		}
+	})
+}
+
+// TestLinearizableSTMSnapshot drives two TVars that are always written
+// together: transactional reads must observe them equal (the TL2 snapshot
+// guarantee). A torn read records the sentinel -1, which the register
+// model rejects because -1 is never written.
+func TestLinearizableSTMSnapshot(t *testing.T) {
+	runWindows(t, lincheck.RegisterModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+		a, b := stm.NewTVar(0), stm.NewTVar(0)
+		return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+			for i := 0; i < linOpsPerCli; i++ {
+				if rng.Intn(2) == 0 {
+					v := rng.Intn(linValueRange)
+					p := rec.Begin(client, lincheck.RegisterWrite{Value: v})
+					stm.Atomically(func(tx *stm.Txn) {
+						a.Write(tx, v)
+						b.Write(tx, v)
+					})
+					p.End(nil)
+				} else {
+					p := rec.Begin(client, lincheck.RegisterRead{})
+					var x, y int
+					stm.Atomically(func(tx *stm.Txn) {
+						x, y = a.Read(tx), b.Read(tx)
+					})
+					out := x
+					if x != y {
+						out = -1 // torn snapshot: unwritable value fails the check
+					}
+					p.End(out)
+				}
+			}
+		}
+	})
 }
 
 // TestCheckerCatchesRealBug feeds the checker a deliberately broken

@@ -142,6 +142,73 @@ func TestStackLIFO(t *testing.T) {
 	}
 }
 
+func TestDequeSemantics(t *testing.T) {
+	// Push 1 then 2 at the bottom: the top (steal end) must yield 1, the
+	// bottom 2.
+	good := []Operation{
+		h(0, DequePushBottom{Value: 1}, nil, 1, 2),
+		h(0, DequePushBottom{Value: 2}, nil, 3, 4),
+		h(1, DequePopTop{}, ValueOK{Value: 1, OK: true}, 5, 6),
+		h(0, DequePopBottom{}, ValueOK{Value: 2, OK: true}, 7, 8),
+		h(0, DequePopBottom{}, ValueOK{OK: false}, 9, 10),
+	}
+	if res := Check(DequeModel(), good); !res.Ok {
+		t.Fatalf("legal deque history rejected: %s", res.Info)
+	}
+	// A steal returning the freshest element while an older one remains
+	// sequentially before it is a top/bottom mix-up.
+	bad := []Operation{
+		h(0, DequePushBottom{Value: 1}, nil, 1, 2),
+		h(0, DequePushBottom{Value: 2}, nil, 3, 4),
+		h(1, DequePopTop{}, ValueOK{Value: 2, OK: true}, 5, 6),
+		h(1, DequePopTop{}, ValueOK{Value: 1, OK: true}, 7, 8),
+	}
+	if res := Check(DequeModel(), bad); res.Ok {
+		t.Fatal("steal-order violation accepted")
+	}
+	// An element must not be taken from both ends.
+	double := []Operation{
+		h(0, DequePushBottom{Value: 1}, nil, 1, 2),
+		h(1, DequePopTop{}, ValueOK{Value: 1, OK: true}, 3, 4),
+		h(0, DequePopBottom{}, ValueOK{Value: 1, OK: true}, 5, 6),
+	}
+	if res := Check(DequeModel(), double); res.Ok {
+		t.Fatal("double delivery accepted")
+	}
+}
+
+func TestPQSemantics(t *testing.T) {
+	// DeleteMin must deliver ascending values regardless of insert order.
+	good := []Operation{
+		h(0, PQInsert{Value: 5}, nil, 1, 2),
+		h(0, PQInsert{Value: 3}, nil, 3, 4),
+		h(1, PQDeleteMin{}, ValueOK{Value: 3, OK: true}, 5, 6),
+		h(1, PQDeleteMin{}, ValueOK{Value: 5, OK: true}, 7, 8),
+		h(1, PQDeleteMin{}, ValueOK{OK: false}, 9, 10),
+	}
+	if res := Check(PQModel(), good); !res.Ok {
+		t.Fatalf("legal priority-queue history rejected: %s", res.Info)
+	}
+	bad := []Operation{
+		h(0, PQInsert{Value: 5}, nil, 1, 2),
+		h(0, PQInsert{Value: 3}, nil, 3, 4),
+		h(1, PQDeleteMin{}, ValueOK{Value: 5, OK: true}, 5, 6),
+	}
+	if res := Check(PQModel(), bad); res.Ok {
+		t.Fatal("non-minimum delivery accepted")
+	}
+	// Duplicates are a multiset: both instances come out.
+	dup := []Operation{
+		h(0, PQInsert{Value: 2}, nil, 1, 2),
+		h(0, PQInsert{Value: 2}, nil, 3, 4),
+		h(1, PQDeleteMin{}, ValueOK{Value: 2, OK: true}, 5, 6),
+		h(1, PQDeleteMin{}, ValueOK{Value: 2, OK: true}, 7, 8),
+	}
+	if res := Check(PQModel(), dup); !res.Ok {
+		t.Fatalf("duplicate minima rejected: %s", res.Info)
+	}
+}
+
 func TestSetSemantics(t *testing.T) {
 	good := []Operation{
 		h(0, SetAdd{Key: 1}, true, 1, 2),

@@ -46,6 +46,18 @@ type (
 	StackPush struct{ Value int }
 	// StackPop pops; output is queuePopResult.
 	StackPop struct{}
+
+	// DequePushBottom pushes Value at the owner end; output is ignored.
+	DequePushBottom struct{ Value int }
+	// DequePopBottom pops from the owner end; output is ValueOK.
+	DequePopBottom struct{}
+	// DequePopTop steals from the top end; output is ValueOK.
+	DequePopTop struct{}
+
+	// PQInsert inserts Value; output is ignored.
+	PQInsert struct{ Value int }
+	// PQDeleteMin removes the minimum; output is ValueOK.
+	PQDeleteMin struct{}
 )
 
 // ValueOK is the output shape for operations returning (value, ok).
@@ -200,6 +212,96 @@ func StackModel() Model {
 			}
 		},
 	}
+}
+
+// DequeModel models a double-ended queue of ints. State is "v1,v2,..."
+// with the top (steal end) first and the bottom (owner end) last:
+// PushBottom appends, PopBottom takes the last element, PopTop the first.
+func DequeModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(string)
+			switch in := input.(type) {
+			case DequePushBottom:
+				return true, pushBack(s, in.Value)
+			case DequePopBottom:
+				got := output.(ValueOK)
+				if s == "" {
+					return !got.OK, s
+				}
+				bottom, rest := popBack(s)
+				if !got.OK || got.Value != bottom {
+					return false, s
+				}
+				return true, rest
+			case DequePopTop:
+				got := output.(ValueOK)
+				if s == "" {
+					return !got.OK, s
+				}
+				top, rest := popFront(s)
+				if !got.OK || got.Value != top {
+					return false, s
+				}
+				return true, rest
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// PQModel models a min-priority queue of ints (a multiset: duplicates are
+// kept). State is the canonical ascending "v1,v2,..." string, so DeleteMin
+// always takes the front; among equal minima any instance is acceptable,
+// which the canonical form makes indistinguishable — exactly the freedom
+// linearizable priority queues exploit.
+func PQModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(string)
+			switch in := input.(type) {
+			case PQInsert:
+				return true, insertSorted(s, in.Value)
+			case PQDeleteMin:
+				got := output.(ValueOK)
+				if s == "" {
+					return !got.OK, s
+				}
+				min, rest := popFront(s)
+				if !got.OK || got.Value != min {
+					return false, s
+				}
+				return true, rest
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// insertSorted inserts v into an ascending "v1,v2,..." multiset string.
+func insertSorted(s string, v int) string {
+	if s == "" {
+		return strconv.Itoa(v)
+	}
+	parts := strings.Split(s, ",")
+	vals := make([]int, 0, len(parts)+1)
+	for _, p := range parts {
+		n, _ := strconv.Atoi(p)
+		vals = append(vals, n)
+	}
+	i := sort.SearchInts(vals, v)
+	vals = append(vals, 0)
+	copy(vals[i+1:], vals[i:])
+	vals[i] = v
+	out := make([]string, len(vals))
+	for j, n := range vals {
+		out[j] = strconv.Itoa(n)
+	}
+	return strings.Join(out, ",")
 }
 
 func pushBack(s string, v int) string {
