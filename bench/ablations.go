@@ -39,6 +39,7 @@ func runA1(cfg Config) []Figure {
 	hit.Unit = UnitPercent
 	for _, width := range []int{1, 2, 4, 8, 16, 32} {
 		s := stack.NewElimination[int](width, 128)
+		s.PinWidth(width) // sweep true fixed widths, not adaptive caps
 		s.EnableStats(true)
 		res := Run(th, ops/th+1, stackMixOp(s))
 		hits, misses := s.Stats()
@@ -69,6 +70,7 @@ func runA2(cfg Config) []Figure {
 	hit.Unit = UnitPercent
 	for _, spins := range []int{16, 64, 256, 1024, 4096} {
 		s := stack.NewElimination[int](8, spins)
+		s.PinWidth(8) // hold width fixed while the spin budget sweeps
 		s.EnableStats(true)
 		res := Run(th, ops/th+1, stackMixOp(s))
 		hits, misses := s.Stats()

@@ -339,6 +339,13 @@ func runF4(cfg Config) []Figure {
 			}
 			return opsQueue(q)
 		}},
+		{label: "ElimMS", mk: func() func(int) func(int) {
+			q := queue.NewElimination[int](0, 0)
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
 		{label: "FC", mk: func() func(int) func(int) {
 			q := fc.NewQueue[int]()
 			for i := 0; i < 1024; i++ {
@@ -586,6 +593,9 @@ func runF8(cfg Config) []Figure {
 			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
 		}},
 		{label: "SkipListPQ", mk: func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
+		{label: "FCHeap", mk: func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
+		}},
 	}
 	for _, im := range impls {
 		var s Series

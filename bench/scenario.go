@@ -137,6 +137,7 @@ func Scenarios() []Scenario {
 	all = append(all, lockScenarios()...)
 	all = append(all, barrierScenarios()...)
 	all = append(all, reclaimScenarios()...)
+	all = append(all, contendScenarios()...)
 	return all
 }
 
@@ -264,6 +265,7 @@ func queueScenarios() []Scenario {
 		{"Mutex", func() cds.Queue[int] { return queue.NewMutex[int]() }},
 		{"TwoLock", func() cds.Queue[int] { return queue.NewTwoLock[int]() }},
 		{"MS", func() cds.Queue[int] { return queue.NewMS[int]() }},
+		{"ElimMS", func() cds.Queue[int] { return queue.NewElimination[int](0, 0) }},
 		{"FC", func() cds.Queue[int] { return fc.NewQueue[int]() }},
 	}
 	mixed := Scenario{Family: "queue", Name: "enq-heavy-70/30"}
@@ -425,6 +427,9 @@ func pqueueScenarios() []Scenario {
 			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
 		}},
 		{"SkipListPQ", func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
+		{"FCHeap", func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
+		}},
 	}
 	mkScenario := func(name string, insertPct int) Scenario {
 		s := Scenario{Family: "pqueue", Name: name}
@@ -465,6 +470,7 @@ func dequeScenarios() []Scenario {
 	}{
 		{"ChaseLev", func() cds.Deque[int] { return deque.NewChaseLev[int](1024) }},
 		{"MutexDeque", func() cds.Deque[int] { return deque.NewMutex[int]() }},
+		{"FCDeque", func() cds.Deque[int] { return deque.NewFC[int]() }},
 	}
 	// Worker 0 is the deque's owner (PushBottom/TryPopBottom are
 	// owner-only on Chase-Lev); every other worker is a thief driving
@@ -698,6 +704,105 @@ func reclaimScenarios() []Scenario {
 		mkScenario("read-mostly-90/10", 90),
 		mkScenario("swap-heavy-50/50", 50),
 	}
+}
+
+// contendScenarios showcases the contention-management layer: the three
+// combining/elimination-backed variants under the high-contention symmetric
+// mixes they were designed for. Unlike the family matrices above, these
+// cells start empty (no prefill): the symmetric 50/50 mix then keeps the
+// structures hovering near empty, which maximises head/tail (or top)
+// collisions — the regime where elimination pairs operations off and
+// combining batches them, and where the plain CAS loops degrade.
+func contendScenarios() []Scenario {
+	queueSc := Scenario{Family: "contend", Name: "queue-symmetric-50/50-empty"}
+	for _, im := range []struct {
+		label string
+		mk    func() cds.Queue[int]
+	}{
+		{"MS", func() cds.Queue[int] { return queue.NewMS[int]() }},
+		{"ElimMS", func() cds.Queue[int] { return queue.NewElimination[int](0, 0) }},
+		{"FC", func() cds.Queue[int] { return fc.NewQueue[int]() }},
+	} {
+		mk := im.mk
+		queueSc.Algos = append(queueSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			q := mk()
+			ops := cfg.ops(200000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*104729+13, 50, 50)
+				return func(i int) {
+					if mix.Next() == 0 {
+						q.Enqueue(i)
+					} else {
+						q.TryDequeue()
+					}
+				}
+			})
+		}})
+	}
+
+	pqSc := Scenario{Family: "contend", Name: "pqueue-symmetric-50/50"}
+	for _, im := range []struct {
+		label string
+		mk    func() cds.PriorityQueue[int]
+	}{
+		{"LockedHeap", func() cds.PriorityQueue[int] {
+			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
+		}},
+		{"SkipListPQ", func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
+		{"FCHeap", func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
+		}},
+	} {
+		mk := im.mk
+		pqSc.Algos = append(pqSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			pq := mk()
+			ops := cfg.ops(60000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*104729+29, 50, 50)
+				rng := xrand.New(uint64(w) + 43)
+				return func(int) {
+					if mix.Next() == 0 {
+						pq.Insert(rng.Intn(1 << 20))
+					} else {
+						pq.TryDeleteMin()
+					}
+				}
+			})
+		}})
+	}
+
+	// The deque cell drives both ends from every worker — the symmetric
+	// workload Chase-Lev's owner restriction rules out, so the combining
+	// deque is compared against the locked baseline.
+	dqSc := Scenario{Family: "contend", Name: "deque-symmetric-both-ends"}
+	for _, im := range []struct {
+		label string
+		mk    func() cds.Deque[int]
+	}{
+		{"MutexDeque", func() cds.Deque[int] { return deque.NewMutex[int]() }},
+		{"FCDeque", func() cds.Deque[int] { return deque.NewFC[int]() }},
+	} {
+		mk := im.mk
+		dqSc.Algos = append(dqSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			d := mk()
+			ops := cfg.ops(200000)
+			return RunLatency(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*104729+31, 40, 30, 30)
+				return func(i int) {
+					switch mix.Next() {
+					case 0:
+						d.PushBottom(i)
+					case 1:
+						d.TryPopBottom()
+					default:
+						d.TryPopTop()
+					}
+				}
+			})
+		}})
+	}
+
+	return []Scenario{queueSc, pqSc, dqSc}
 }
 
 func lockScenarios() []Scenario {

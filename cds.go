@@ -9,6 +9,13 @@
 // concurrent semantics the survey literature analyses, not every convenience
 // accessor a sequential container would offer.
 //
+// Cross-cutting machinery lives in its own packages: contend is the shared
+// contention-management layer (randomized exponential backoff, elimination
+// and validated-handoff arrays, flat-combining and combining-tree cores)
+// that the structure families draw their under-contention behaviour from,
+// and lincheck is the linearizability checker the integration tests verify
+// them with.
+//
 // # Progress guarantees
 //
 // Implementations document their progress property using the standard

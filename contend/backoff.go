@@ -1,4 +1,4 @@
-package locks
+package contend
 
 import "runtime"
 

@@ -1,0 +1,107 @@
+package contend
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Combiner wraps a sequential structure S with flat-combining concurrency
+// (Hendler, Incze, Shavit & Tzafrir, SPAA 2010): instead of every thread
+// fighting for the lock of a shared structure, threads publish their
+// operations into a lock-free list and a single temporary "combiner"
+// applies a whole batch against the plain sequential structure.
+//
+// The counter-intuitive result the paper established is that one thread
+// applying k operations back-to-back against warm caches often beats k
+// threads applying one operation each through a contended lock or CAS,
+// because the structure's cache lines stay resident with the combiner.
+//
+// This implementation uses the detached-publication-list variant (as in
+// Oyama et al.'s delegation scheme): each operation publishes a fresh
+// record, and the combiner claims the whole pending list with one atomic
+// swap. It keeps every property that matters (batching, single-writer
+// cache affinity) while avoiding the record lifecycle management of the
+// original.
+//
+// S is typically a pointer to an unsynchronised container; Do submits a
+// closure that the (single) combiner thread applies.
+//
+// Progress: the structure's operations are applied by whichever thread
+// holds the combiner role; waiting threads spin until their record is
+// served. Lock-free in aggregate: the combiner role is claimed by CAS and
+// held only for a bounded batch.
+type Combiner[S any] struct {
+	seq  S
+	head atomic.Pointer[record[S]]
+	busy atomic.Bool
+}
+
+type record[S any] struct {
+	apply func(S)
+	next  *record[S]
+	done  atomic.Bool
+}
+
+// NewCombiner returns a Combiner around the given sequential structure.
+// After construction the structure must only be accessed through Do.
+func NewCombiner[S any](seq S) *Combiner[S] {
+	return &Combiner[S]{seq: seq}
+}
+
+// Do submits apply and returns after it has executed against the
+// structure. Results travel out through the closure's captured variables,
+// which are safe to read once Do returns (the combiner's completion store
+// synchronises with the caller's observation of it).
+func (c *Combiner[S]) Do(apply func(S)) {
+	r := &record[S]{apply: apply}
+	for {
+		old := c.head.Load()
+		r.next = old
+		if c.head.CompareAndSwap(old, r) {
+			break
+		}
+	}
+	spins := 0
+	for {
+		if r.done.Load() {
+			return
+		}
+		if c.busy.CompareAndSwap(false, true) {
+			c.combine()
+			c.busy.Store(false)
+			if r.done.Load() {
+				return
+			}
+			// Our record was claimed by a previous combiner that has not
+			// finished applying it yet; keep waiting.
+		}
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// combine claims the pending list and applies it. Caller holds busy.
+// Records are served in submission order (the CAS-push builds a LIFO list,
+// so it is reversed first); FIFO service keeps combining fair and makes
+// per-thread operation order match submission order.
+func (c *Combiner[S]) combine() {
+	batch := c.head.Swap(nil)
+	if batch == nil {
+		return
+	}
+	var rev *record[S]
+	for batch != nil {
+		next := batch.next
+		batch.next = rev
+		rev = batch
+		batch = next
+	}
+	for r := rev; r != nil; {
+		next := r.next // r may be reused/collected once done is set
+		r.apply(c.seq)
+		r.done.Store(true)
+		r = next
+	}
+}

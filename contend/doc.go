@@ -1,0 +1,34 @@
+// Package contend is the shared contention-management layer for the
+// concurrent data structures in this module. The survey's central
+// performance lesson is that throughput under contention is decided less by
+// the container's core algorithm than by how failed synchronization
+// attempts are handled, and that three portable techniques cover the
+// design space:
+//
+//   - Backoff: a thread that loses a CAS (or finds a lock held) waits a
+//     randomized, exponentially growing interval before retrying, spreading
+//     the retry stampede over time. Cheapest, always applicable, but the
+//     waiting time is pure loss.
+//   - Elimination: operations with inverse semantics (push/pop,
+//     enqueue/dequeue-on-empty) meet in a side array and cancel directly,
+//     turning the contention itself into useful parallelism. See
+//     Exchanger, Elimination and Handoff/HandoffArray.
+//   - Combining: threads publish operations and a single temporary
+//     combiner applies a whole batch against the sequential structure with
+//     warm caches, replacing p contended updates with one cache-resident
+//     sweep. See Combiner (flat combining) and CombiningTree.
+//
+// Every structure family in this module draws these mechanisms from here
+// rather than keeping private copies: the spin locks and lock-free
+// stack/queue retry loops use Backoff, the elimination stack and the
+// elimination-backed Michael–Scott queue use the exchanger/handoff arrays,
+// and the flat-combining containers (package fc, pqueue.FC, deque.FC) and
+// the combining-tree counter build on the combining cores.
+//
+// Choosing between the levers (also summarised in the README): backoff is
+// the default when operations cannot cancel or batch; elimination wins for
+// symmetric inverse-operation mixes on LIFO-like structures; combining wins
+// when operations serialise anyway (queues, heaps, deques at saturation)
+// because a single combiner with structure-resident cache lines beats many
+// threads bouncing those lines.
+package contend

@@ -1,0 +1,150 @@
+package contend
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// adaptPeriod is the inverse probability that a single visit adjusts the
+// active width of an adaptive array. Adjusting on every visit would make
+// the width word a contention hot spot of its own; sampling one visit in
+// adaptPeriod keeps the feedback loop responsive (a few hundred visits per
+// adjustment under load) while the common path stays read-only.
+const adaptPeriod = 8
+
+// Elimination is an adaptive elimination array: a bank of Exchangers with
+// randomized slot selection, as used by the elimination-backoff stack of
+// Hendler, Shavit & Yerushalmi (SPAA 2004). Operations that fail on the
+// main structure visit a random slot hoping to meet an inverse operation
+// and cancel against it directly.
+//
+// The array is adaptive in the spirit of the original paper: only a prefix
+// of the slots is active, and the prefix width tracks the observed hit
+// rate. Successful exchanges widen the prefix (more rendezvous capacity),
+// timeouts narrow it (concentrating the surviving traffic so that partners
+// actually meet). Width adjustments are sampled (see adaptPeriod) so the
+// shared width word is read-mostly.
+//
+// Slots are cache-line padded: neighbouring exchangers are contended by
+// construction, and without padding a hit on slot i would false-share with
+// the spin loop on slot i+1.
+//
+// Progress: lock-free (each visit is a bounded Exchanger.Exchange).
+type Elimination[T any] struct {
+	slots []pad.Padded[Exchanger[T]]
+	spins int
+
+	// active is the width of the slot prefix currently in use, in
+	// [1, len(slots)]. pinned freezes it (see PinActiveWidth).
+	active atomic.Int32
+	pinned atomic.Bool
+
+	// rngs hands per-P PRNG state to visits for slot selection.
+	rngs sync.Pool
+
+	// Hit/miss accounting is gated: the visits happen precisely when the
+	// main structure is contended, so an unconditional shared counter
+	// write per visit would re-create the hot spot the array exists to
+	// relieve. The adaptive policy itself needs no counters — it feeds on
+	// the sampled per-visit outcome directly.
+	statsEnabled atomic.Bool
+	hits         atomic.Int64
+	misses       atomic.Int64
+}
+
+// NewElimination returns an adaptive elimination array with the given
+// maximum width and per-visit spin budget. width <= 0 selects 8;
+// spins <= 0 selects 128. The array starts one slot wide and adapts.
+func NewElimination[T any](width, spins int) *Elimination[T] {
+	if width <= 0 {
+		width = 8
+	}
+	if spins <= 0 {
+		spins = 128
+	}
+	e := &Elimination[T]{
+		slots: make([]pad.Padded[Exchanger[T]], width),
+		spins: spins,
+	}
+	e.active.Store(1)
+	var seed atomic.Uint64
+	e.rngs.New = func() any {
+		return xrand.New(seed.Add(1) * 0x9e3779b97f4a7c15)
+	}
+	return e
+}
+
+// Exchange performs one elimination visit: it offers v on a random active
+// slot and reports the partner's value if an exchange happened within the
+// spin budget. Callers pairing inverse operations must still check that
+// the partner's operation is compatible with theirs; an incompatible
+// exchange simply means both parties retry on the main structure.
+func (e *Elimination[T]) Exchange(v T) (T, bool) {
+	rng := e.rngs.Get().(*xrand.Rand)
+	width := int(e.active.Load())
+	idx := 0
+	if width > 1 {
+		idx = rng.Intn(width)
+	}
+	adapt := rng.Intn(adaptPeriod) == 0 && !e.pinned.Load()
+	e.rngs.Put(rng)
+
+	other, ok := e.slots[idx].Value.Exchange(v, e.spins)
+	if ok {
+		if adapt && width < len(e.slots) {
+			e.active.CompareAndSwap(int32(width), int32(width+1))
+		}
+	} else if adapt && width > 1 {
+		e.active.CompareAndSwap(int32(width), int32(width-1))
+	}
+	if e.statsEnabled.Load() {
+		if ok {
+			e.hits.Add(1)
+		} else {
+			e.misses.Add(1)
+		}
+	}
+	return other, ok
+}
+
+// EnableStats turns on hit/miss accounting (a shared atomic write per
+// visit; leave off for throughput runs).
+func (e *Elimination[T]) EnableStats(on bool) {
+	e.statsEnabled.Store(on)
+}
+
+// PinActiveWidth fixes the active width at w (clamped to [1, MaxWidth])
+// and disables adaptation. Parameter sweeps (the A1/A2 ablations) use it
+// to measure a true fixed-width array; production callers normally leave
+// the policy adaptive.
+func (e *Elimination[T]) PinActiveWidth(w int) {
+	if w < 1 {
+		w = 1
+	}
+	if w > len(e.slots) {
+		w = len(e.slots)
+	}
+	e.pinned.Store(true)
+	e.active.Store(int32(w))
+}
+
+// ActiveWidth reports how many slots the adaptive policy currently uses.
+func (e *Elimination[T]) ActiveWidth() int {
+	return int(e.active.Load())
+}
+
+// MaxWidth reports the array's capacity (the width it was built with).
+func (e *Elimination[T]) MaxWidth() int {
+	return len(e.slots)
+}
+
+// Stats returns the number of completed and timed-out exchanges recorded
+// while EnableStats(true) was set. These count rendezvous on the array,
+// not semantic eliminations: a push/push meeting counts as a hit here even
+// though the caller will retry both operations.
+func (e *Elimination[T]) Stats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}

@@ -1,0 +1,56 @@
+package contend_test
+
+import (
+	"fmt"
+
+	"github.com/cds-suite/cds/contend"
+)
+
+// An Exchanger pairs up two goroutines and swaps their values.
+func ExampleExchanger() {
+	e := contend.NewExchanger[string]()
+	done := make(chan string)
+	go func() {
+		for {
+			if v, ok := e.Exchange("from-b", 1<<16); ok {
+				done <- v
+				return
+			}
+		}
+	}()
+	var got string
+	for {
+		if v, ok := e.Exchange("from-a", 1<<16); ok {
+			got = v
+			break
+		}
+	}
+	fmt.Println(got, <-done)
+	// Output: from-b from-a
+}
+
+// A Combiner turns a plain sequential structure into a concurrent one by
+// letting one thread apply batches of published operations.
+func ExampleCombiner() {
+	type counter struct{ n int }
+	c := contend.NewCombiner(&counter{})
+	c.Do(func(s *counter) { s.n += 2 })
+	c.Do(func(s *counter) { s.n *= 10 })
+	var got int
+	c.Do(func(s *counter) { got = s.n })
+	fmt.Println(got)
+	// Output: 20
+}
+
+// Backoff spreads CAS retries over randomized, exponentially growing
+// pauses.
+func ExampleBackoff() {
+	var b contend.Backoff
+	for attempt := 0; attempt < 3; attempt++ {
+		// ... a CAS fails here ...
+		b.Pause()
+	}
+	b.Reset() // after a success, start small again
+	fmt.Println("done")
+	// Output: done
+}

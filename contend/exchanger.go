@@ -1,4 +1,4 @@
-package stack
+package contend
 
 import (
 	"runtime"

@@ -1,0 +1,176 @@
+package contend
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// Handoff states. An offer moves waiting → {claimed, withdrawn}, and a
+// claimed offer moves → {taken, aborted}. Terminal states release the
+// giver.
+const (
+	handoffWaiting uint32 = iota
+	handoffClaimed
+	handoffTaken
+	handoffAborted
+	handoffWithdrawn
+)
+
+// Handoff is a single-slot, single-direction rendezvous with taker-side
+// validation: a giver publishes a value, and a taker may claim it, check an
+// arbitrary condition while the giver is pinned, and then either consume
+// the value or abort the handoff.
+//
+// The validation step is what distinguishes Handoff from Exchanger, and it
+// is exactly what FIFO elimination needs (Moir, Nussbaum, Shalev & Shavit,
+// SPAA 2005): an enqueue and a dequeue may cancel only while the queue is
+// empty, so the dequeuer must re-verify emptiness between claiming the
+// offer and committing to it. A symmetric exchanger cannot express that —
+// once its claim CAS succeeds the exchange is irrevocable.
+//
+// Progress: lock-free for takers (one CAS, a validation callback, one
+// store). A giver whose offer is claimed spins until the taker's decision,
+// which is bounded by the validation callback.
+type Handoff[T any] struct {
+	slot atomic.Pointer[handoffOffer[T]]
+}
+
+type handoffOffer[T any] struct {
+	value T
+	state atomic.Uint32
+}
+
+// TryGive publishes v and waits up to spins polling iterations for a taker.
+// It reports whether the value was consumed; on false the caller retries
+// its operation on the main structure (the offer was withdrawn, aborted by
+// a failed validation, or the slot was busy).
+func (h *Handoff[T]) TryGive(v T, spins int) bool {
+	of := &handoffOffer[T]{value: v}
+	if !h.slot.CompareAndSwap(nil, of) {
+		return false // slot busy with another giver's offer
+	}
+	for i := 0; i < spins; i++ {
+		if of.state.Load() != handoffWaiting {
+			return h.settle(of)
+		}
+	}
+	// Timed out. Winning the withdrawal CAS fences takers off; the offer is
+	// then ours to unlink. Losing it means a taker claimed concurrently.
+	if of.state.CompareAndSwap(handoffWaiting, handoffWithdrawn) {
+		h.slot.CompareAndSwap(of, nil)
+		return false
+	}
+	return h.settle(of)
+}
+
+// settle waits out a taker that has claimed the offer: its validation is a
+// handful of instructions away from a terminal state.
+func (h *Handoff[T]) settle(of *handoffOffer[T]) bool {
+	for {
+		switch of.state.Load() {
+		case handoffTaken:
+			return true
+		case handoffAborted:
+			return false
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// takeResult reports how a take attempt ended: no claimable offer, value
+// consumed, or claim aborted by a failed validation.
+type takeResult uint8
+
+const (
+	takeNone takeResult = iota
+	takeTaken
+	takeAborted
+)
+
+// TryTake claims a waiting offer, runs validate while the giver is pinned,
+// and consumes the value if validate reports true (nil validates trivially).
+// On a false validation the handoff is aborted and the giver retries.
+func (h *Handoff[T]) TryTake(validate func() bool) (v T, ok bool) {
+	v, res := h.take(validate)
+	return v, res == takeTaken
+}
+
+func (h *Handoff[T]) take(validate func() bool) (v T, res takeResult) {
+	of := h.slot.Load()
+	if of == nil || !of.state.CompareAndSwap(handoffWaiting, handoffClaimed) {
+		return v, takeNone
+	}
+	if validate == nil || validate() {
+		v = of.value
+		of.state.Store(handoffTaken)
+		h.slot.CompareAndSwap(of, nil)
+		return v, takeTaken
+	}
+	of.state.Store(handoffAborted)
+	h.slot.CompareAndSwap(of, nil)
+	return v, takeAborted
+}
+
+// HandoffArray spreads givers over a bank of cache-line-padded Handoff
+// slots; takers scan the whole bank from a random start. Give-side
+// randomization diffuses contention; take-side scanning keeps the hit rate
+// high when offers are sparse (the empty-structure regime where validated
+// handoffs apply).
+type HandoffArray[T any] struct {
+	slots []pad.Padded[Handoff[T]]
+	spins int
+	rngs  sync.Pool
+}
+
+// NewHandoffArray returns a handoff array with the given width and
+// per-offer spin budget. width <= 0 selects 8; spins <= 0 selects 128.
+func NewHandoffArray[T any](width, spins int) *HandoffArray[T] {
+	if width <= 0 {
+		width = 8
+	}
+	if spins <= 0 {
+		spins = 128
+	}
+	a := &HandoffArray[T]{
+		slots: make([]pad.Padded[Handoff[T]], width),
+		spins: spins,
+	}
+	var seed atomic.Uint64
+	a.rngs.New = func() any {
+		return xrand.New(seed.Add(1)*0x9e3779b97f4a7c15 + 1)
+	}
+	return a
+}
+
+// TryGive offers v on a random slot for the array's spin budget.
+func (a *HandoffArray[T]) TryGive(v T) bool {
+	rng := a.rngs.Get().(*xrand.Rand)
+	idx := rng.Intn(len(a.slots))
+	a.rngs.Put(rng)
+	return a.slots[idx].Value.TryGive(v, a.spins)
+}
+
+// TryTake scans all slots from a random start for a waiting offer,
+// applying validate (see Handoff.TryTake) to the first claimable one.
+// It does not wait: with no pending offers it returns immediately, and it
+// stops scanning after the first failed validation (the condition will not
+// come back mid-scan, and claiming further offers would only abort them).
+func (a *HandoffArray[T]) TryTake(validate func() bool) (v T, ok bool) {
+	rng := a.rngs.Get().(*xrand.Rand)
+	start := rng.Intn(len(a.slots))
+	a.rngs.Put(rng)
+	for i := 0; i < len(a.slots); i++ {
+		switch v, res := a.slots[(start+i)%len(a.slots)].Value.take(validate); res {
+		case takeTaken:
+			return v, true
+		case takeAborted:
+			return v, false
+		}
+	}
+	return v, false
+}

@@ -1,27 +1,23 @@
 package counter
 
-import (
-	"fmt"
-	"sync"
-)
+import "github.com/cds-suite/cds/contend"
 
-// CombiningTree is a software combining tree (Goodman, Vernon &
-// Woest; presented as in Herlihy & Shavit ch. 12). Threads are statically
-// assigned to leaves, two per leaf; when two threads meet at a node on their
-// way to the root, one combines both requests and carries the sum upward
-// while the other waits for the result to be distributed back down. Under
-// saturation the root applies many increments per lock acquisition, turning
-// a sequential bottleneck into O(p/log p)-ish amortised cost; under low load
-// the tree's per-level handshakes make it slower than a plain atomic — the
-// classic combining trade-off that experiment F2 shows.
+// CombiningTree adapts contend.CombiningTree — the software combining tree
+// of Goodman, Vernon & Woest (as presented in Herlihy & Shavit ch. 12) —
+// to the cds.Counter interface. Threads are statically assigned to leaves,
+// two per leaf; when two threads meet at a node on their way to the root,
+// one combines both requests and carries the sum upward while the other
+// waits for the result to be distributed back down. Under saturation the
+// root applies many increments per lock acquisition, turning a sequential
+// bottleneck into O(p/log p)-ish amortised cost; under low load the tree's
+// per-level handshakes make it slower than a plain atomic — the classic
+// combining trade-off that experiment F2 shows.
 //
 // Threads interact through per-thread handles obtained from Handle(id).
 //
 // Progress: blocking (waiting threads park on per-node condition variables).
 type CombiningTree struct {
-	nodes  []*combiningNode
-	leaves []*combiningNode
-	width  int
+	tree *contend.CombiningTree
 	// handlePool serves the cds.Counter convenience methods (Inc/Add):
 	// checking a handle out of the pool guarantees each slot is used by one
 	// goroutine at a time, preserving the two-threads-per-leaf invariant
@@ -29,62 +25,14 @@ type CombiningTree struct {
 	handlePool chan *CombiningHandle
 }
 
-type combiningStatus int
-
-const (
-	combiningIdle combiningStatus = iota + 1
-	combiningFirst
-	combiningSecond
-	combiningResult
-	combiningRoot
-)
-
-type combiningNode struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	status combiningStatus
-	locked bool
-
-	firstVal  int64
-	secondVal int64
-	result    int64
-
-	parent *combiningNode
-}
-
-func newCombiningNode(parent *combiningNode) *combiningNode {
-	n := &combiningNode{status: combiningIdle, parent: parent}
-	if parent == nil {
-		n.status = combiningRoot
-	}
-	n.cond = sync.NewCond(&n.mu)
-	return n
-}
-
 // NewCombiningTree returns a combining tree serving the given number of
 // threads (handles). width <= 0 panics: the tree shape is fixed at
 // construction.
 func NewCombiningTree(width int) *CombiningTree {
-	if width <= 0 {
-		panic(fmt.Sprintf("counter: NewCombiningTree width must be positive, got %d", width))
+	t := &CombiningTree{
+		tree:       contend.NewCombiningTree(width),
+		handlePool: make(chan *CombiningHandle, width),
 	}
-	leafCount := (width + 1) / 2
-	// Complete binary tree with leafCount leaves: levels of parents until 1.
-	t := &CombiningTree{width: width}
-	root := newCombiningNode(nil)
-	t.nodes = []*combiningNode{root}
-	level := []*combiningNode{root}
-	for len(level) < leafCount {
-		var next []*combiningNode
-		for _, p := range level {
-			l, r := newCombiningNode(p), newCombiningNode(p)
-			next = append(next, l, r)
-		}
-		t.nodes = append(t.nodes, next...)
-		level = next
-	}
-	t.leaves = level
-	t.handlePool = make(chan *CombiningHandle, width)
 	for id := 0; id < width; id++ {
 		t.handlePool <- t.Handle(id)
 	}
@@ -92,21 +40,13 @@ func NewCombiningTree(width int) *CombiningTree {
 }
 
 // Width returns the number of thread slots the tree was built for.
-func (t *CombiningTree) Width() int { return t.width }
+func (t *CombiningTree) Width() int { return t.tree.Width() }
 
 // Handle returns the update handle for thread slot id in [0, Width()). Each
 // slot must be used by at most one goroutine at a time; two slots share each
 // leaf, which is what creates combining opportunities.
 func (t *CombiningTree) Handle(id int) *CombiningHandle {
-	if id < 0 || id >= t.width {
-		panic(fmt.Sprintf("counter: CombiningTree handle id %d out of range [0,%d)", id, t.width))
-	}
-	leaf := t.leaves[(id/2)%len(t.leaves)]
-	return &CombiningHandle{
-		tree: t,
-		leaf: leaf,
-		path: make([]*combiningNode, 0, len(t.nodes)),
-	}
+	return &CombiningHandle{h: t.tree.Handle(id)}
 }
 
 // Inc adds 1 to the counter via a pooled handle; for hot paths, hold a
@@ -125,147 +65,22 @@ func (t *CombiningTree) Add(delta int64) {
 // Load returns the current value: the total accumulated at the root. Exact
 // in quiescent states; concurrent in-flight batches may be missing.
 func (t *CombiningTree) Load() int64 {
-	root := t.nodes[0]
-	root.mu.Lock()
-	defer root.mu.Unlock()
-	return root.result
+	return t.tree.Load()
 }
 
 // CombiningHandle is a per-thread-slot accessor to the tree.
 type CombiningHandle struct {
-	tree *CombiningTree
-	leaf *combiningNode
-	path []*combiningNode
+	h *contend.CombiningHandle
 }
 
 // Inc adds 1.
-func (h *CombiningHandle) Inc() { h.Add(1) }
+func (h *CombiningHandle) Inc() { h.h.Add(1) }
 
 // Add adds delta, combining with concurrent operations that meet it on the
 // way to the root. It returns when the delta is reflected at the root.
-func (h *CombiningHandle) Add(delta int64) {
-	h.FetchAdd(delta)
-}
+func (h *CombiningHandle) Add(delta int64) { h.h.Add(delta) }
 
 // FetchAdd adds delta and returns the counter value immediately before this
 // operation's combined batch was applied (the classic fetch-and-add result
 // for this thread's position within the batch).
-func (h *CombiningHandle) FetchAdd(delta int64) int64 {
-	// Phase 1 — precombine: climb while we are the first to arrive,
-	// locking in a combining rendezvous where we are second.
-	node := h.leaf
-	for node.precombine() {
-		node = node.parent
-	}
-	stop := node
-
-	// Phase 2 — combine: gather values on the path below stop.
-	h.path = h.path[:0]
-	combined := delta
-	for node = h.leaf; node != stop; node = node.parent {
-		combined = node.combine(combined)
-		h.path = append(h.path, node)
-	}
-
-	// Phase 3 — operate at the stop node (root applies; interior SECOND
-	// node deposits and waits for the distributed result).
-	prior := stop.op(combined)
-
-	// Phase 4 — distribute results back down the captured path.
-	for i := len(h.path) - 1; i >= 0; i-- {
-		h.path[i].distribute(prior)
-	}
-	return prior
-}
-
-// precombine reports whether the caller should continue climbing: true when
-// it was first to arrive (status IDLE→FIRST), false when it met a waiting
-// first thread (FIRST→SECOND) or reached the root.
-func (n *combiningNode) precombine() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for n.locked {
-		n.cond.Wait()
-	}
-	switch n.status {
-	case combiningIdle:
-		n.status = combiningFirst
-		return true
-	case combiningFirst:
-		n.locked = true
-		n.status = combiningSecond
-		return false
-	case combiningRoot:
-		return false
-	default:
-		panic(fmt.Sprintf("counter: combining precombine in unexpected status %d", n.status))
-	}
-}
-
-// combine folds any second-thread value deposited at n into combined and
-// locks the node until distribution.
-func (n *combiningNode) combine(combined int64) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for n.locked {
-		n.cond.Wait()
-	}
-	n.locked = true
-	n.firstVal = combined
-	switch n.status {
-	case combiningFirst:
-		return n.firstVal
-	case combiningSecond:
-		return n.firstVal + n.secondVal
-	default:
-		panic(fmt.Sprintf("counter: combining combine in unexpected status %d", n.status))
-	}
-}
-
-// op applies the combined batch at the stop node. At the root it updates the
-// grand total; at a SECOND rendezvous it deposits the value for the first
-// thread and waits for the result.
-func (n *combiningNode) op(combined int64) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	switch n.status {
-	case combiningRoot:
-		prior := n.result
-		n.result += combined
-		return prior
-	case combiningSecond:
-		n.secondVal = combined
-		n.locked = false
-		n.cond.Broadcast() // wake the first thread to combine us upward
-		for n.status != combiningResult {
-			n.cond.Wait()
-		}
-		n.locked = false
-		n.status = combiningIdle
-		n.cond.Broadcast()
-		return n.result
-	default:
-		panic(fmt.Sprintf("counter: combining op in unexpected status %d", n.status))
-	}
-}
-
-// distribute propagates the batch's prior value down after the stop node
-// applied it, releasing waiting second threads.
-func (n *combiningNode) distribute(prior int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	switch n.status {
-	case combiningFirst:
-		// Nobody met us here: reset and release the node.
-		n.status = combiningIdle
-		n.locked = false
-	case combiningSecond:
-		// Hand the second thread its slice of the batch: it comes after
-		// our firstVal within the combined update.
-		n.result = prior + n.firstVal
-		n.status = combiningResult
-	default:
-		panic(fmt.Sprintf("counter: combining distribute in unexpected status %d", n.status))
-	}
-	n.cond.Broadcast()
-}
+func (h *CombiningHandle) FetchAdd(delta int64) int64 { return h.h.FetchAdd(delta) }

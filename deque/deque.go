@@ -1,6 +1,7 @@
-// Package deque implements work-stealing double-ended queues: the
-// Chase–Lev dynamic circular work-stealing deque (SPAA 2005) and a
-// mutex-guarded baseline.
+// Package deque implements double-ended queues: the Chase–Lev dynamic
+// circular work-stealing deque (SPAA 2005), a mutex-guarded baseline, and
+// a flat-combining deque (FC) with no owner restriction, built on the
+// shared combining core in package contend.
 //
 // Work stealing is the survey's flagship application of relaxed structure
 // semantics: the owner pushes and pops tasks at the bottom with plain loads
@@ -64,6 +65,8 @@ func (d *Mutex[T]) TryPopTop() (v T, ok bool) {
 		return v, false
 	}
 	v = d.items[0]
+	var zero T
+	d.items[0] = zero // release reference for the GC
 	d.items = d.items[1:]
 	return v, true
 }

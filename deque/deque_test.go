@@ -14,6 +14,7 @@ func implementations() map[string]func() cds.Deque[int] {
 	return map[string]func() cds.Deque[int]{
 		"Mutex":    func() cds.Deque[int] { return NewMutex[int]() },
 		"ChaseLev": func() cds.Deque[int] { return NewChaseLev[int](8) },
+		"FC":       func() cds.Deque[int] { return NewFC[int]() },
 	}
 }
 

@@ -1,0 +1,73 @@
+package deque
+
+import (
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/contend"
+)
+
+var _ cds.Deque[int] = (*FC[int])(nil)
+
+// FC is a flat-combining deque: a plain sequential slice deque made
+// concurrent through contend.Combiner. Unlike Chase-Lev it has no owner
+// restriction — any goroutine may push or pop at either end — which makes
+// it the symmetric-deque baseline the work-stealing design is traded
+// against: Chase-Lev buys an uncontended owner fast path by restricting
+// who may touch the bottom, the flat-combining deque keeps full generality
+// and batches all ends through one combiner.
+//
+// Progress: blocking in the small (a stalled combiner delays its batch) but
+// the combiner role is claimed by CAS and held only for a bounded batch.
+type FC[T any] struct {
+	c *contend.Combiner[*seqDeque[T]]
+}
+
+type seqDeque[T any] struct {
+	items []T
+}
+
+// NewFC returns an empty flat-combining deque.
+func NewFC[T any]() *FC[T] {
+	return &FC[T]{c: contend.NewCombiner(&seqDeque[T]{})}
+}
+
+// PushBottom adds v at the bottom end.
+func (d *FC[T]) PushBottom(v T) {
+	d.c.Do(func(s *seqDeque[T]) { s.items = append(s.items, v) })
+}
+
+// TryPopBottom removes from the bottom end.
+func (d *FC[T]) TryPopBottom() (v T, ok bool) {
+	d.c.Do(func(s *seqDeque[T]) {
+		if len(s.items) == 0 {
+			return
+		}
+		v = s.items[len(s.items)-1]
+		var zero T
+		s.items[len(s.items)-1] = zero
+		s.items = s.items[:len(s.items)-1]
+		ok = true
+	})
+	return v, ok
+}
+
+// TryPopTop removes from the top end.
+func (d *FC[T]) TryPopTop() (v T, ok bool) {
+	d.c.Do(func(s *seqDeque[T]) {
+		if len(s.items) == 0 {
+			return
+		}
+		v = s.items[0]
+		var zero T
+		s.items[0] = zero // release reference for the GC
+		s.items = s.items[1:]
+		ok = true
+	})
+	return v, ok
+}
+
+// Len reports the number of elements.
+func (d *FC[T]) Len() int {
+	var n int
+	d.c.Do(func(s *seqDeque[T]) { n = len(s.items) })
+	return n
+}

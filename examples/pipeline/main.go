@@ -15,15 +15,19 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/cds-suite/cds/internal/exampleenv"
 	"github.com/cds-suite/cds/internal/xrand"
 	"github.com/cds-suite/cds/queue"
 )
 
 const (
-	items     = 2_000_000
 	ringSize  = 1024
 	numStages = 3 // parse → transform → aggregate
 )
+
+// items is the pipeline volume; CDS_EXAMPLE_OPS overrides it so CI can
+// smoke-run the example without paying for the full demonstration.
+var items = exampleenv.Ops(2_000_000)
 
 // message flows through the pipeline, accumulating stage work.
 type message struct {

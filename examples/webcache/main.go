@@ -21,8 +21,13 @@ import (
 
 	"github.com/cds-suite/cds/cmap"
 	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/internal/exampleenv"
 	"github.com/cds-suite/cds/internal/zipf"
 )
+
+// requests is the simulated load; CDS_EXAMPLE_OPS overrides it so CI can
+// smoke-run the example without paying for the full demonstration.
+var requests = exampleenv.Ops(200000)
 
 type entry struct {
 	value   string
@@ -60,7 +65,6 @@ func (c *cache) get(key uint64, origin func(uint64) string) string {
 func main() {
 	const (
 		keySpace = 100000
-		requests = 200000
 		ttl      = 500 * time.Millisecond
 	)
 	clients := runtime.GOMAXPROCS(0)

@@ -1,5 +1,6 @@
-// Package fc implements combining-based synchronization in the style of
-// flat combining (Hendler, Incze, Shavit & Tzafrir, SPAA 2010): instead of
+// Package fc offers flat-combining containers (Hendler, Incze, Shavit &
+// Tzafrir, SPAA 2010): a queue and a stack whose concurrency comes from
+// contend.Combiner, the module's shared flat-combining core. Instead of
 // every thread fighting for the lock of a shared structure, threads publish
 // their operations into a lock-free list and a single temporary "combiner"
 // applies a whole batch against the plain sequential structure.
@@ -10,109 +11,35 @@
 // contended lock or CAS, because the structure's cache lines stay resident
 // with the combiner.
 //
-// This implementation uses the detached-publication-list variant (as in
-// Oyama et al.'s delegation scheme): each operation publishes a fresh
-// record, and the combiner claims the whole pending list with one atomic
-// swap. It keeps every property that matters for the experiments
-// (batching, single-writer cache affinity) while avoiding the record
-// lifecycle management of the original.
+// The combining machinery itself (publication list, combiner role,
+// completion records) lives in package contend; this package contributes
+// the sequential queue/stack cores and the cds-interface adapters. The
+// flat-combining priority queue and deque live with their families, in
+// pqueue.FC and deque.FC.
 package fc
 
 import (
-	"runtime"
-	"sync/atomic"
-
 	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/contend"
 )
 
-// Combiner wraps a sequential structure S with combining-based concurrency.
-// S is typically a pointer to an unsynchronised container; Do submits a
-// closure that the (single) combiner thread applies.
+// Combiner wraps a sequential structure with flat-combining concurrency.
 //
-// Progress: the structure's operations are applied by whichever thread
-// holds the combiner role; waiting threads spin until their record is
-// served. Lock-free in aggregate: the combiner role is claimed by CAS and
-// held only for a bounded batch.
-type Combiner[S any] struct {
-	seq  S
-	head atomic.Pointer[record[S]]
-	busy atomic.Bool
-}
-
-type record[S any] struct {
-	apply func(S)
-	next  *record[S]
-	done  atomic.Bool
-}
+// Deprecated: use contend.Combiner directly; this alias remains so existing
+// callers keep compiling while the combining core lives in package contend.
+type Combiner[S any] = contend.Combiner[S]
 
 // NewCombiner returns a Combiner around the given sequential structure.
-// After construction the structure must only be accessed through Do.
+//
+// Deprecated: use contend.NewCombiner.
 func NewCombiner[S any](seq S) *Combiner[S] {
-	return &Combiner[S]{seq: seq}
-}
-
-// Do submits apply and returns after it has executed against the
-// structure. Results travel out through the closure's captured variables,
-// which are safe to read once Do returns (the combiner's completion store
-// synchronises with the caller's observation of it).
-func (c *Combiner[S]) Do(apply func(S)) {
-	r := &record[S]{apply: apply}
-	for {
-		old := c.head.Load()
-		r.next = old
-		if c.head.CompareAndSwap(old, r) {
-			break
-		}
-	}
-	spins := 0
-	for {
-		if r.done.Load() {
-			return
-		}
-		if c.busy.CompareAndSwap(false, true) {
-			c.combine()
-			c.busy.Store(false)
-			if r.done.Load() {
-				return
-			}
-			// Our record was claimed by a previous combiner that has not
-			// finished applying it yet; keep waiting.
-		}
-		spins++
-		if spins%64 == 0 {
-			runtime.Gosched()
-		}
-	}
-}
-
-// combine claims the pending list and applies it. Caller holds busy.
-// Records are served in submission order (the CAS-push builds a LIFO list,
-// so it is reversed first); FIFO service keeps combining fair and makes
-// per-thread operation order match submission order.
-func (c *Combiner[S]) combine() {
-	batch := c.head.Swap(nil)
-	if batch == nil {
-		return
-	}
-	var rev *record[S]
-	for batch != nil {
-		next := batch.next
-		batch.next = rev
-		rev = batch
-		batch = next
-	}
-	for r := rev; r != nil; {
-		next := r.next // r may be reused/collected once done is set
-		r.apply(c.seq)
-		r.done.Store(true)
-		r = next
-	}
+	return contend.NewCombiner(seq)
 }
 
 // Queue is a FIFO queue built from a plain slice ring via a Combiner —
 // the flat-combining counterpart to the queues in package queue.
 type Queue[T any] struct {
-	c *Combiner[*seqQueue[T]]
+	c *contend.Combiner[*seqQueue[T]]
 }
 
 type seqQueue[T any] struct {
@@ -125,7 +52,7 @@ var _ cds.Queue[int] = (*Queue[int])(nil)
 
 // NewQueue returns an empty flat-combining queue.
 func NewQueue[T any]() *Queue[T] {
-	return &Queue[T]{c: NewCombiner(&seqQueue[T]{})}
+	return &Queue[T]{c: contend.NewCombiner(&seqQueue[T]{})}
 }
 
 // Enqueue adds v at the tail.
@@ -178,7 +105,7 @@ func (s *seqQueue[T]) pop() (v T, ok bool) {
 
 // Stack is a LIFO stack via a Combiner.
 type Stack[T any] struct {
-	c *Combiner[*seqStack[T]]
+	c *contend.Combiner[*seqStack[T]]
 }
 
 type seqStack[T any] struct {
@@ -189,7 +116,7 @@ var _ cds.Stack[int] = (*Stack[int])(nil)
 
 // NewStack returns an empty flat-combining stack.
 func NewStack[T any]() *Stack[T] {
-	return &Stack[T]{c: NewCombiner(&seqStack[T]{})}
+	return &Stack[T]{c: contend.NewCombiner(&seqStack[T]{})}
 }
 
 // Push adds v to the top of the stack.

@@ -1,0 +1,20 @@
+// Package exampleenv holds the one knob the runnable examples share: an
+// environment override for their workload size, so CI can smoke-run every
+// example at a fraction of its demonstration volume.
+package exampleenv
+
+import (
+	"os"
+	"strconv"
+)
+
+// Ops returns the example's operation count: def, unless the
+// CDS_EXAMPLE_OPS environment variable holds a positive integer.
+func Ops(def int) int {
+	if s := os.Getenv("CDS_EXAMPLE_OPS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}

@@ -1,0 +1,55 @@
+package pad
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// The whole point of this package is a size/layout guarantee, so the tests
+// assert layout, not behaviour: if a refactor shrinks the pad or lets
+// neighbouring array elements share a line, false sharing silently returns
+// and only benchmark numbers would notice.
+
+func TestCacheLinePadSpansALine(t *testing.T) {
+	if got := unsafe.Sizeof(CacheLinePad{}); got != CacheLineSize {
+		t.Fatalf("Sizeof(CacheLinePad) = %d, want %d", got, CacheLineSize)
+	}
+}
+
+func TestPaddedValueIsIsolated(t *testing.T) {
+	type p = Padded[atomic.Int64]
+	var x p
+
+	// The value must start beyond the leading pad: bytes [0, CacheLineSize)
+	// belong to the pad, so no neighbour that ends at our base address can
+	// share the value's line.
+	off := unsafe.Offsetof(x.Value)
+	if off < CacheLineSize {
+		t.Fatalf("Value offset = %d, want >= %d (leading pad must span a line)", off, CacheLineSize)
+	}
+
+	// The struct must extend at least a full line beyond the value, so a
+	// neighbour starting at our end address cannot share the value's line
+	// either.
+	size := unsafe.Sizeof(x)
+	valSize := unsafe.Sizeof(x.Value)
+	if size-off-valSize < CacheLineSize {
+		t.Fatalf("trailing pad = %d bytes, want >= %d", size-off-valSize, CacheLineSize)
+	}
+}
+
+func TestPaddedArrayElementsDoNotShareLines(t *testing.T) {
+	// Adjacent elements of a []Padded[T] are what the concurrent code
+	// actually allocates (striped counters, elimination slots); their Value
+	// fields must land on distinct cache lines.
+	var arr [2]Padded[uint64]
+	a := uintptr(unsafe.Pointer(&arr[0].Value))
+	b := uintptr(unsafe.Pointer(&arr[1].Value))
+	if a/CacheLineSize == b/CacheLineSize {
+		t.Fatalf("adjacent Padded values share cache line: addresses %#x and %#x", a, b)
+	}
+	if b-a < CacheLineSize {
+		t.Fatalf("adjacent Padded values only %d bytes apart, want >= %d", b-a, CacheLineSize)
+	}
+}

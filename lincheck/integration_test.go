@@ -91,6 +91,11 @@ func TestLinearizableQueues(t *testing.T) {
 		"Mutex":   func() cds.Queue[int] { return queue.NewMutex[int]() },
 		"TwoLock": func() cds.Queue[int] { return queue.NewTwoLock[int]() },
 		"MS":      func() cds.Queue[int] { return queue.NewMS[int]() },
+		// The narrow handoff array and small spin budget force the
+		// elimination path to fire inside the tiny windows: FIFO
+		// elimination is only legal on an empty queue, which is precisely
+		// the validation the checker would catch cheating on.
+		"ElimMS": func() cds.Queue[int] { return queue.NewElimination[int](2, 16) },
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {
@@ -242,6 +247,7 @@ func TestLinearizableDeques(t *testing.T) {
 	impls := map[string]func() cds.Deque[int]{
 		"Mutex":    func() cds.Deque[int] { return deque.NewMutex[int]() },
 		"ChaseLev": func() cds.Deque[int] { return deque.NewChaseLev[int](8) },
+		"FC":       func() cds.Deque[int] { return deque.NewFC[int]() },
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {
@@ -280,6 +286,9 @@ func TestLinearizablePriorityQueues(t *testing.T) {
 			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
 		},
 		"SkipListPQ": func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() },
+		"FCHeap": func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
+		},
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {

@@ -31,6 +31,7 @@
 //
 // Spinning in Go: goroutines are scheduled cooperatively onto OS threads, so
 // unbounded busy-waiting can starve the holder of the lock off its core.
-// Every spin loop here escalates to runtime.Gosched via Backoff, which keeps
+// Every spin loop here escalates to runtime.Gosched via contend.Backoff (the
+// module-wide contention-management layer in package contend), which keeps
 // the algorithms honest while remaining safe under GOMAXPROCS < goroutines.
 package locks

@@ -442,30 +442,6 @@ func TestTicketLockFIFO(t *testing.T) {
 	}
 }
 
-func TestBackoffGrowsAndResets(t *testing.T) {
-	b := NewBackoff(4, 64)
-	if b.cur != 4 {
-		t.Fatalf("initial backoff = %d, want 4", b.cur)
-	}
-	for i := 0; i < 10; i++ {
-		b.Pause()
-	}
-	if b.cur != 64 {
-		t.Fatalf("backoff after pauses = %d, want capped at 64", b.cur)
-	}
-	b.Reset()
-	if b.cur != 4 {
-		t.Fatalf("backoff after reset = %d, want 4", b.cur)
-	}
-}
-
-func TestBackoffZeroValue(t *testing.T) {
-	var b Backoff
-	b.Pause() // must not panic or divide by zero
-	b.Reset()
-	b.Pause()
-}
-
 func TestSeqlockSequence(t *testing.T) {
 	var s Seqlock
 	seq := s.ReadBegin()

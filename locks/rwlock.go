@@ -3,6 +3,8 @@ package locks
 import (
 	"sync"
 	"sync/atomic"
+
+	"github.com/cds-suite/cds/contend"
 )
 
 var _ sync.Locker = (*RWSpinLock)(nil)
@@ -29,7 +31,7 @@ type RWSpinLock struct {
 
 // Lock acquires the lock in exclusive (writer) mode.
 func (l *RWSpinLock) Lock() {
-	var b Backoff
+	var b contend.Backoff
 	// Phase 1: claim the writer bit, excluding other writers and stopping
 	// new readers from entering.
 	for {
@@ -67,7 +69,7 @@ func (l *RWSpinLock) Unlock() {
 
 // RLock acquires the lock in shared (reader) mode.
 func (l *RWSpinLock) RLock() {
-	var b Backoff
+	var b contend.Backoff
 	for {
 		s := l.state.Load()
 		if s&rwWriterBit == 0 && l.state.CompareAndSwap(s, s+1) {

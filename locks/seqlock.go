@@ -1,6 +1,10 @@
 package locks
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/contend"
+)
 
 // Seqlock is a sequence lock: an optimistic reader–writer protocol where
 // readers never write shared state. The writer increments a sequence number
@@ -26,7 +30,7 @@ type Seqlock struct {
 // WriteLock enters the writer critical section, spinning while another
 // writer is active. On return the sequence is odd and readers will retry.
 func (s *Seqlock) WriteLock() {
-	var b Backoff
+	var b contend.Backoff
 	for {
 		seq := s.seq.Load()
 		if seq&1 == 0 && s.seq.CompareAndSwap(seq, seq+1) {

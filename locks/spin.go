@@ -1,0 +1,8 @@
+package locks
+
+// spinsBeforeYield bounds how much raw busy-waiting the queue locks do on
+// their local flags before yielding the processor to the Go scheduler (the
+// same escalation policy contend.Backoff applies internally). Without
+// yielding, a spinner can occupy the OS thread that the lock holder needs,
+// turning microsecond critical sections into scheduling stalls.
+const spinsBeforeYield = 1 << 8

@@ -3,6 +3,8 @@ package locks
 import (
 	"sync"
 	"sync/atomic"
+
+	"github.com/cds-suite/cds/contend"
 )
 
 // Compile-time interface compliance checks.
@@ -101,7 +103,7 @@ type BackoffLock struct {
 // Lock acquires the lock, spinning with exponential backoff until it
 // succeeds.
 func (l *BackoffLock) Lock() {
-	var b Backoff
+	var b contend.Backoff
 	for {
 		spins := 0
 		for l.state.Load() == 1 {

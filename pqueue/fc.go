@@ -1,0 +1,69 @@
+package pqueue
+
+import (
+	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/contend"
+)
+
+var _ cds.PriorityQueue[int] = (*FC[int])(nil)
+
+// FC is a flat-combining priority queue: a plain sequential binary heap
+// concurrent through contend.Combiner. A priority queue is combining's
+// natural habitat — every DeleteMin serialises on the minimum anyway, so
+// instead of p threads taking turns pulling the heap's cache lines through
+// a lock, one combiner applies a whole batch of inserts and deleteMins
+// against a heap that stays resident in its cache. The Synch framework
+// (Kallimanis) reports exactly this shape winning for heaps at scale.
+//
+// less defines the priority order: less(a, b) means a comes out first.
+//
+// Progress: blocking in the small (a stalled combiner delays its batch) but
+// the combiner role is claimed by CAS and held only for a bounded batch.
+type FC[T any] struct {
+	c *contend.Combiner[*seqHeap[T]]
+}
+
+type seqHeap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewFC returns an empty flat-combining priority queue ordered by less.
+func NewFC[T any](less func(a, b T) bool) *FC[T] {
+	return &FC[T]{c: contend.NewCombiner(&seqHeap[T]{less: less})}
+}
+
+// Insert adds v.
+func (q *FC[T]) Insert(v T) {
+	q.c.Do(func(h *seqHeap[T]) {
+		h.items = append(h.items, v)
+		siftUp(h.items, len(h.items)-1, h.less)
+	})
+}
+
+// TryDeleteMin removes and returns the minimum element; ok is false if the
+// queue was empty.
+func (q *FC[T]) TryDeleteMin() (v T, ok bool) {
+	q.c.Do(func(h *seqHeap[T]) {
+		n := len(h.items)
+		if n == 0 {
+			return
+		}
+		v, ok = h.items[0], true
+		h.items[0] = h.items[n-1]
+		var zero T
+		h.items[n-1] = zero
+		h.items = h.items[:n-1]
+		if len(h.items) > 0 {
+			siftDown(h.items, 0, h.less)
+		}
+	})
+	return v, ok
+}
+
+// Len reports the number of elements.
+func (q *FC[T]) Len() int {
+	var n int
+	q.c.Do(func(h *seqHeap[T]) { n = len(h.items) })
+	return n
+}

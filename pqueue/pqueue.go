@@ -1,6 +1,7 @@
 // Package pqueue implements concurrent priority queues: a mutex-guarded
-// binary heap baseline and the lock-free skip-list-based priority queue in
-// the style of Lotan & Shavit.
+// binary heap baseline, the lock-free skip-list-based priority queue in
+// the style of Lotan & Shavit, and a flat-combining heap built on the
+// shared combining core in package contend.
 //
 // Priority queues stress a structural hot spot no hash or balance trick can
 // remove: every DeleteMin fights over the minimum. The heap serialises
@@ -41,7 +42,7 @@ func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
 func (h *Heap[T]) Insert(v T) {
 	h.mu.Lock()
 	h.items = append(h.items, v)
-	h.siftUp(len(h.items) - 1)
+	siftUp(h.items, len(h.items)-1, h.less)
 	h.mu.Unlock()
 }
 
@@ -60,7 +61,7 @@ func (h *Heap[T]) TryDeleteMin() (v T, ok bool) {
 	h.items[n-1] = zero
 	h.items = h.items[:n-1]
 	if len(h.items) > 0 {
-		h.siftDown(0)
+		siftDown(h.items, 0, h.less)
 	}
 	return v, true
 }
@@ -72,36 +73,36 @@ func (h *Heap[T]) Len() int {
 	return len(h.items)
 }
 
-// siftUp restores the heap property from index i toward the root.
-// Caller holds h.mu.
-func (h *Heap[T]) siftUp(i int) {
+// siftUp restores the heap property from index i toward the root. It is
+// shared by the locked Heap and the flat-combining FC heap; callers hold
+// whatever exclusion their structure requires.
+func siftUp[T any](items []T, i int, less func(a, b T) bool) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.items[i], h.items[parent]) {
+		if !less(items[i], items[parent]) {
 			return
 		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		items[i], items[parent] = items[parent], items[i]
 		i = parent
 	}
 }
 
 // siftDown restores the heap property from index i toward the leaves.
-// Caller holds h.mu.
-func (h *Heap[T]) siftDown(i int) {
-	n := len(h.items)
+func siftDown[T any](items []T, i int, less func(a, b T) bool) {
+	n := len(items)
 	for {
 		left, right := 2*i+1, 2*i+2
 		smallest := i
-		if left < n && h.less(h.items[left], h.items[smallest]) {
+		if left < n && less(items[left], items[smallest]) {
 			smallest = left
 		}
-		if right < n && h.less(h.items[right], h.items[smallest]) {
+		if right < n && less(items[right], items[smallest]) {
 			smallest = right
 		}
 		if smallest == i {
 			return
 		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		items[i], items[smallest] = items[smallest], items[i]
 		i = smallest
 	}
 }

@@ -24,6 +24,9 @@ func implementations() []struct {
 			return NewHeap[int](func(a, b int) bool { return a < b })
 		}},
 		{name: "SkipList", mk: func() cds.PriorityQueue[int] { return NewSkipList[int]() }},
+		{name: "FCHeap", mk: func() cds.PriorityQueue[int] {
+			return NewFC[int](func(a, b int) bool { return a < b })
+		}},
 	}
 }
 

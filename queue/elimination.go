@@ -1,0 +1,129 @@
+package queue
+
+import (
+	"github.com/cds-suite/cds/contend"
+)
+
+// elimEnqAttempts bounds how many direct CAS attempts an Elimination
+// enqueue makes before offering its value to the handoff array. One failed
+// attempt already signals tail contention; a couple more keep the fast
+// path dominant when contention is transient.
+const elimEnqAttempts = 3
+
+// Elimination is a Michael–Scott queue with FIFO elimination in the style
+// of Moir, Nussbaum, Shalev & Shavit (SPAA 2005): a contended enqueue
+// publishes its value to a contend.HandoffArray, and a dequeue that finds
+// the queue empty takes a pending offer directly — the pair cancels
+// without either operation touching the queue's head or tail.
+//
+// Unlike a stack, a queue admits elimination only in the empty state: a
+// dequeue must return the oldest element, so pairing it with a *newer*
+// concurrent enqueue is legal only if nothing sits between them — i.e. the
+// queue is empty at the moment the pair linearizes. The handoff's
+// validation hook enforces exactly that: after claiming an offer, the
+// dequeuer re-verifies that the head it observed empty is unchanged and
+// still has no successor. Nodes are never recycled, so an unchanged head
+// pointer with a nil next proves the queue was continuously empty between
+// the two observations, making it legal to linearize the enqueue and the
+// dequeue back-to-back at the validation instant. A failed validation
+// aborts the handoff and the enqueuer falls back to the queue.
+//
+// The elimination path shines on the symmetric high-contention mix where
+// the queue hovers near empty — precisely where the plain MS queue's head
+// and tail CASes collapse onto the same cache lines (scenario S-contend).
+//
+// The zero value is NOT usable; construct with NewElimination.
+// Progress: lock-free (every path bounds its handoff visit and falls back
+// to the MS CAS loops).
+type Elimination[T any] struct {
+	q   MS[T]
+	arr *contend.HandoffArray[T]
+}
+
+// NewElimination returns an empty elimination-backed Michael–Scott queue
+// with the given handoff-array width and per-offer spin budget. Values
+// <= 0 select the contend defaults (width 8, 128 spins).
+func NewElimination[T any](width, spins int) *Elimination[T] {
+	q := &Elimination[T]{arr: contend.NewHandoffArray[T](width, spins)}
+	dummy := &msNode[T]{}
+	q.q.head.Store(dummy)
+	q.q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue adds v at the tail, or hands it directly to a dequeuer that
+// caught the queue empty.
+func (q *Elimination[T]) Enqueue(v T) {
+	n := &msNode[T]{value: v}
+	for {
+		// Bounded direct attempts on the queue (the MS protocol).
+		for attempt := 0; attempt < elimEnqAttempts; attempt++ {
+			tail := q.q.tail.Load()
+			next := tail.next.Load()
+			if tail != q.q.tail.Load() {
+				continue // tail moved under us; re-read
+			}
+			if next != nil {
+				// Tail is lagging: help swing it, then retry.
+				q.q.tail.CompareAndSwap(tail, next)
+				continue
+			}
+			if tail.next.CompareAndSwap(nil, n) {
+				// Linearized. Swinging the tail may fail if someone helped.
+				q.q.tail.CompareAndSwap(tail, n)
+				return
+			}
+		}
+		// Contention: back off into the handoff array. A successful give
+		// means an empty-queue dequeuer consumed v; the pair is linearized
+		// at its validation instant.
+		if q.arr.TryGive(v) {
+			return
+		}
+	}
+}
+
+// TryDequeue removes and returns the head element; ok is false if the
+// queue was observed empty and no enqueue could be eliminated against.
+func (q *Elimination[T]) TryDequeue() (v T, ok bool) {
+	var b contend.Backoff
+	for {
+		head := q.q.head.Load()
+		tail := q.q.tail.Load()
+		next := head.next.Load()
+		if head != q.q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				// Empty. Take a pending enqueue if the queue provably stays
+				// empty through the handoff: head pointers advance through
+				// fresh nodes only, so head==head ∧ head.next==nil at
+				// validation time rules out any interleaved enqueue.
+				if v, ok = q.arr.TryTake(func() bool {
+					return q.q.head.Load() == head && head.next.Load() == nil
+				}); ok {
+					return v, true
+				}
+				return v, false // linearized empty at the loads above
+			}
+			// Tail lagging behind a completed enqueue: help it.
+			q.q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		val := next.value
+		if q.q.head.CompareAndSwap(head, next) {
+			return val, true
+		}
+		// Non-empty contention: elimination cannot help a dequeue here
+		// (pairing needs an empty queue), so back off as plain MS does.
+		b.Pause()
+	}
+}
+
+// Len counts elements by traversing from the head (see MS.Len caveats);
+// values in flight through the handoff array are not counted, matching
+// their linearization (an eliminated pair never makes the queue non-empty).
+func (q *Elimination[T]) Len() int {
+	return q.q.Len()
+}

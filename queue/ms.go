@@ -3,7 +3,7 @@ package queue
 import (
 	"sync/atomic"
 
-	"github.com/cds-suite/cds/locks"
+	"github.com/cds-suite/cds/contend"
 )
 
 // MS is the Michael & Scott lock-free queue (PODC 1996), the algorithm
@@ -44,7 +44,7 @@ func NewMS[T any]() *MS[T] {
 // Enqueue adds v at the tail.
 func (q *MS[T]) Enqueue(v T) {
 	n := &msNode[T]{value: v}
-	var b locks.Backoff
+	var b contend.Backoff
 	for {
 		tail := q.tail.Load()
 		next := tail.next.Load()
@@ -68,7 +68,7 @@ func (q *MS[T]) Enqueue(v T) {
 // TryDequeue removes and returns the head element; ok is false if the queue
 // was observed empty.
 func (q *MS[T]) TryDequeue() (v T, ok bool) {
-	var b locks.Backoff
+	var b contend.Backoff
 	for {
 		head := q.head.Load()
 		tail := q.tail.Load()

@@ -1,7 +1,8 @@
 // Package queue implements the concurrent FIFO queue algorithms from the
 // survey literature: a coarse-locked queue, the Michael–Scott two-lock
-// queue, the Michael–Scott lock-free queue, a bounded array-based MPMC
-// queue (Vyukov-style), and a single-producer/single-consumer ring.
+// queue, the Michael–Scott lock-free queue, an elimination-backed variant
+// of it, a bounded array-based MPMC queue (Vyukov-style), and a
+// single-producer/single-consumer ring.
 //
 // Queues are the survey's canonical illustration that a structure with two
 // access points (head and tail) admits more parallelism than a stack: the
@@ -22,6 +23,7 @@ var (
 	_ cds.Queue[int]        = (*Mutex[int])(nil)
 	_ cds.Queue[int]        = (*TwoLock[int])(nil)
 	_ cds.Queue[int]        = (*MS[int])(nil)
+	_ cds.Queue[int]        = (*Elimination[int])(nil)
 	_ cds.BoundedQueue[int] = (*MPMC[int])(nil)
 	_ cds.BoundedQueue[int] = (*SPSC[int])(nil)
 )

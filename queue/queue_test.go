@@ -15,6 +15,7 @@ func unboundedImpls() map[string]func() cds.Queue[int] {
 		"Mutex":   func() cds.Queue[int] { return NewMutex[int]() },
 		"TwoLock": func() cds.Queue[int] { return NewTwoLock[int]() },
 		"MS":      func() cds.Queue[int] { return NewMS[int]() },
+		"ElimMS":  func() cds.Queue[int] { return NewElimination[int](2, 16) },
 	}
 }
 

@@ -1,20 +1,20 @@
 package stack
 
 import (
-	"sync"
 	"sync/atomic"
 
-	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/contend"
 )
 
 // Elimination is the elimination-backoff stack of Hendler, Shavit &
 // Yerushalmi (SPAA 2004): a Treiber stack whose contention fallback is an
-// array of Exchangers. When the head CAS fails, the operation backs off
-// *into* the elimination array instead of merely waiting: a push and a pop
-// that meet there cancel directly — the pop returns the push's value and
-// neither touches the stack. Each elimination is a pair of operations
-// completed with zero contention on the top pointer, so throughput grows
-// with concurrency exactly where Treiber's stack degrades.
+// adaptive contend.Elimination array. When the head CAS fails, the
+// operation backs off *into* the elimination array instead of merely
+// waiting: a push and a pop that meet there cancel directly — the pop
+// returns the push's value and neither touches the stack. Each elimination
+// is a pair of operations completed with zero contention on the top
+// pointer, so throughput grows with concurrency exactly where Treiber's
+// stack degrades.
 //
 // Correctness rests on the observation that a push immediately followed by
 // a pop leaves the stack unchanged, so an eliminated pair can be linearized
@@ -24,16 +24,13 @@ import (
 // loop).
 type Elimination[T any] struct {
 	stack Treiber[T]
-	arr   []Exchanger[elimOp[T]]
-
-	// rngs hands per-P PRNG state to operations for slot selection.
-	rngs sync.Pool
-
-	// spins is how long an operation waits in the array per visit.
-	spins int
+	arr   *contend.Elimination[elimOp[T]]
 
 	// Elimination statistics for experiment T3. Recorded only when
 	// statsEnabled to keep the hot path free of shared writes by default.
+	// These count semantic eliminations (push met pop); the underlying
+	// array's own Stats count raw exchanges, including push/push and
+	// pop/pop meetings that both parties retry.
 	statsEnabled atomic.Bool
 	hits         atomic.Int64
 	misses       atomic.Int64
@@ -45,30 +42,24 @@ type elimOp[T any] struct {
 }
 
 // NewElimination returns an elimination-backoff stack with the given
-// elimination-array width and per-visit spin budget. width <= 0 selects 8;
-// spins <= 0 selects 128.
+// maximum elimination-array width and per-visit spin budget. width <= 0
+// selects 8; spins <= 0 selects 128. The array's active width adapts to
+// the observed rendezvous rate (see contend.Elimination).
 func NewElimination[T any](width, spins int) *Elimination[T] {
-	if width <= 0 {
-		width = 8
-	}
-	if spins <= 0 {
-		spins = 128
-	}
-	s := &Elimination[T]{
-		arr:   make([]Exchanger[elimOp[T]], width),
-		spins: spins,
-	}
-	var seed atomic.Uint64
-	s.rngs.New = func() any {
-		return xrand.New(seed.Add(1) * 0x9e3779b97f4a7c15)
-	}
-	return s
+	return &Elimination[T]{arr: contend.NewElimination[elimOp[T]](width, spins)}
 }
 
 // EnableStats turns on hit/miss accounting (a shared atomic per elimination
 // attempt; leave off for throughput benchmarks of the stack itself).
 func (s *Elimination[T]) EnableStats(on bool) {
 	s.statsEnabled.Store(on)
+}
+
+// PinWidth fixes the elimination array's active width (clamped to the
+// constructed maximum) and disables its adaptation — the knob the A1/A2
+// ablations sweep, so width means a true fixed array width there.
+func (s *Elimination[T]) PinWidth(w int) {
+	s.arr.PinActiveWidth(w)
 }
 
 // Stats returns the number of successful eliminations (pairs count once per
@@ -111,26 +102,21 @@ func (s *Elimination[T]) TryPop() (v T, ok bool) {
 	}
 }
 
-// visit performs one elimination attempt on a random slot. It reports the
-// exchanged operation and whether an exchange happened at all; callers must
-// check role compatibility (push↔pop) before treating it as elimination.
+// visit performs one elimination attempt. It reports the exchanged
+// operation and whether an exchange happened at all; callers must check
+// role compatibility (push↔pop) before treating it as elimination.
 // Incompatible exchanges (push↔push, pop↔pop) are harmless: both parties
 // observe the mismatch and retry on the stack.
 func (s *Elimination[T]) visit(op elimOp[T]) (elimOp[T], bool) {
-	rng := s.rngs.Get().(*xrand.Rand)
-	idx := rng.Intn(len(s.arr))
-	s.rngs.Put(rng)
-
-	other, ok := s.arr[idx].Exchange(op, s.spins)
-	eliminated := ok && other.isPush != op.isPush
+	other, ok := s.arr.Exchange(op)
 	if s.statsEnabled.Load() {
-		if eliminated {
+		if ok && other.isPush != op.isPush {
 			s.hits.Add(1)
 		} else {
 			s.misses.Add(1)
 		}
 	}
-	return other, eliminated
+	return other, ok
 }
 
 // Len counts the elements in the backing stack (see Treiber.Len caveats).

@@ -44,26 +44,3 @@ func ExampleElimination() {
 	fmt.Println(v, ok)
 	// Output: 2 true
 }
-
-// An Exchanger pairs up two goroutines and swaps their values.
-func ExampleExchanger() {
-	e := stack.NewExchanger[string]()
-	done := make(chan string)
-	go func() {
-		for {
-			if v, ok := e.Exchange("from-b", 1<<16); ok {
-				done <- v
-				return
-			}
-		}
-	}()
-	var got string
-	for {
-		if v, ok := e.Exchange("from-a", 1<<16); ok {
-			got = v
-			break
-		}
-	}
-	fmt.Println(got, <-done)
-	// Output: from-b from-a
-}

@@ -1,7 +1,8 @@
 // Package stack implements the concurrent stack algorithms from the survey
 // literature: a coarse-locked stack, Treiber's lock-free stack, and the
-// elimination-backoff stack of Hendler, Shavit & Yerushalmi, together with
-// the lock-free rendezvous Exchanger it is built on.
+// elimination-backoff stack of Hendler, Shavit & Yerushalmi. The lock-free
+// rendezvous Exchanger the elimination stack is built on lives in package
+// contend, the module's shared contention-management layer.
 //
 // Stacks look inherently sequential — every operation fights over one top
 // pointer — which is exactly why they are the survey's showcase for

@@ -183,93 +183,6 @@ func TestPushPopPairsUnderContention(t *testing.T) {
 	}
 }
 
-func TestExchangerPairsSwap(t *testing.T) {
-	e := NewExchanger[int]()
-	var wg sync.WaitGroup
-	results := make([]int, 2)
-	oks := make([]bool, 2)
-	for i := 0; i < 2; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			// Generous spin budget: the two goroutines will meet.
-			for {
-				v, ok := e.Exchange(100+i, 1<<16)
-				if ok {
-					results[i], oks[i] = v, true
-					return
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	if !oks[0] || !oks[1] {
-		t.Fatal("exchange did not complete on both sides")
-	}
-	if results[0] != 101 || results[1] != 100 {
-		t.Fatalf("exchange results = %v, want [101 100]", results)
-	}
-}
-
-func TestExchangerTimeout(t *testing.T) {
-	e := NewExchanger[int]()
-	if _, ok := e.Exchange(1, 4); ok {
-		t.Fatal("lonely exchange succeeded")
-	}
-	// Slot must be withdrawn: a later pair still works.
-	done := make(chan int, 1)
-	go func() {
-		for {
-			if v, ok := e.Exchange(7, 1<<16); ok {
-				done <- v
-				return
-			}
-		}
-	}()
-	var got int
-	for {
-		if v, ok := e.Exchange(9, 1<<16); ok {
-			got = v
-			break
-		}
-	}
-	if got != 7 || <-done != 9 {
-		t.Fatalf("post-timeout exchange broken: got %d, partner %v", got, done)
-	}
-}
-
-func TestExchangerManyPairs(t *testing.T) {
-	// An even number of goroutines all exchanging must pair up perfectly:
-	// the multiset of received values equals the multiset of sent values,
-	// and nobody receives its own value's partner twice.
-	e := NewExchanger[int]()
-	const n = 16
-	var wg sync.WaitGroup
-	received := make([]int, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			for {
-				if v, ok := e.Exchange(i, 1<<14); ok {
-					received[i] = v
-					return
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	// Exchange is symmetric: if i received j then j received i.
-	for i, v := range received {
-		if v < 0 || v >= n {
-			t.Fatalf("goroutine %d received out-of-range %d", i, v)
-		}
-		if received[v] != i {
-			t.Fatalf("asymmetric exchange: %d got %d but %d got %d", i, v, v, received[v])
-		}
-	}
-}
-
 func TestEliminationStats(t *testing.T) {
 	s := NewElimination[int](2, 256)
 	s.EnableStats(true)
@@ -306,8 +219,8 @@ func TestEliminationStats(t *testing.T) {
 
 func TestEliminationDefaults(t *testing.T) {
 	s := NewElimination[string](0, 0)
-	if len(s.arr) != 8 || s.spins != 128 {
-		t.Fatalf("defaults = (width %d, spins %d), want (8, 128)", len(s.arr), s.spins)
+	if s.arr.MaxWidth() != 8 {
+		t.Fatalf("default max width = %d, want 8", s.arr.MaxWidth())
 	}
 	s.Push("a")
 	if v, ok := s.TryPop(); !ok || v != "a" {

@@ -3,7 +3,7 @@ package stack
 import (
 	"sync/atomic"
 
-	"github.com/cds-suite/cds/locks"
+	"github.com/cds-suite/cds/contend"
 )
 
 // Treiber is R. K. Treiber's lock-free stack: a singly linked list whose
@@ -39,7 +39,7 @@ func NewTreiber[T any]() *Treiber[T] {
 // Push adds v to the top of the stack.
 func (s *Treiber[T]) Push(v T) {
 	n := &tnode[T]{value: v}
-	var b locks.Backoff
+	var b contend.Backoff
 	for {
 		head := s.head.Load()
 		n.next = head
@@ -53,7 +53,7 @@ func (s *Treiber[T]) Push(v T) {
 // TryPop removes and returns the top element; ok is false if the stack was
 // observed empty.
 func (s *Treiber[T]) TryPop() (v T, ok bool) {
-	var b locks.Backoff
+	var b contend.Backoff
 	for {
 		head := s.head.Load()
 		if head == nil {

@@ -28,7 +28,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
-	"github.com/cds-suite/cds/locks"
+	"github.com/cds-suite/cds/contend"
 )
 
 // clock is the global version clock shared by all TVars. A single program-
@@ -153,7 +153,7 @@ func Retry() {
 // snapshot and all writes commit atomically, or the attempt aborts and fn
 // reruns. Do not nest Atomically calls.
 func Atomically(fn func(tx *Txn)) {
-	var b locks.Backoff
+	var b contend.Backoff
 	for {
 		if runAttempt(fn) {
 			return
