@@ -45,7 +45,11 @@
 //	  "p90_ns":     102,               // when the cell sampled per-op
 //	  "p99_ns":     913,               // latency (scenario records do,
 //	  "p999_ns":    4096,              // figure-derived records do not)
-//	  "samples":    400000             // latency samples behind them
+//	  "samples":    400000,            // latency samples behind them
+//	  "gauges": {                      // end-of-run structure gauges;
+//	    "pending_garbage": 128,        // present only on cells that
+//	    "reclaimed":       399872      // report them (the reclamation
+//	  }                                // cells of F12 and S-reclaim-structs)
 //	}
 //
 // Records are append-only across schema versions: consumers must ignore
@@ -78,6 +82,10 @@ type Result struct {
 	// Latency holds per-operation latency samples when the configuration
 	// was measured with RunLatency; nil for plain Run.
 	Latency *Histogram
+	// Gauges carries end-of-run structure gauges (e.g. the reclamation
+	// cells' pending_garbage and reclaimed counts); nil when the cell has
+	// none.
+	Gauges map[string]float64
 }
 
 // Throughput returns million operations per second.
@@ -118,6 +126,9 @@ func (r Result) Record(family, algo, scenario string) Record {
 		rec.P999Ns = s.P999
 		rec.Samples = s.Samples
 	}
+	if len(r.Gauges) > 0 {
+		rec.Gauges = r.Gauges
+	}
 	return rec
 }
 
@@ -147,6 +158,10 @@ type Record struct {
 	P99Ns     int64   `json:"p99_ns,omitempty"`
 	P999Ns    int64   `json:"p999_ns,omitempty"`
 	Samples   uint64  `json:"samples,omitempty"`
+	// Gauges carries end-of-run structure gauges keyed by name. The
+	// reclamation cells (F12, the reclaim-structs scenarios) report
+	// pending_garbage and reclaimed here; absent on other records.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 // Meta describes the environment a Report was produced in, so that two

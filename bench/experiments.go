@@ -14,13 +14,12 @@ import (
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
 	"github.com/cds-suite/cds/fc"
-	"github.com/cds-suite/cds/internal/epoch"
-	"github.com/cds-suite/cds/internal/hazard"
 	"github.com/cds-suite/cds/internal/xrand"
 	"github.com/cds-suite/cds/list"
 	"github.com/cds-suite/cds/locks"
 	"github.com/cds-suite/cds/pqueue"
 	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/reclaim"
 	"github.com/cds-suite/cds/skiplist"
 	"github.com/cds-suite/cds/stack"
 	"github.com/cds-suite/cds/stm"
@@ -85,7 +84,7 @@ func Experiments() []Experiment {
 		{ID: "F9", Title: "Work-stealing deque vs. locked deque", Run: runF9},
 		{ID: "F10", Title: "Barrier episode throughput", Run: runF10},
 		{ID: "F11", Title: "STM bank transfers vs. global lock", Run: runF11},
-		{ID: "F12", Title: "Memory reclamation: EBR vs. hazard pointers", Run: runF12},
+		{ID: "F12", Title: "Memory reclamation on the lock-free structures: GC vs. EBR vs. HP vs. recycled", Run: runF12, Records: runF12Records},
 		{ID: "T1", Title: "Single-thread throughput overview (Mops/s; ns/op = 1000/Mops)", Run: runT1},
 		{ID: "T2", Title: "Contention sensitivity under Zipf skew (maps, full threads)", Run: runT2},
 		{ID: "T3", Title: "Elimination hit rate (column = hits per 100 visits)", Run: runT3},
@@ -846,64 +845,231 @@ func runF11(cfg Config) []Figure {
 
 // --- F12: reclamation ---------------------------------------------------------
 
+// reclaimVariants is the scheme sweep F12 and the reclaim-structs
+// scenarios measure on every lock-free structure: the zero-cost GC
+// default, real EBR, real HP, and EBR with node recycling ("Recycled").
+// A nil dom means the structure's default GC path.
+type reclaimVariant struct {
+	label   string
+	dom     func() reclaim.Domain
+	recycle bool
+}
+
+func reclaimVariantSweep() []reclaimVariant {
+	return []reclaimVariant{
+		{label: "GC"},
+		{label: "EBR", dom: func() reclaim.Domain { return reclaim.NewEBR() }},
+		{label: "HP", dom: func() reclaim.Domain { return reclaim.NewHP() }},
+		{label: "Recycled", dom: func() reclaim.Domain { return reclaim.NewEBR() }, recycle: true},
+	}
+}
+
+// reclaimGauges snapshots the domain's end-of-run pending-garbage and
+// reclaimed counters (zero for the GC variant, which defers nothing).
+func reclaimGauges(dom reclaim.Domain) map[string]float64 {
+	g := map[string]float64{"pending_garbage": 0, "reclaimed": 0}
+	if dom != nil {
+		g["pending_garbage"] = float64(dom.Pending())
+		g["reclaimed"] = float64(dom.Reclaimed())
+	}
+	return g
+}
+
+// runF12Records measures every lock-free structure under the reclamation
+// variant sweep on a delete-heavy churn mix — the regime where unlink and
+// retire traffic dominates — reporting throughput, latency percentiles,
+// and the pending-garbage gauges.
+func runF12Records(cfg Config) []Record {
+	ops := cfg.ops(100000)
+	var recs []Record
+	for _, v := range reclaimVariantSweep() {
+		for _, th := range cfg.threads() {
+			recs = append(recs, f12Stack(v, th, ops))
+			recs = append(recs, f12Queue(v, th, ops))
+			recs = append(recs, f12List(v, th, ops))
+			recs = append(recs, f12Map(v, th, ops))
+			if !v.recycle { // the skip list has no recycling mode
+				recs = append(recs, f12Skiplist(v, th, ops))
+			}
+		}
+	}
+	return recs
+}
+
 func runF12(cfg Config) []Figure {
-	ops := cfg.ops(200000)
-	fig := Figure{
-		ID:     "F12",
-		Family: "reclaim",
-		Title:  "reclamation read-side cost: 90% protected reads / 10% swap+retire",
-		XLabel: "threads",
+	return scenarioFigures("reclaim", runF12Records(cfg))
+}
+
+func f12Stack(v reclaimVariant, th, ops int) Record {
+	var dom reclaim.Domain
+	var opts []stack.Option
+	if v.dom != nil {
+		dom = v.dom()
+		opts = append(opts, stack.WithReclaim(dom))
+		if v.recycle {
+			opts = append(opts, stack.WithRecycling())
+		}
 	}
-
-	type node struct{ v int }
-
-	var ebr Series
-	ebr.Label = "EBR"
-	for _, th := range cfg.threads() {
-		c := epoch.NewCollector()
-		var shared atomic.Pointer[node]
-		shared.Store(&node{})
-		res := Run(th, ops/th+1, func(w int) func(int) {
-			p := c.Register()
-			rng := xrand.New(uint64(w) + 31)
-			return func(int) {
-				if rng.Uint64n(10) == 0 {
-					old := shared.Swap(&node{})
-					p.Retire(func() { _ = old })
-				} else {
-					p.Pin()
-					_ = shared.Load()
-					p.Unpin()
-				}
+	st := stack.NewTreiber[int](opts...)
+	for i := 0; i < 256; i++ {
+		st.Push(i)
+	}
+	res := RunLatency(th, ops/th+1, func(w int) func(int) {
+		mix := NewMixGen(uint64(w)*7919+1, 50, 50)
+		return func(i int) {
+			if mix.Next() == 0 {
+				st.Push(i)
+			} else {
+				st.TryPop()
 			}
-		})
-		ebr.Points = append(ebr.Points, Point{X: th, Mops: res.Throughput()})
-	}
-	fig.Series = append(fig.Series, ebr)
+		}
+	})
+	res.Gauges = reclaimGauges(dom)
+	return res.Record("reclaim", "Treiber/"+v.label, "F12: stack churn 50/50")
+}
 
-	var hp Series
-	hp.Label = "HazardPtr"
-	for _, th := range cfg.threads() {
-		d := hazard.NewDomain()
-		var shared atomic.Pointer[node]
-		shared.Store(&node{})
-		res := Run(th, ops/th+1, func(w int) func(int) {
-			h := d.NewHandle(1)
-			rng := xrand.New(uint64(w) + 31)
-			return func(int) {
-				if rng.Uint64n(10) == 0 {
-					old := shared.Swap(&node{})
-					h.Retire(old, func() { _ = old })
-				} else {
-					hazard.Protect(h.Slot(0), &shared)
-					h.Slot(0).Clear()
-				}
-			}
-		})
-		hp.Points = append(hp.Points, Point{X: th, Mops: res.Throughput()})
+func f12Queue(v reclaimVariant, th, ops int) Record {
+	var dom reclaim.Domain
+	var opts []queue.Option
+	if v.dom != nil {
+		dom = v.dom()
+		opts = append(opts, queue.WithReclaim(dom))
+		if v.recycle {
+			opts = append(opts, queue.WithRecycling())
+		}
 	}
-	fig.Series = append(fig.Series, hp)
-	return []Figure{fig}
+	q := queue.NewMS[int](opts...)
+	for i := 0; i < 256; i++ {
+		q.Enqueue(i)
+	}
+	res := RunLatency(th, ops/th+1, func(w int) func(int) {
+		mix := NewMixGen(uint64(w)*7919+3, 50, 50)
+		return func(i int) {
+			if mix.Next() == 0 {
+				q.Enqueue(i)
+			} else {
+				q.TryDequeue()
+			}
+		}
+	})
+	res.Gauges = reclaimGauges(dom)
+	return res.Record("reclaim", "MS/"+v.label, "F12: queue churn 50/50")
+}
+
+// reclaimListChurn measures one Harris cell on the shared 40/40/20
+// add/remove/contains churn mix; both F12 and the S14 list scenario run
+// exactly this cell (different key ranges and op budgets), so a change to
+// the workload cannot diverge the two reports.
+func reclaimListChurn(v reclaimVariant, th, ops, keyRange int) Result {
+	var dom reclaim.Domain
+	var opts []list.Option
+	if v.dom != nil {
+		dom = v.dom()
+		opts = append(opts, list.WithReclaim(dom))
+		if v.recycle {
+			opts = append(opts, list.WithRecycling())
+		}
+	}
+	s := list.NewHarris[int](opts...)
+	pre := xrand.New(99)
+	for i := 0; i < keyRange/2; i++ {
+		s.Add(pre.Intn(keyRange))
+	}
+	res := RunLatency(th, ops/th+1, func(w int) func(int) {
+		mix := NewMixGen(uint64(w)*31+7, 40, 40, 20)
+		rng := xrand.New(uint64(w)*2654435761 + 1)
+		return func(int) {
+			k := rng.Intn(keyRange)
+			switch mix.Next() {
+			case 0:
+				s.Add(k)
+			case 1:
+				s.Remove(k)
+			default:
+				s.Contains(k)
+			}
+		}
+	})
+	res.Gauges = reclaimGauges(dom)
+	return res
+}
+
+// reclaimMapChurn is the split-ordered counterpart of reclaimListChurn
+// (40/40/20 store/delete/load), likewise shared by F12 and S14.
+func reclaimMapChurn(v reclaimVariant, th, ops, keyRange int) Result {
+	var dom reclaim.Domain
+	var opts []cmap.Option
+	if v.dom != nil {
+		dom = v.dom()
+		opts = append(opts, cmap.WithReclaim(dom))
+		if v.recycle {
+			opts = append(opts, cmap.WithRecycling())
+		}
+	}
+	m := cmap.NewSplitOrdered[int, int](opts...)
+	pre := xrand.New(7)
+	for i := 0; i < keyRange/2; i++ {
+		m.Store(pre.Intn(keyRange), i)
+	}
+	res := RunLatency(th, ops/th+1, func(w int) func(int) {
+		mix := NewMixGen(uint64(w)*912367+5, 40, 40, 20)
+		rng := xrand.New(uint64(w)*104729 + 13)
+		return func(int) {
+			k := rng.Intn(keyRange)
+			switch mix.Next() {
+			case 0:
+				m.Store(k, 42)
+			case 1:
+				m.Delete(k)
+			default:
+				m.Load(k)
+			}
+		}
+	})
+	res.Gauges = reclaimGauges(dom)
+	return res
+}
+
+func f12List(v reclaimVariant, th, ops int) Record {
+	return reclaimListChurn(v, th, ops, 512).
+		Record("reclaim", "Harris/"+v.label, "F12: list delete-heavy 40/40/20")
+}
+
+func f12Map(v reclaimVariant, th, ops int) Record {
+	return reclaimMapChurn(v, th, ops, 1<<12).
+		Record("reclaim", "SplitOrdered/"+v.label, "F12: map delete-heavy 40/40/20")
+}
+
+func f12Skiplist(v reclaimVariant, th, ops int) Record {
+	const keyRange = 1 << 12
+	var dom reclaim.Domain
+	var opts []skiplist.Option
+	if v.dom != nil {
+		dom = v.dom()
+		opts = append(opts, skiplist.WithReclaim(dom))
+	}
+	s := skiplist.NewLockFree[int](opts...)
+	pre := xrand.New(3)
+	for i := 0; i < keyRange/2; i++ {
+		s.Add(pre.Intn(keyRange))
+	}
+	res := RunLatency(th, ops/th+1, func(w int) func(int) {
+		mix := NewMixGen(uint64(w)*13+17, 40, 40, 20)
+		rng := xrand.New(uint64(w) + 17)
+		return func(int) {
+			k := rng.Intn(keyRange)
+			switch mix.Next() {
+			case 0:
+				s.Add(k)
+			case 1:
+				s.Remove(k)
+			default:
+				s.Contains(k)
+			}
+		}
+	})
+	res.Gauges = reclaimGauges(dom)
+	return res.Record("reclaim", "LockFree/"+v.label, "F12: skiplist delete-heavy 40/40/20")
 }
 
 // --- T1: single-thread overview ------------------------------------------------

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -53,6 +54,15 @@ func goldenReport() Report {
 				Value:    37.5,
 				Unit:     UnitPercent,
 			},
+			{
+				Family:   "reclaim",
+				Algo:     "Harris/EBR",
+				Scenario: "F12: list delete-heavy 40/40/20",
+				Threads:  4,
+				Value:    3.25,
+				Unit:     UnitMops,
+				Gauges:   map[string]float64{"pending_garbage": 128, "reclaimed": 39872},
+			},
 		},
 	}
 }
@@ -96,7 +106,7 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v", out)
 	}
 	for i := range in.Records {
-		if out.Records[i] != in.Records[i] {
+		if !reflect.DeepEqual(out.Records[i], in.Records[i]) {
 			t.Fatalf("record %d mismatch: got %+v want %+v", i, out.Records[i], in.Records[i])
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/cds-suite/cds/locks"
 	"github.com/cds-suite/cds/pqueue"
 	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/reclaim"
 	"github.com/cds-suite/cds/skiplist"
 	"github.com/cds-suite/cds/stack"
 	"github.com/cds-suite/cds/stm"
@@ -138,6 +139,7 @@ func Scenarios() []Scenario {
 	all = append(all, barrierScenarios()...)
 	all = append(all, reclaimScenarios()...)
 	all = append(all, contendScenarios()...)
+	all = append(all, reclaimStructScenarios()...)
 	return all
 }
 
@@ -803,6 +805,104 @@ func contendScenarios() []Scenario {
 	}
 
 	return []Scenario{queueSc, pqSc, dqSc}
+}
+
+// reclaimStructScenarios (experiment S14) measures the reclamation layer
+// where it actually lives: wired into the lock-free structures via
+// WithReclaim. Two delete-heavy churn mixes exercise the retire/unlink
+// hot path on the list and the map, and a stalled-reader cell pins one
+// guard across long batches on the skip list — the adversarial regime
+// where EBR's pending garbage grows without bound while HP's stays capped
+// at the slot count. Every record carries the end-of-run pending_garbage
+// and reclaimed gauges.
+func reclaimStructScenarios() []Scenario {
+	const keyRange = 256
+
+	listSc := Scenario{Family: "reclaim-structs", Name: "list-delete-heavy-40/40/20"}
+	for _, v := range reclaimVariantSweep() {
+		v := v
+		listSc.Algos = append(listSc.Algos, ScenarioAlgo{Label: "Harris/" + v.label, Run: func(cfg Config, th int) Result {
+			return reclaimListChurn(v, th, cfg.ops(60000), keyRange)
+		}})
+	}
+
+	mapSc := Scenario{Family: "reclaim-structs", Name: "map-delete-heavy-40/40/20"}
+	for _, v := range reclaimVariantSweep() {
+		v := v
+		mapSc.Algos = append(mapSc.Algos, ScenarioAlgo{Label: "SplitOrdered/" + v.label, Run: func(cfg Config, th int) Result {
+			return reclaimMapChurn(v, th, cfg.ops(60000), keyRange)
+		}})
+	}
+
+	// Stalled-reader pressure: worker 0 holds a guard section open across
+	// stallBatch operations while the rest churn add/remove. EBR cannot
+	// advance the epoch past a pinned reader, so its pending gauge grows
+	// with the stall length; HP's stays bounded by the slot count.
+	const stallBatch = 2048
+	stallSc := Scenario{Family: "reclaim-structs", Name: "skiplist-stalled-reader-churn"}
+	for _, v := range reclaimVariantSweep() {
+		if v.recycle {
+			continue // the skip list has no recycling mode
+		}
+		v := v
+		stallSc.Algos = append(stallSc.Algos, ScenarioAlgo{Label: "LockFree/" + v.label, Run: func(cfg Config, th int) Result {
+			var dom reclaim.Domain
+			var opts []skiplist.Option
+			if v.dom != nil {
+				dom = v.dom()
+				opts = append(opts, skiplist.WithReclaim(dom))
+			}
+			s := skiplist.NewLockFree[int](opts...)
+			pre := xrand.New(3)
+			for i := 0; i < keyRange/2; i++ {
+				s.Add(pre.Intn(keyRange))
+			}
+			var stall reclaim.Guard
+			if dom != nil {
+				stall = dom.NewGuard(1)
+			}
+			ops := cfg.ops(60000)
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
+				if w == 0 {
+					// The stalled reader: reads inside a section it only
+					// leaves every stallBatch operations.
+					rng := xrand.New(uint64(w) + 51)
+					count := 0
+					if stall != nil {
+						stall.Enter()
+					}
+					return func(int) {
+						s.Contains(rng.Intn(keyRange))
+						count++
+						if stall != nil && count%stallBatch == 0 {
+							stall.Exit()
+							stall.Enter()
+						}
+					}
+				}
+				mix := NewMixGen(uint64(w)*61+31, 50, 50)
+				rng := xrand.New(uint64(w)*7919 + 5)
+				return func(int) {
+					k := rng.Intn(keyRange)
+					if mix.Next() == 0 {
+						s.Add(k)
+					} else {
+						s.Remove(k)
+					}
+				}
+			})
+			// Snapshot the gauges while the stall is still pinned: the
+			// whole point is the garbage a stalled reader strands.
+			res.Gauges = reclaimGauges(dom)
+			if stall != nil {
+				stall.Exit()
+				stall.Release()
+			}
+			return res
+		}})
+	}
+
+	return []Scenario{listSc, mapSc, stallSc}
 }
 
 func lockScenarios() []Scenario {

@@ -127,3 +127,59 @@ func TestScenarioRecordsCarryLatency(t *testing.T) {
 		}
 	}
 }
+
+// TestReclaimStructScenarioShape: the S14 family must compare the
+// reclamation schemes per structure — GC, EBR, HP, and (where reuse is
+// sound) Recycled — and every record must carry the pending-garbage and
+// reclaimed gauges the acceptance bar names.
+func TestReclaimStructScenarioShape(t *testing.T) {
+	cfg := Config{Quick: true, Threads: []int{2}, Ops: 3000}
+	var fam []Scenario
+	for _, s := range Scenarios() {
+		if s.Family == "reclaim-structs" {
+			fam = append(fam, s)
+		}
+	}
+	if len(fam) < 3 {
+		t.Fatalf("reclaim-structs has %d scenarios, want >= 3", len(fam))
+	}
+	wantVariants := map[string][]string{
+		"list-delete-heavy-40/40/20":    {"Harris/GC", "Harris/EBR", "Harris/HP", "Harris/Recycled"},
+		"map-delete-heavy-40/40/20":     {"SplitOrdered/GC", "SplitOrdered/EBR", "SplitOrdered/HP", "SplitOrdered/Recycled"},
+		"skiplist-stalled-reader-churn": {"LockFree/GC", "LockFree/EBR", "LockFree/HP"},
+	}
+	for _, s := range fam {
+		want, ok := wantVariants[s.Name]
+		if !ok {
+			t.Errorf("unexpected reclaim-structs scenario %q", s.Name)
+			continue
+		}
+		var got []string
+		for _, a := range s.Algos {
+			got = append(got, a.Label)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: algos = %v, want %v", s.Name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: algo[%d] = %q, want %q", s.Name, i, got[i], want[i])
+			}
+		}
+		for _, r := range s.Run(cfg) {
+			if r.Gauges == nil {
+				t.Errorf("%s/%s: record missing gauges", s.Name, r.Algo)
+				continue
+			}
+			for _, key := range []string{"pending_garbage", "reclaimed"} {
+				if _, ok := r.Gauges[key]; !ok {
+					t.Errorf("%s/%s: gauge %q missing", s.Name, r.Algo, key)
+				}
+			}
+			if r.Gauges["pending_garbage"] < 0 {
+				t.Errorf("%s/%s: negative pending garbage", s.Name, r.Algo)
+			}
+		}
+	}
+}

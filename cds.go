@@ -12,7 +12,11 @@
 // Cross-cutting machinery lives in its own packages: contend is the shared
 // contention-management layer (randomized exponential backoff, elimination
 // and validated-handoff arrays, flat-combining and combining-tree cores)
-// that the structure families draw their under-contention behaviour from,
+// that the structure families draw their under-contention behaviour from;
+// reclaim is the safe-memory-reclamation layer (epoch-based reclamation,
+// hazard pointers, or the default zero-cost GC-noop behind one
+// Domain/Guard interface, with optional retired-node recycling) that the
+// lock-free structures wire in via their WithReclaim constructor option;
 // and lincheck is the linearizability checker the integration tests verify
 // them with.
 //

@@ -1,0 +1,122 @@
+package cmap
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/reclaim"
+)
+
+// TestSplitOrderedReclaimVariants churns store/delete/load traffic over a
+// small key space under each deferring configuration, then verifies map
+// coherence and that retirement actually ran. Recycling composes with EBR
+// only (Range cannot hold hazards), so the HP+recycle cell asserts the
+// silent downgrade instead.
+func TestSplitOrderedReclaimVariants(t *testing.T) {
+	variants := map[string]func() []Option{
+		"EBR": func() []Option {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return []Option{WithReclaim(d)}
+		},
+		"HP": func() []Option {
+			d := reclaim.NewHP()
+			d.SetScanThreshold(8)
+			return []Option{WithReclaim(d)}
+		},
+		"EBR+recycle": func() []Option {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return []Option{WithReclaim(d), WithRecycling()}
+		},
+	}
+	for name, mkOpts := range variants {
+		t.Run(name, func(t *testing.T) {
+			opts := mkOpts()
+			dom := buildOptions(opts).dom
+			m := NewSplitOrdered[int, int](opts...)
+
+			const workers, ops, keyRange = 4, 4000, 64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w)*912367 + 11)
+					for i := 0; i < ops; i++ {
+						k := rng.Intn(keyRange)
+						switch rng.Intn(4) {
+						case 0, 1:
+							m.Store(k, w)
+						case 2:
+							m.Delete(k)
+						default:
+							m.Load(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Quiesce and verify coherence.
+			for k := 0; k < keyRange; k++ {
+				m.Store(k, k*3)
+			}
+			for k := 0; k < keyRange; k++ {
+				if v, ok := m.Load(k); !ok || v != k*3 {
+					t.Fatalf("Load(%d) = (%d, %v), want (%d, true)", k, v, ok, k*3)
+				}
+			}
+			seen := 0
+			m.Range(func(k, v int) bool {
+				if v != k*3 {
+					t.Fatalf("Range saw (%d, %d), want value %d", k, v, k*3)
+				}
+				seen++
+				return true
+			})
+			if seen != keyRange {
+				t.Fatalf("Range visited %d entries, want %d", seen, keyRange)
+			}
+			for k := 0; k < keyRange; k++ {
+				if !m.Delete(k) {
+					t.Fatalf("Delete(%d) failed on a present key", k)
+				}
+			}
+			if got := m.Len(); got != 0 {
+				t.Fatalf("Len = %d after deleting everything", got)
+			}
+			if dom.Reclaimed() == 0 {
+				t.Fatal("domain reclaimed nothing — retire path inert")
+			}
+			if dom.Pending() < 0 {
+				t.Fatalf("pending gauge negative: %d", dom.Pending())
+			}
+		})
+	}
+}
+
+// TestSplitOrderedRecyclingGates verifies the safety gate: recycling with
+// an HP domain is silently disabled (Range cannot publish hazards), while
+// recycling with EBR is live and actually reuses nodes.
+func TestSplitOrderedRecyclingGates(t *testing.T) {
+	hp := NewSplitOrdered[int, int](WithReclaim(reclaim.NewHP()), WithRecycling())
+	if hp.nodes != nil {
+		t.Fatal("recycler enabled under an HP domain")
+	}
+
+	d := reclaim.NewEBR()
+	d.SetAdvanceInterval(1)
+	m := NewSplitOrdered[int, int](WithReclaim(d), WithRecycling())
+	if m.nodes == nil {
+		t.Fatal("recycler not enabled under an EBR domain")
+	}
+	for i := 0; i < 5000; i++ {
+		m.Store(i&7, i)
+		m.Delete(i & 7)
+	}
+	if m.nodes.Reused() == 0 {
+		t.Fatal("recycler never reused a node across 5000 store/delete cycles")
+	}
+}

@@ -3,6 +3,8 @@ package cmap
 import (
 	"math/bits"
 	"sync/atomic"
+
+	"github.com/cds-suite/cds/reclaim"
 )
 
 const (
@@ -31,17 +33,27 @@ const (
 // is 0 — sentinels sort immediately before the items of their bucket and
 // can never collide with an item.
 //
+// Memory reclamation (WithReclaim): deleted item nodes are retired by
+// whichever operation wins the physical-unlink CAS (exactly once — see
+// list.Harris for the argument); sentinels are never removed and so never
+// retired. Under HP the keyed operations protect their (pred, curr)
+// window via Michael's two-hazard discipline; Range publishes nothing
+// (its weakly consistent walk cannot hold hazards across the whole list),
+// which is why WithRecycling is EBR-only.
+//
 // Linearization points: Load at its last ref load; Store (update) at its
 // value store; Store/LoadOrStore (insert) at the link CAS; Delete at the
 // marking CAS.
 //
 // Progress: lock-free for all operations (Load is wait-free bounded by
-// bucket-run length).
+// bucket-run length under GC and EBR).
 type SplitOrdered[K comparable, V any] struct {
 	hash        func(K) uint64
 	segments    [soMaxSegments]atomic.Pointer[soSegment[K, V]]
 	bucketCount atomic.Uint64 // current table size, always a power of two
 	size        atomic.Int64
+	mem         *reclaim.Pool
+	nodes       *reclaim.Recycler[soNode[K, V]]
 }
 
 type soSegment[K comparable, V any] struct {
@@ -62,8 +74,9 @@ type soRef[K comparable, V any] struct {
 }
 
 // NewSplitOrdered returns an empty split-ordered hash map with an initial
-// table size of 2 buckets.
-func NewSplitOrdered[K comparable, V any]() *SplitOrdered[K, V] {
+// table size of 2 buckets. See WithReclaim and WithRecycling for the
+// memory-reclamation options.
+func NewSplitOrdered[K comparable, V any](opts ...Option) *SplitOrdered[K, V] {
 	m := &SplitOrdered[K, V]{hash: newHasher[K]().hash}
 	m.bucketCount.Store(2)
 	// Bucket 0's sentinel is the list head: soKey 0.
@@ -72,7 +85,52 @@ func NewSplitOrdered[K comparable, V any]() *SplitOrdered[K, V] {
 	seg0 := &soSegment[K, V]{slots: make([]atomic.Pointer[soNode[K, V]], 1)}
 	seg0.slots[0].Store(head)
 	m.segments[0].Store(seg0)
+
+	o := buildOptions(opts)
+	if o.dom != nil {
+		m.mem = reclaim.NewPool(o.dom, 2)
+		if o.recycle {
+			g := m.mem.Get()
+			if !g.Protects() { // Range cannot hold hazards: EBR only
+				m.nodes = reclaim.NewRecycler(func(n *soNode[K, V]) {
+					var zeroK K
+					n.soKey = 0
+					n.key = zeroK
+					n.val.Store(nil)
+					n.ref.Store(nil)
+				})
+			}
+			m.mem.Put(g)
+		}
+	}
 	return m
+}
+
+// acquire returns a guard with its section entered, or nil when the map
+// runs on plain GC reclamation.
+func (m *SplitOrdered[K, V]) acquire() reclaim.Guard {
+	if m.mem == nil {
+		return nil
+	}
+	g := m.mem.Get()
+	g.Enter()
+	return g
+}
+
+func (m *SplitOrdered[K, V]) release(g reclaim.Guard) {
+	if g == nil {
+		return
+	}
+	g.Exit()
+	m.mem.Put(g)
+}
+
+// retire hands a successfully unlinked item node to the guard's domain.
+func (m *SplitOrdered[K, V]) retire(g reclaim.Guard, n *soNode[K, V]) {
+	if g == nil {
+		return
+	}
+	reclaim.Retire(g, m.nodes, n)
 }
 
 func soRegularKey(h uint64) uint64  { return bits.Reverse64(h) | 1 }
@@ -96,28 +154,29 @@ func (m *SplitOrdered[K, V]) bucketSlot(b uint64) *atomic.Pointer[soNode[K, V]] 
 
 // getBucket returns bucket b's sentinel node, initialising the bucket (and
 // recursively its parents) if this is its first use.
-func (m *SplitOrdered[K, V]) getBucket(b uint64) *soNode[K, V] {
+func (m *SplitOrdered[K, V]) getBucket(g reclaim.Guard, b uint64) *soNode[K, V] {
 	slot := m.bucketSlot(b)
 	if n := slot.Load(); n != nil {
 		return n
 	}
-	return m.initBucket(b, slot)
+	return m.initBucket(g, b, slot)
 }
 
-func (m *SplitOrdered[K, V]) initBucket(b uint64, slot *atomic.Pointer[soNode[K, V]]) *soNode[K, V] {
+func (m *SplitOrdered[K, V]) initBucket(g reclaim.Guard, b uint64, slot *atomic.Pointer[soNode[K, V]]) *soNode[K, V] {
 	// Parent: clear the most significant set bit. Bucket 0 exists from
 	// construction, so the recursion terminates.
 	parent := b &^ (uint64(1) << (bits.Len64(b) - 1))
-	parentSentinel := m.getBucket(parent)
+	parentSentinel := m.getBucket(g, parent)
 
 	soKey := soSentinelKey(b)
 	for {
-		pred, predRef, curr, found := m.find(parentSentinel, soKey, nil)
+		pred, predRef, curr, found := m.find(g, parentSentinel, soKey, nil)
 		if found {
 			// Another initialiser (or an earlier epoch) inserted it.
 			slot.CompareAndSwap(nil, curr)
 			return slot.Load()
 		}
+		// Sentinels are immortal: always fresh allocations, never pooled.
 		n := &soNode[K, V]{soKey: soKey}
 		n.ref.Store(&soRef[K, V]{next: curr})
 		if pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: n}) {
@@ -128,22 +187,38 @@ func (m *SplitOrdered[K, V]) initBucket(b uint64, slot *atomic.Pointer[soNode[K,
 }
 
 // find locates the window for soKey starting at start, snipping marked
-// nodes on the way (helping). For regular keys, key must point at the
-// lookup key and find scans through hash-colliding items until it matches
-// key equality; for sentinels key is nil and soKey equality suffices.
+// nodes on the way (helping; the snipper retires them into g). For regular
+// keys, key must point at the lookup key and find scans through
+// hash-colliding items until it matches key equality; for sentinels key is
+// nil and soKey equality suffices.
 //
 // Returns pred/predRef (an unmarked snapshot with predRef.next == curr) and
 // curr: the matching node when found, otherwise the first node with
-// soKey strictly greater (insertion point).
-func (m *SplitOrdered[K, V]) find(start *soNode[K, V], soKey uint64, key *K) (pred *soNode[K, V], predRef *soRef[K, V], curr *soNode[K, V], found bool) {
+// soKey strictly greater (insertion point). Under a protecting guard, pred
+// lives in hazard slot 0 and curr in slot 1 for the window returned; the
+// start sentinel needs no protection (sentinels are immortal).
+func (m *SplitOrdered[K, V]) find(g reclaim.Guard, start *soNode[K, V], soKey uint64, key *K) (pred *soNode[K, V], predRef *soRef[K, V], curr *soNode[K, V], found bool) {
+	hp := g != nil && g.Protects()
 retry:
 	for {
 		pred = start
 		predRef = pred.ref.Load()
+		if hp {
+			g.Protect(0, nil)
+		}
 		curr = predRef.next
 		for {
 			if curr == nil {
 				return pred, predRef, nil, false
+			}
+			if hp {
+				// Publish curr, then revalidate pred's record (see
+				// list.Harris.find for why this orders the publication
+				// before any retirement of curr).
+				g.Protect(1, curr)
+				if pred.ref.Load() != predRef {
+					continue retry
+				}
 			}
 			currRef := curr.ref.Load()
 			if currRef.marked {
@@ -152,6 +227,7 @@ retry:
 					continue retry
 				}
 				predRef = newRef
+				m.retire(g, curr)
 				curr = currRef.next
 				continue
 			}
@@ -165,22 +241,28 @@ retry:
 				// Hash collision: different key, same split-order key.
 				// Keep scanning the run of equal keys.
 			}
-			pred, predRef, curr = curr, currRef, currRef.next
+			pred, predRef = curr, currRef
+			if hp {
+				g.Protect(0, curr) // pred moves into slot 0
+			}
+			curr = currRef.next
 		}
 	}
 }
 
 // startFor returns the sentinel to search from for hash h under the
 // current table size.
-func (m *SplitOrdered[K, V]) startFor(h uint64) *soNode[K, V] {
+func (m *SplitOrdered[K, V]) startFor(g reclaim.Guard, h uint64) *soNode[K, V] {
 	b := h & (m.bucketCount.Load() - 1)
-	return m.getBucket(b)
+	return m.getBucket(g, b)
 }
 
 // Load returns the value stored for k.
 func (m *SplitOrdered[K, V]) Load(k K) (v V, ok bool) {
+	g := m.acquire()
+	defer m.release(g)
 	h := m.hash(k)
-	_, _, curr, found := m.find(m.startFor(h), soRegularKey(h), &k)
+	_, _, curr, found := m.find(g, m.startFor(g, h), soRegularKey(h), &k)
 	if !found {
 		return v, false
 	}
@@ -200,12 +282,18 @@ func (m *SplitOrdered[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 
 // upsert implements Store (overwrite=true) and LoadOrStore (overwrite=false).
 func (m *SplitOrdered[K, V]) upsert(k K, v V, overwrite bool) (actual V, loaded bool) {
+	g := m.acquire()
+	defer m.release(g)
 	h := m.hash(k)
 	soKey := soRegularKey(h)
+	var n *soNode[K, V] // lazily prepared insert node, reused across retries
 	for {
-		start := m.startFor(h)
-		pred, predRef, curr, found := m.find(start, soKey, &k)
+		start := m.startFor(g, h)
+		pred, predRef, curr, found := m.find(g, start, soKey, &k)
 		if found {
+			if n != nil {
+				m.nodes.Put(n) // never published; straight back to the pool
+			}
 			if !overwrite {
 				return *curr.val.Load(), true
 			}
@@ -214,11 +302,16 @@ func (m *SplitOrdered[K, V]) upsert(k K, v V, overwrite bool) (actual V, loaded 
 			// it observed our value; retry so the Store takes effect after
 			// the Delete in every linearization.
 			if curr.ref.Load().marked {
+				n = nil
 				continue
 			}
 			return v, true
 		}
-		n := &soNode[K, V]{soKey: soKey, key: k}
+		if n == nil {
+			n = m.nodes.Get()
+			n.soKey = soKey
+			n.key = k
+		}
 		n.val.Store(&v)
 		n.ref.Store(&soRef[K, V]{next: curr})
 		if pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: n}) {
@@ -230,11 +323,13 @@ func (m *SplitOrdered[K, V]) upsert(k K, v V, overwrite bool) (actual V, loaded 
 
 // Delete removes k, reporting whether it was present.
 func (m *SplitOrdered[K, V]) Delete(k K) bool {
+	g := m.acquire()
+	defer m.release(g)
 	h := m.hash(k)
 	soKey := soRegularKey(h)
 	for {
-		start := m.startFor(h)
-		pred, predRef, curr, found := m.find(start, soKey, &k)
+		start := m.startFor(g, h)
+		pred, predRef, curr, found := m.find(g, start, soKey, &k)
 		if !found {
 			return false
 		}
@@ -245,8 +340,11 @@ func (m *SplitOrdered[K, V]) Delete(k K) bool {
 		if !curr.ref.CompareAndSwap(currRef, &soRef[K, V]{next: currRef.next, marked: true}) {
 			continue
 		}
-		// Physical unlink is best-effort; find() helps later on failure.
-		pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: currRef.next})
+		// Physical unlink is best-effort; find() helps later on failure,
+		// and whoever's unlink CAS succeeds does the retiring.
+		if pred.ref.CompareAndSwap(predRef, &soRef[K, V]{next: currRef.next}) {
+			m.retire(g, curr)
+		}
 		m.size.Add(-1)
 		return true
 	}
@@ -260,9 +358,14 @@ func (m *SplitOrdered[K, V]) Len() int {
 
 // Range calls f for every entry until f returns false. The iteration is
 // weakly consistent: it reflects some interleaving of concurrent updates,
-// never locks, and never blocks writers.
+// never locks, and never blocks writers. Under EBR the whole walk runs
+// inside one pinned section; under HP it publishes no hazards (node
+// recycling is disabled there, so retired nodes remain type-stable
+// GC-managed memory the walk may harmlessly read through).
 func (m *SplitOrdered[K, V]) Range(f func(K, V) bool) {
-	head := m.getBucket(0)
+	g := m.acquire()
+	defer m.release(g)
+	head := m.getBucket(g, 0)
 	for curr := head.ref.Load().next; curr != nil; {
 		ref := curr.ref.Load()
 		if !ref.marked && curr.soKey&1 == 1 {

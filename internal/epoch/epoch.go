@@ -35,21 +35,56 @@ const epochBags = 3
 type Collector struct {
 	global atomic.Uint64
 
+	// advancing single-flights TryAdvance's registry scan: concurrent
+	// callers skip instead of convoying on mu behind the scanner, which
+	// keeps heavily retiring workloads from serialising on the registry
+	// lock (the scan is O(participants) and runs on a retire cadence).
+	advancing atomic.Bool
+
 	mu           sync.Mutex // guards participants registry and orphans
 	participants []*Participant
 	// orphans holds bags inherited from unregistered participants, keyed
 	// by retirement epoch; they age out under the same e+2 rule.
 	orphans map[uint64][]func()
+	// orphanCount mirrors the total size of orphans so hot paths can skip
+	// the drain lock when there is nothing to drain.
+	orphanCount atomic.Int64
 
 	reclaimed atomic.Int64
 	pending   atomic.Int64
+
+	// advanceEvery is the per-participant Retire cadence for attempting an
+	// epoch advance (and collecting aged bags). Fixed after construction.
+	advanceEvery uint64
+
+	// advanceTestHook, when non-nil, runs between TryAdvance's epoch load
+	// and its CAS — the window where a concurrent advance makes the CAS
+	// lose. Tests use it to pin down the orphan-drain liveness guarantee.
+	advanceTestHook func()
 }
+
+// defaultAdvanceEvery is how many retirements a participant buffers between
+// epoch-advance attempts.
+const defaultAdvanceEvery = 64
 
 // NewCollector returns a Collector at epoch 1.
 func NewCollector() *Collector {
-	c := &Collector{orphans: make(map[uint64][]func())}
+	c := &Collector{
+		orphans:      make(map[uint64][]func()),
+		advanceEvery: defaultAdvanceEvery,
+	}
 	c.global.Store(1)
 	return c
+}
+
+// SetAdvanceInterval overrides how many retirements a participant buffers
+// between epoch-advance attempts (for tests and tuning). Must be called
+// before participants start retiring.
+func (c *Collector) SetAdvanceInterval(n uint64) {
+	if n < 1 {
+		n = 1
+	}
+	c.advanceEvery = n
 }
 
 // Register adds a participant (one per accessing goroutine). Participants
@@ -82,6 +117,7 @@ func (c *Collector) Unregister(p *Participant) {
 		if len(p.bags[i]) > 0 {
 			e := p.bagEpoch[i]
 			c.orphans[e] = append(c.orphans[e], p.bags[i]...)
+			c.orphanCount.Add(int64(len(p.bags[i])))
 			p.bags[i] = nil
 		}
 	}
@@ -100,6 +136,7 @@ func (c *Collector) drainOrphans() {
 			delete(c.orphans, e)
 		}
 	}
+	c.orphanCount.Add(-int64(len(ready)))
 	c.mu.Unlock()
 	if len(ready) == 0 {
 		return
@@ -125,17 +162,36 @@ func (c *Collector) Pending() int64 { return c.pending.Load() }
 // It reports whether the epoch advanced.
 func (c *Collector) TryAdvance() bool {
 	e := c.global.Load()
+	if !c.advancing.CompareAndSwap(false, true) {
+		// Another caller is mid-scan; skip rather than queue behind it.
+		// Still honour the drain-on-observed-advance rule below so aged
+		// orphans cannot outlive an advance we raced with.
+		if c.orphanCount.Load() > 0 && c.global.Load() > e {
+			c.drainOrphans()
+		}
+		return false
+	}
 	c.mu.Lock()
 	for _, p := range c.participants {
 		s := p.state.Load()
 		if s&1 == 1 && s>>1 != e {
 			c.mu.Unlock()
+			c.advancing.Store(false)
 			return false // pinned in an older epoch
 		}
 	}
 	c.mu.Unlock()
+	if h := c.advanceTestHook; h != nil {
+		h()
+	}
 	advanced := c.global.CompareAndSwap(e, e+1)
-	if advanced {
+	c.advancing.Store(false)
+	// Drain whenever an advance was observed — ours or a concurrent one
+	// that beat our CAS. Draining only on CAS success leaves aged-out
+	// orphan bags (e.g. from an Unregister that landed after the winner's
+	// drain) lingering until the *next* successful advance, which may be
+	// arbitrarily far away once the callers go quiescent.
+	if (advanced || c.global.Load() > e) && c.orphanCount.Load() > 0 {
 		c.drainOrphans()
 	}
 	return advanced
@@ -198,7 +254,7 @@ func (p *Participant) Retire(free func()) {
 	p.c.pending.Add(1)
 
 	p.ops++
-	if p.ops%64 == 0 {
+	if p.ops%p.c.advanceEvery == 0 {
 		p.c.TryAdvance()
 		p.Collect()
 	}

@@ -156,6 +156,99 @@ func TestUnregisterPinnedPanics(t *testing.T) {
 	c.Unregister(p)
 }
 
+// TestLostAdvanceStillDrainsOrphans pins down the orphan-drain liveness
+// rule: a TryAdvance whose CAS loses to a concurrent advance must still
+// drain aged-out orphan bags, because the winner may have drained *before*
+// those orphans were parked (an Unregister landing in between). The old
+// code drained only on CAS success, so the bag lingered until the next
+// successful advance — arbitrarily far away once callers go quiescent.
+func TestLostAdvanceStillDrainsOrphans(t *testing.T) {
+	c := NewCollector()
+	for c.Epoch() < 5 {
+		if !c.TryAdvance() {
+			t.Fatal("setup advance failed with no participants")
+		}
+	}
+
+	var freed atomic.Int64
+	fired := false
+	c.advanceTestHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		// A concurrent winner advances 5→6 and drains (nothing aged yet)...
+		if !c.global.CompareAndSwap(5, 6) {
+			t.Fatal("hook: concurrent advance failed")
+		}
+		c.drainOrphans()
+		// ...then an Unregister lands: a bag retired at epoch 4 is parked
+		// as an orphan — already aged out (4+2 <= 6) but missed by the
+		// winner's drain.
+		c.mu.Lock()
+		c.orphans[4] = append(c.orphans[4], func() { freed.Add(1) })
+		c.mu.Unlock()
+		c.orphanCount.Add(1)
+		c.pending.Add(1)
+	}
+
+	if c.TryAdvance() {
+		t.Fatal("TryAdvance CAS should have lost to the hooked concurrent advance")
+	}
+	if got := freed.Load(); got != 1 {
+		t.Fatalf("aged-out orphan bag not drained after losing the advance race: freed = %d, want 1", got)
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", got)
+	}
+}
+
+// TestOrphanAgingUnderRacingAdvances churns unregistering participants
+// (each parking an orphan bag) against goroutines hammering TryAdvance, so
+// the CAS-lost drain path runs concurrently with winners' drains — the
+// interleaving the race detector must see clean — and every orphan is
+// eventually freed while the advancers are still racing.
+func TestOrphanAgingUnderRacingAdvances(t *testing.T) {
+	c := NewCollector()
+	var freed atomic.Int64
+	const total = 500
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.TryAdvance()
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		p := c.Register()
+		p.Retire(func() { freed.Add(1) })
+		c.Unregister(p)
+	}
+	// Liveness: with no pinned participants the racers keep advancing, and
+	// every observation of an advance (won or lost) drains aged bags.
+	for spin := 0; freed.Load() < total && spin < 1e8; spin++ {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if got := freed.Load(); got != total {
+		t.Fatalf("orphans freed = %d, want %d", got, total)
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0", got)
+	}
+}
+
 // TestConcurrentReclamationStress runs readers continuously pinning and
 // "accessing" a shared object graph while writers unlink+retire objects.
 // Invariant: no reader ever observes an object after its destructor ran.

@@ -19,6 +19,7 @@ package hazard
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/cds-suite/cds/internal/pad"
 )
@@ -31,8 +32,15 @@ const defaultScanThreshold = 64
 // Domain owns a set of hazard slots and the retire lists that scan against
 // them. One Domain serves one data structure (or family).
 type Domain struct {
-	mu       sync.Mutex
-	slots    []*Slot // all slots ever issued (append-only)
+	mu sync.Mutex
+	// slots holds every live handle's hazard slots. Scans snapshot the
+	// slice header under mu and iterate outside it, which is safe under
+	// two rules every mutation must keep: NewHandle only appends (it may
+	// grow a shared backing array, but only at indices at or past every
+	// snapshot's length, which scanners never read), and any other
+	// mutation — like Release dropping a handle's slots — must install a
+	// rebuilt slice, never write below a snapshot's length in place.
+	slots    []*Slot
 	handles  []*Handle
 	orphaned []retiredObject // retired objects of released handles
 
@@ -64,30 +72,36 @@ func (d *Domain) Pending() int64 { return d.pending.Load() }
 // Slot is a single hazard pointer: it names at most one object as
 // unsafe-to-free. Writing is owner-only; scanning reads it from any
 // goroutine.
+//
+// Hazard equality is pointer identity, so the slot stores the raw address
+// of the protected object rather than a boxed interface: publishing is a
+// single atomic pointer store with no allocation — this is the per-read
+// cost F12 measures, and boxing on every Protect would swamp it with GC
+// traffic. The stored address points at the object's allocation base, so
+// it also keeps the object GC-reachable on its own.
 type Slot struct {
-	v atomic.Value // always holds a slotVal (atomic.Value needs one concrete type)
+	p atomic.Pointer[byte]
 	_ pad.CacheLinePad
 }
 
-// slotVal boxes the protected pointer so that every Store into the
-// atomic.Value uses the same concrete type regardless of what is
-// protected.
-type slotVal struct{ p any }
-
-// set publishes p (owner-only).
-func (s *Slot) set(p any) { s.v.Store(slotVal{p: p}) }
-
-// Clear removes protection (owner-only).
-func (s *Slot) Clear() { s.v.Store(slotVal{}) }
-
-// load returns the published value, or nil if empty.
-func (s *Slot) load() any {
-	v := s.v.Load()
+// dataPtr extracts the data word of an interface value — the object's
+// address for the pointer-shaped values the protocol works with. Retire
+// and Protect must be handed the same pointer value for identity to hold.
+func dataPtr(v any) *byte {
 	if v == nil {
 		return nil
 	}
-	return v.(slotVal).p
+	return (*byte)((*[2]unsafe.Pointer)(unsafe.Pointer(&v))[1])
 }
+
+// setPtr publishes p (owner-only).
+func (s *Slot) setPtr(p *byte) { s.p.Store(p) }
+
+// Clear removes protection (owner-only).
+func (s *Slot) Clear() { s.p.Store(nil) }
+
+// loadPtr returns the published address, or nil if empty.
+func (s *Slot) loadPtr() *byte { return s.p.Load() }
 
 // Protect publishes the pointer read from src in the slot and re-validates
 // that src still holds it, looping until the publication is safe. It
@@ -102,7 +116,7 @@ func Protect[T any](s *Slot, src *atomic.Pointer[T]) *T {
 			s.Clear()
 			return nil
 		}
-		s.set(p)
+		s.setPtr((*byte)(unsafe.Pointer(p)))
 		if src.Load() == p {
 			return p
 		}
@@ -144,6 +158,14 @@ func (d *Domain) NewHandle(k int) *Handle {
 // Slot returns the i'th hazard slot of the handle.
 func (h *Handle) Slot(i int) *Slot { return h.slots[i] }
 
+// Protect publishes p in the handle's i'th hazard slot (clearing it when p
+// is nil). Unlike the free function Protect, it does not revalidate the
+// source — callers that publish raw pointers must re-check the source
+// themselves before dereferencing.
+func (h *Handle) Protect(i int, p any) {
+	h.slots[i].setPtr(dataPtr(p))
+}
+
 // Retire schedules free to run once no hazard slot protects ptr. ptr must
 // be the same value (same pointer) readers publish via Protect.
 func (h *Handle) Retire(ptr any, free func()) {
@@ -155,15 +177,26 @@ func (h *Handle) Retire(ptr any, free func()) {
 }
 
 // Scan frees every retired object not currently named by any hazard slot;
-// the rest stay buffered for the next scan.
+// the rest stay buffered for the next scan. When the domain holds orphaned
+// retirements (from released handles), the scan adopts and processes them
+// too, so orphans are reclaimed by ordinary retire traffic instead of
+// waiting for an explicit Drain.
 func (h *Handle) Scan() {
-	// Snapshot all hazard slots.
+	// Snapshot all hazard slots and steal any orphans under the same
+	// lock; bail out first when there is nothing to reclaim (the common
+	// case for the final scan of an empty handle being released).
 	h.d.mu.Lock()
+	if len(h.retired) == 0 && len(h.d.orphaned) == 0 {
+		h.d.mu.Unlock()
+		return
+	}
 	slots := h.d.slots
+	orphans := h.d.orphaned
+	h.d.orphaned = nil
 	h.d.mu.Unlock()
-	protected := make(map[any]struct{}, len(slots))
+	protected := make(map[*byte]struct{}, len(slots))
 	for _, s := range slots {
-		if v := s.load(); v != nil {
+		if v := s.loadPtr(); v != nil {
 			protected[v] = struct{}{}
 		}
 	}
@@ -171,7 +204,7 @@ func (h *Handle) Scan() {
 	kept := h.retired[:0]
 	freed := 0
 	for _, r := range h.retired {
-		if _, isProtected := protected[r.ptr]; isProtected {
+		if _, isProtected := protected[dataPtr(r.ptr)]; isProtected {
 			kept = append(kept, r)
 			continue
 		}
@@ -183,6 +216,23 @@ func (h *Handle) Scan() {
 		h.retired[i] = retiredObject{}
 	}
 	h.retired = kept
+
+	// Stolen orphans: free the unprotected ones, return survivors to the
+	// domain (they belong to no handle).
+	var keptOrphans []retiredObject
+	for _, r := range orphans {
+		if _, isProtected := protected[dataPtr(r.ptr)]; isProtected {
+			keptOrphans = append(keptOrphans, r)
+			continue
+		}
+		r.free()
+		freed++
+	}
+	if len(keptOrphans) > 0 {
+		h.d.mu.Lock()
+		h.d.orphansLocked(keptOrphans)
+		h.d.mu.Unlock()
+	}
 	if freed > 0 {
 		h.d.reclaimed.Add(int64(freed))
 		h.d.pending.Add(int64(-freed))
@@ -190,34 +240,15 @@ func (h *Handle) Scan() {
 }
 
 // Release clears the handle's slots and hands its remaining retired
-// objects to the domain-wide orphan drain (a final scan by any later
-// handle or by Drain).
+// objects to the domain-wide orphan list, reclaimed by any later handle's
+// Scan or by Drain. The leftovers must never be pushed into another live
+// handle's retire buffer: that buffer is owner-only state, and the owner
+// may be running Retire or Scan on it concurrently.
 func (h *Handle) Release() {
 	for _, s := range h.slots {
 		s.Clear()
 	}
 	h.Scan()
-	if len(h.retired) > 0 {
-		// Push leftovers to another live handle if any; otherwise keep
-		// them on the domain for Drain.
-		h.d.mu.Lock()
-		for i, other := range h.d.handles {
-			if other == h {
-				h.d.handles[i] = h.d.handles[len(h.d.handles)-1]
-				h.d.handles = h.d.handles[:len(h.d.handles)-1]
-				break
-			}
-		}
-		if len(h.d.handles) > 0 {
-			dst := h.d.handles[0]
-			dst.retired = append(dst.retired, h.retired...)
-		} else {
-			h.d.orphansLocked(h.retired)
-		}
-		h.retired = nil
-		h.d.mu.Unlock()
-		return
-	}
 	h.d.mu.Lock()
 	for i, other := range h.d.handles {
 		if other == h {
@@ -225,6 +256,24 @@ func (h *Handle) Release() {
 			h.d.handles = h.d.handles[:len(h.d.handles)-1]
 			break
 		}
+	}
+	// Retire the handle's (cleared) slots from the scan set so scan cost
+	// tracks live handles, not handles ever issued. Rebuild rather than
+	// mutate: snapshots taken by in-flight scans keep the old array.
+	mine := make(map[*Slot]bool, len(h.slots))
+	for _, s := range h.slots {
+		mine[s] = true
+	}
+	kept := make([]*Slot, 0, len(h.d.slots)-len(h.slots))
+	for _, s := range h.d.slots {
+		if !mine[s] {
+			kept = append(kept, s)
+		}
+	}
+	h.d.slots = kept
+	if len(h.retired) > 0 {
+		h.d.orphansLocked(h.retired)
+		h.retired = nil
 	}
 	h.d.mu.Unlock()
 }
@@ -244,16 +293,16 @@ func (d *Domain) Drain() {
 	slots := d.slots
 	d.mu.Unlock()
 
-	protected := make(map[any]struct{}, len(slots))
+	protected := make(map[*byte]struct{}, len(slots))
 	for _, s := range slots {
-		if v := s.load(); v != nil {
+		if v := s.loadPtr(); v != nil {
 			protected[v] = struct{}{}
 		}
 	}
 	var kept []retiredObject
 	freed := 0
 	for _, r := range items {
-		if _, isProtected := protected[r.ptr]; isProtected {
+		if _, isProtected := protected[dataPtr(r.ptr)]; isProtected {
 			kept = append(kept, r)
 			continue
 		}

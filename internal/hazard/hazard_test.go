@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"unsafe"
 )
 
 func TestRetireFreesUnprotected(t *testing.T) {
@@ -94,8 +95,8 @@ func TestProtectRevalidates(t *testing.T) {
 		if p == nil {
 			t.Fatal("nil from non-nil source")
 		}
-		if hp := h.Slot(0).load(); hp != any(p) {
-			t.Fatalf("slot holds %v, protect returned %v", hp, p)
+		if hp := h.Slot(0).loadPtr(); hp != (*byte)(unsafe.Pointer(p)) {
+			t.Fatalf("slot holds %p, protect returned %p", hp, p)
 		}
 	}
 	close(stop)
@@ -111,7 +112,7 @@ func TestProtectNilSource(t *testing.T) {
 	if p := Protect(h.Slot(0), &shared); p != nil {
 		t.Fatalf("Protect of nil source = %v", p)
 	}
-	if v := h.Slot(0).load(); v != nil {
+	if v := h.Slot(0).loadPtr(); v != nil {
 		t.Fatalf("slot not cleared on nil source: %v", v)
 	}
 }
@@ -139,6 +140,68 @@ func TestReleaseHandsOffRetired(t *testing.T) {
 	d.Drain()
 	if !freed.Load() {
 		t.Fatal("object never freed after handoff")
+	}
+}
+
+// TestReleaseRetireScanRace pins down the Release ownership rule: a
+// handle's retire buffer is owner-only state, so Release must route its
+// leftovers through the domain's orphan list, never append them into
+// another live handle's buffer. The old code pushed leftovers into
+// d.handles[0] — here the owner goroutine concurrently running
+// Retire/Scan — which the race detector flags as a write-write race on
+// the owner's retired slice.
+func TestReleaseRetireScanRace(t *testing.T) {
+	type node struct{ v int }
+	d := NewDomain()
+	d.SetScanThreshold(4)
+
+	owner := d.NewHandle(1) // registered first: the old code's handoff target
+	protector := d.NewHandle(1)
+	defer protector.Release()
+
+	// A protected object makes every releasing handle leave leftovers.
+	obj := &node{}
+	var shared atomic.Pointer[node]
+	shared.Store(obj)
+	Protect(protector.Slot(0), &shared)
+
+	stop := make(chan struct{})
+	var ownerWG, churnWG sync.WaitGroup
+	ownerWG.Add(1)
+	go func() { // the owner races Retire/Scan on its own buffer
+		defer ownerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := &node{}
+			owner.Retire(p, func() {})
+			owner.Scan()
+		}
+	}()
+	churnWG.Add(1)
+	go func() { // churning handles release with protected leftovers
+		defer churnWG.Done()
+		for i := 0; i < 2000; i++ {
+			h := d.NewHandle(1)
+			h.Retire(obj, func() {})
+			h.Release()
+		}
+	}()
+	churnWG.Wait()
+	close(stop)
+	ownerWG.Wait()
+
+	owner.Release()
+	protector.Slot(0).Clear()
+	d.Drain()
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain, want 0", d.Pending())
+	}
+	if d.Reclaimed() == 0 {
+		t.Fatal("nothing reclaimed — scan never ran")
 	}
 }
 

@@ -15,10 +15,28 @@ import (
 	"github.com/cds-suite/cds/list"
 	"github.com/cds-suite/cds/pqueue"
 	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/reclaim"
 	"github.com/cds-suite/cds/skiplist"
 	"github.com/cds-suite/cds/stack"
 	"github.com/cds-suite/cds/stm"
 )
+
+// Reclamation-enabled variants run with aggressive thresholds (advance or
+// scan on nearly every retire) so nodes are retired — and, where recycling
+// is on, actually reused — inside the tiny recorded windows. Any
+// linearizability violation introduced by premature reuse (an ABA the
+// guard protocol failed to prevent) shows up as an impossible history.
+func ebrAggressive() *reclaim.EBR {
+	d := reclaim.NewEBR()
+	d.SetAdvanceInterval(1)
+	return d
+}
+
+func hpAggressive() *reclaim.HP {
+	d := reclaim.NewHP()
+	d.SetScanThreshold(1)
+	return d
+}
 
 // The integration strategy: many small windows (few clients, few ops each)
 // recorded from the real structures under genuine concurrency, each window
@@ -96,6 +114,12 @@ func TestLinearizableQueues(t *testing.T) {
 		// elimination is only legal on an empty queue, which is precisely
 		// the validation the checker would catch cheating on.
 		"ElimMS": func() cds.Queue[int] { return queue.NewElimination[int](2, 16) },
+		"MS+EBR": func() cds.Queue[int] {
+			return queue.NewMS[int](queue.WithReclaim(ebrAggressive()), queue.WithRecycling())
+		},
+		"MS+HP": func() cds.Queue[int] {
+			return queue.NewMS[int](queue.WithReclaim(hpAggressive()), queue.WithRecycling())
+		},
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {
@@ -151,6 +175,18 @@ func TestLinearizableSets(t *testing.T) {
 		"list.Harris":       func() cds.Set[int] { return list.NewHarris[int]() },
 		"skiplist.Lazy":     func() cds.Set[int] { return skiplist.NewLazy[int]() },
 		"skiplist.LockFree": func() cds.Set[int] { return skiplist.NewLockFree[int]() },
+		"list.Harris+EBR": func() cds.Set[int] {
+			return list.NewHarris[int](list.WithReclaim(ebrAggressive()), list.WithRecycling())
+		},
+		"list.Harris+HP": func() cds.Set[int] {
+			return list.NewHarris[int](list.WithReclaim(hpAggressive()), list.WithRecycling())
+		},
+		"skiplist.LockFree+EBR": func() cds.Set[int] {
+			return skiplist.NewLockFree[int](skiplist.WithReclaim(ebrAggressive()))
+		},
+		"skiplist.LockFree+HP": func() cds.Set[int] {
+			return skiplist.NewLockFree[int](skiplist.WithReclaim(hpAggressive()))
+		},
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {
@@ -182,6 +218,12 @@ func TestLinearizableMaps(t *testing.T) {
 		"Locked":       func() cds.Map[int, int] { return cmap.NewLocked[int, int]() },
 		"Striped":      func() cds.Map[int, int] { return cmap.NewStriped[int, int](8) },
 		"SplitOrdered": func() cds.Map[int, int] { return cmap.NewSplitOrdered[int, int]() },
+		"SplitOrdered+EBR": func() cds.Map[int, int] {
+			return cmap.NewSplitOrdered[int, int](cmap.WithReclaim(ebrAggressive()), cmap.WithRecycling())
+		},
+		"SplitOrdered+HP": func() cds.Map[int, int] {
+			return cmap.NewSplitOrdered[int, int](cmap.WithReclaim(hpAggressive()))
+		},
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {

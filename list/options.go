@@ -1,0 +1,42 @@
+package list
+
+import "github.com/cds-suite/cds/reclaim"
+
+// Option configures a list constructor (currently only Harris supports
+// options; the lock-based lists retire nothing).
+type Option func(*options)
+
+type options struct {
+	dom     reclaim.Domain
+	recycle bool
+}
+
+// WithReclaim attaches a safe-memory-reclamation domain (reclaim.NewEBR,
+// reclaim.NewHP) to the list: physically unlinked nodes are retired
+// through it instead of being left to the garbage collector, and
+// traversals protect their (pred, curr) window per the domain's protocol.
+// The default is the zero-cost GC path.
+func WithReclaim(d reclaim.Domain) Option {
+	return func(o *options) { o.dom = d }
+}
+
+// WithRecycling additionally pools retired nodes for reuse, so inserts on
+// the hot path reallocate from the pool instead of the heap. Requires a
+// deferring WithReclaim domain (EBR or HP) and is ignored otherwise.
+func WithRecycling() Option {
+	return func(o *options) { o.recycle = true }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.dom != nil && !o.dom.Deferred() {
+		o.dom = nil // explicit GC domain: same as the default fast path
+	}
+	if o.dom == nil {
+		o.recycle = false
+	}
+	return o
+}

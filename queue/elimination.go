@@ -2,6 +2,7 @@ package queue
 
 import (
 	"github.com/cds-suite/cds/contend"
+	"github.com/cds-suite/cds/reclaim"
 )
 
 // elimEnqAttempts bounds how many direct CAS attempts an Elimination
@@ -22,11 +23,13 @@ const elimEnqAttempts = 3
 // queue is empty at the moment the pair linearizes. The handoff's
 // validation hook enforces exactly that: after claiming an offer, the
 // dequeuer re-verifies that the head it observed empty is unchanged and
-// still has no successor. Nodes are never recycled, so an unchanged head
-// pointer with a nil next proves the queue was continuously empty between
-// the two observations, making it legal to linearize the enqueue and the
-// dequeue back-to-back at the validation instant. A failed validation
-// aborts the handoff and the enqueuer falls back to the queue.
+// still has no successor. With default GC reclamation nodes are never
+// recycled, so an unchanged head pointer with a nil next proves the queue
+// was continuously empty between the two observations; WithReclaim keeps
+// the same proof intact because the head is guard-protected across the
+// validation — a protected node cannot be retired, much less reused, so
+// pointer identity still certifies continuity. A failed validation aborts
+// the handoff and the enqueuer falls back to the queue.
 //
 // The elimination path shines on the symmetric high-contention mix where
 // the queue hovers near empty — precisely where the plain MS queue's head
@@ -42,9 +45,12 @@ type Elimination[T any] struct {
 
 // NewElimination returns an empty elimination-backed Michael–Scott queue
 // with the given handoff-array width and per-offer spin budget. Values
-// <= 0 select the contend defaults (width 8, 128 spins).
-func NewElimination[T any](width, spins int) *Elimination[T] {
+// <= 0 select the contend defaults (width 8, 128 spins). WithReclaim and
+// WithRecycling configure the backing queue's memory reclamation; values
+// eliminated through the handoff array never materialise a node at all.
+func NewElimination[T any](width, spins int, opts ...Option) *Elimination[T] {
 	q := &Elimination[T]{arr: contend.NewHandoffArray[T](width, spins)}
+	q.q.initReclaim(buildOptions(opts))
 	dummy := &msNode[T]{}
 	q.q.head.Store(dummy)
 	q.q.tail.Store(dummy)
@@ -54,6 +60,30 @@ func NewElimination[T any](width, spins int) *Elimination[T] {
 // Enqueue adds v at the tail, or hands it directly to a dequeuer that
 // caught the queue empty.
 func (q *Elimination[T]) Enqueue(v T) {
+	if q.q.mem == nil {
+		q.enqueueFast(v)
+		return
+	}
+	n := q.q.nodes.Get()
+	n.value = v
+	g := q.q.mem.Get()
+	for {
+		g.Enter()
+		if q.tryEnqueueAttempts(g, n) {
+			g.Exit()
+			q.q.mem.Put(g)
+			return
+		}
+		g.Exit() // do not stay pinned across the handoff spin
+		if q.arr.TryGive(v) {
+			q.q.nodes.Put(n) // never published; straight back to the pool
+			q.q.mem.Put(g)
+			return
+		}
+	}
+}
+
+func (q *Elimination[T]) enqueueFast(v T) {
 	n := &msNode[T]{value: v}
 	for {
 		// Bounded direct attempts on the queue (the MS protocol).
@@ -83,9 +113,45 @@ func (q *Elimination[T]) Enqueue(v T) {
 	}
 }
 
+// tryEnqueueAttempts makes the bounded guarded MS attempts, reporting
+// whether n was linked. The caller holds g's section.
+func (q *Elimination[T]) tryEnqueueAttempts(g reclaim.Guard, n *msNode[T]) bool {
+	for attempt := 0; attempt < elimEnqAttempts; attempt++ {
+		tail := reclaim.Load(g, 0, &q.q.tail)
+		next := tail.next.Load()
+		if tail != q.q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.q.tail.CompareAndSwap(tail, n)
+			if q.q.nodes != nil {
+				q.q.size.Add(1)
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // TryDequeue removes and returns the head element; ok is false if the
 // queue was observed empty and no enqueue could be eliminated against.
 func (q *Elimination[T]) TryDequeue() (v T, ok bool) {
+	if q.q.mem == nil {
+		return q.tryDequeueFast()
+	}
+	g := q.q.mem.Get()
+	g.Enter()
+	v, ok = q.tryDequeueGuarded(g)
+	g.Exit()
+	q.q.mem.Put(g)
+	return v, ok
+}
+
+func (q *Elimination[T]) tryDequeueFast() (v T, ok bool) {
 	var b contend.Backoff
 	for {
 		head := q.q.head.Load()
@@ -117,6 +183,48 @@ func (q *Elimination[T]) TryDequeue() (v T, ok bool) {
 		}
 		// Non-empty contention: elimination cannot help a dequeue here
 		// (pairing needs an empty queue), so back off as plain MS does.
+		b.Pause()
+	}
+}
+
+// tryDequeueGuarded mirrors tryDequeueFast under a guard: head in slot 0,
+// next in slot 1 (Michael's discipline, see MS.tryDequeue), with the head
+// kept protected across the handoff validation so its nil-next re-check
+// never touches reused memory. The caller holds g's section.
+func (q *Elimination[T]) tryDequeueGuarded(g reclaim.Guard) (v T, ok bool) {
+	var b contend.Backoff
+	for {
+		head := reclaim.Load(g, 0, &q.q.head)
+		tail := q.q.tail.Load()
+		next := head.next.Load()
+		if g.Protects() {
+			g.Protect(1, next)
+			if q.q.head.Load() != head {
+				continue
+			}
+		} else if head != q.q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				if v, ok = q.arr.TryTake(func() bool {
+					return q.q.head.Load() == head && head.next.Load() == nil
+				}); ok {
+					return v, true
+				}
+				return v, false
+			}
+			q.q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		val := next.value
+		if q.q.head.CompareAndSwap(head, next) {
+			if q.q.nodes != nil {
+				q.q.size.Add(-1)
+			}
+			reclaim.Retire(g, q.q.nodes, head)
+			return val, true
+		}
 		b.Pause()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/contend"
+	"github.com/cds-suite/cds/reclaim"
 )
 
 // MS is the Michael & Scott lock-free queue (PODC 1996), the algorithm
@@ -18,13 +19,23 @@ import (
 // TryDequeue at its successful head CAS; empty TryDequeue at the load of
 // head.next == nil while head == tail.
 //
-// ABA safety: nodes are never recycled (see Treiber stack note); the GC
-// guarantees a pointer compares equal only to the same allocation.
+// ABA safety: by default nodes are never recycled (see Treiber stack note);
+// the GC guarantees a pointer compares equal only to the same allocation.
+// Constructed WithReclaim, retired dummies go through the domain instead,
+// following Michael's published hazard discipline under HP: the head (or
+// tail) is published in slot 0 and revalidated, and a dequeue publishes
+// next in slot 1 then re-checks that head is still the head — next can
+// only be retired after it has itself become the head and been dequeued,
+// so an unchanged head proves the publication was in time. That ordering
+// is what makes WithRecycling's node reuse sound.
 //
 // The zero value is NOT usable; construct with NewMS. Progress: lock-free.
 type MS[T any] struct {
-	head atomic.Pointer[msNode[T]]
-	tail atomic.Pointer[msNode[T]]
+	head  atomic.Pointer[msNode[T]]
+	tail  atomic.Pointer[msNode[T]]
+	mem   *reclaim.Pool
+	nodes *reclaim.Recycler[msNode[T]]
+	size  atomic.Int64 // maintained only when recycling (Len cannot traverse reused nodes)
 }
 
 type msNode[T any] struct {
@@ -32,18 +43,47 @@ type msNode[T any] struct {
 	next  atomic.Pointer[msNode[T]]
 }
 
-// NewMS returns an empty Michael–Scott queue.
-func NewMS[T any]() *MS[T] {
+// NewMS returns an empty Michael–Scott queue. See WithReclaim and
+// WithRecycling for the memory-reclamation options.
+func NewMS[T any](opts ...Option) *MS[T] {
 	q := &MS[T]{}
+	q.initReclaim(buildOptions(opts))
 	dummy := &msNode[T]{}
 	q.head.Store(dummy)
 	q.tail.Store(dummy)
 	return q
 }
 
+func (q *MS[T]) initReclaim(o options) {
+	if o.dom == nil {
+		return
+	}
+	q.mem = reclaim.NewPool(o.dom, 2)
+	if o.recycle {
+		q.nodes = reclaim.NewRecycler(func(n *msNode[T]) {
+			var zero T
+			n.value = zero
+			n.next.Store(nil)
+		})
+	}
+}
+
 // Enqueue adds v at the tail.
 func (q *MS[T]) Enqueue(v T) {
-	n := &msNode[T]{value: v}
+	n := q.nodes.Get()
+	n.value = v
+	if q.mem == nil {
+		q.enqueueFast(n)
+		return
+	}
+	g := q.mem.Get()
+	g.Enter()
+	q.enqueue(g, n)
+	g.Exit()
+	q.mem.Put(g)
+}
+
+func (q *MS[T]) enqueueFast(n *msNode[T]) {
 	var b contend.Backoff
 	for {
 		tail := q.tail.Load()
@@ -65,9 +105,46 @@ func (q *MS[T]) Enqueue(v T) {
 	}
 }
 
+// enqueue is the guarded enqueue: the tail is load-protected in slot 0
+// before its next pointer is touched. The caller holds g's section.
+func (q *MS[T]) enqueue(g reclaim.Guard, n *msNode[T]) {
+	var b contend.Backoff
+	for {
+		tail := reclaim.Load(g, 0, &q.tail)
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			if q.nodes != nil {
+				q.size.Add(1)
+			}
+			return
+		}
+		b.Pause()
+	}
+}
+
 // TryDequeue removes and returns the head element; ok is false if the queue
 // was observed empty.
 func (q *MS[T]) TryDequeue() (v T, ok bool) {
+	if q.mem == nil {
+		return q.tryDequeueFast()
+	}
+	g := q.mem.Get()
+	g.Enter()
+	v, ok = q.tryDequeue(g)
+	g.Exit()
+	q.mem.Put(g)
+	return v, ok
+}
+
+func (q *MS[T]) tryDequeueFast() (v T, ok bool) {
 	var b contend.Backoff
 	for {
 		head := q.head.Load()
@@ -95,9 +172,54 @@ func (q *MS[T]) TryDequeue() (v T, ok bool) {
 	}
 }
 
+// tryDequeue is the guarded dequeue: head in slot 0, next in slot 1, with
+// the head re-check that orders the slot-1 publication before any possible
+// retirement of next. The caller holds g's section.
+func (q *MS[T]) tryDequeue(g reclaim.Guard) (v T, ok bool) {
+	var b contend.Backoff
+	for {
+		head := reclaim.Load(g, 0, &q.head)
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if g.Protects() {
+			g.Protect(1, next)
+			// next is retired only after the head has moved past it; an
+			// unchanged head therefore proves our publication preceded
+			// any retirement, so the retirer's scan will see slot 1.
+			if q.head.Load() != head {
+				continue
+			}
+		} else if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return v, false // empty
+			}
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		val := next.value
+		if q.head.CompareAndSwap(head, next) {
+			if q.nodes != nil {
+				q.size.Add(-1)
+			}
+			// The old dummy is unreachable from the queue; retire it.
+			reclaim.Retire(g, q.nodes, head)
+			return val, true
+		}
+		b.Pause()
+	}
+}
+
 // Len counts elements by traversing from the head. The count is exact only
-// in quiescent states; under concurrency it is best-effort.
+// in quiescent states; under concurrency it is best-effort. With node
+// recycling enabled it is served from a counter instead: a traversal
+// could follow a reused node into the wrong incarnation.
 func (q *MS[T]) Len() int {
+	if q.nodes != nil {
+		return int(q.size.Load())
+	}
 	n := 0
 	for node := q.head.Load().next.Load(); node != nil; node = node.next.Load() {
 		n++

@@ -1,0 +1,41 @@
+package queue
+
+import "github.com/cds-suite/cds/reclaim"
+
+// Option configures a queue constructor.
+type Option func(*options)
+
+type options struct {
+	dom     reclaim.Domain
+	recycle bool
+}
+
+// WithReclaim attaches a safe-memory-reclamation domain (reclaim.NewEBR,
+// reclaim.NewHP) to the queue: dequeued dummy nodes are retired through it
+// instead of being left to the garbage collector, and operations protect
+// the head/tail/next window per the domain's protocol (Michael's
+// two-hazard scheme under HP). The default is the zero-cost GC path.
+func WithReclaim(d reclaim.Domain) Option {
+	return func(o *options) { o.dom = d }
+}
+
+// WithRecycling additionally pools retired nodes for reuse, so enqueues on
+// the hot path reallocate from the pool instead of the heap. Requires a
+// deferring WithReclaim domain (EBR or HP) and is ignored otherwise.
+func WithRecycling() Option {
+	return func(o *options) { o.recycle = true }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.dom != nil && !o.dom.Deferred() {
+		o.dom = nil // explicit GC domain: same as the default fast path
+	}
+	if o.dom == nil {
+		o.recycle = false
+	}
+	return o
+}

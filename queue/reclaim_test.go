@@ -1,0 +1,130 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/cds-suite/cds/reclaim"
+)
+
+func reclaimVariants() map[string]func() []Option {
+	return map[string]func() []Option{
+		"EBR": func() []Option {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return []Option{WithReclaim(d)}
+		},
+		"HP": func() []Option {
+			d := reclaim.NewHP()
+			d.SetScanThreshold(8)
+			return []Option{WithReclaim(d)}
+		},
+		"EBR+recycle": func() []Option {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return []Option{WithReclaim(d), WithRecycling()}
+		},
+		"HP+recycle": func() []Option {
+			d := reclaim.NewHP()
+			d.SetScanThreshold(8)
+			return []Option{WithReclaim(d), WithRecycling()}
+		},
+	}
+}
+
+func domainOf(opts []Option) reclaim.Domain {
+	return buildOptions(opts).dom
+}
+
+// stressQueue drives a symmetric enqueue/dequeue mix and then drains,
+// verifying conservation: every enqueued value is dequeued exactly once.
+func stressQueue(t *testing.T, q interface {
+	Enqueue(int)
+	TryDequeue() (int, bool)
+	Len() int
+}, dom reclaim.Domain) {
+	t.Helper()
+	const workers, ops = 4, 5000
+	var wg sync.WaitGroup
+	var got [workers][]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				q.Enqueue(w*ops + i)
+				if v, ok := q.TryDequeue(); ok {
+					got[w] = append(got[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, workers*ops)
+	total := 0
+	record := func(v int) {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+		total++
+	}
+	for w := range got {
+		for _, v := range got[w] {
+			record(v)
+		}
+	}
+	for {
+		v, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if total != workers*ops {
+		t.Fatalf("conservation broken: %d values out, want %d", total, workers*ops)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", q.Len())
+	}
+	if dom.Reclaimed() == 0 {
+		t.Fatal("domain reclaimed nothing — retire path inert")
+	}
+	if dom.Pending() < 0 {
+		t.Fatalf("pending gauge negative: %d", dom.Pending())
+	}
+}
+
+func TestMSReclaimVariants(t *testing.T) {
+	for name, mkOpts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			opts := mkOpts()
+			stressQueue(t, NewMS[int](opts...), domainOf(opts))
+		})
+	}
+}
+
+func TestEliminationReclaimVariants(t *testing.T) {
+	for name, mkOpts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			opts := mkOpts()
+			// Narrow handoff array and short spins so FIFO elimination
+			// fires alongside the reclaim machinery.
+			stressQueue(t, NewElimination[int](2, 16, opts...), domainOf(opts))
+		})
+	}
+}
+
+// TestMSRecyclingReuses pins the allocation win on the queue hot path.
+func TestMSRecyclingReuses(t *testing.T) {
+	d := reclaim.NewEBR()
+	d.SetAdvanceInterval(1)
+	q := NewMS[int](WithReclaim(d), WithRecycling())
+	for i := 0; i < 5000; i++ {
+		q.Enqueue(i)
+		q.TryDequeue()
+	}
+	if q.nodes.Reused() == 0 {
+		t.Fatal("recycler never reused a node across 5000 enq/deq cycles")
+	}
+}

@@ -1,0 +1,46 @@
+package reclaim_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/reclaim"
+)
+
+// The canonical guard bracket: pin a section, load-protect a shared
+// pointer, and retire an unlinked object whose free callback runs only
+// once no guard can reach it.
+func Example() {
+	type node struct{ v int }
+
+	d := reclaim.NewEBR()
+	d.SetAdvanceInterval(1) // reclaim eagerly so the example terminates
+
+	var head atomic.Pointer[node]
+	head.Store(&node{v: 1})
+
+	pool := reclaim.NewPool(d, 1)
+	g := pool.Get()
+	g.Enter()
+	n := reclaim.Load(g, 0, &head) // safe to dereference inside the section
+	fmt.Println("read:", n.v)
+	g.Exit()
+
+	// A writer unlinks the node and retires it.
+	old := head.Swap(&node{v: 2})
+	g.Enter()
+	g.Retire(old, func() { fmt.Println("freed:", old.v) })
+	g.Exit()
+
+	// Drive retirement traffic until the grace period passes.
+	for i := 0; i < 8 && d.Reclaimed() == 0; i++ {
+		g.Retire(&node{}, func() {})
+	}
+	pool.Put(g)
+
+	fmt.Println("reclaimed:", d.Reclaimed() > 0)
+	// Output:
+	// read: 1
+	// freed: 1
+	// reclaimed: true
+}

@@ -1,0 +1,110 @@
+// Package reclaim unifies the module's safe-memory-reclamation schemes —
+// epoch-based reclamation (internal/epoch), hazard pointers
+// (internal/hazard), and a zero-cost rely-on-the-GC noop — behind one
+// small Domain/Guard interface that the lock-free structures accept via
+// their WithReclaim constructor option.
+//
+// The survey treats reclamation as a core part of lock-free data structure
+// design: an unlinked node may still be referenced by concurrent readers,
+// so its memory can be recycled only once no reader can reach it. Go's
+// garbage collector provides that guarantee for free, which is why the
+// default domain is a noop — but running the real protocols against the
+// real structures is what lets experiment F12 measure their read-side
+// costs and garbage bounds, and it is what makes node *recycling* (a
+// sync.Pool of retired nodes, see Recycler) safe: a pooled node is reused
+// only after the domain declares it unreachable, restoring the
+// never-reuse-while-referenced property the GC otherwise provides.
+//
+// The scheme trade-offs, as the survey frames them:
+//
+//   - EBR (Fraser): readers pin an epoch around whole operations; reads
+//     inside the section cost nothing extra. Garbage is unbounded if a
+//     reader stalls while pinned — one stuck goroutine halts all
+//     reclamation in the domain.
+//   - Hazard pointers (Michael): readers publish each pointer before
+//     dereferencing it and revalidate the source. Every protected read
+//     pays a store + fence + reload, but garbage is bounded even when
+//     readers stall: a stalled thread pins at most its slots' objects.
+//
+// Guards are not goroutine-safe; obtain one per operation from a Pool
+// (which amortises registration) and return it when done.
+package reclaim
+
+// A Domain owns reclamation state for one data structure (or a family
+// sharing it): the set of guards, the retired-object lists, and the
+// reclaimed/pending gauges the benchmark reports surface.
+type Domain interface {
+	// NewGuard registers a new guard with the domain, with capacity for
+	// the given number of hazard slots (ignored by non-publishing
+	// schemes). Most callers should use a Pool instead of calling this
+	// per operation: registration takes a domain-wide lock.
+	NewGuard(slots int) Guard
+	// Reclaimed returns the number of retired objects whose free
+	// callbacks have run.
+	Reclaimed() int64
+	// Pending returns the number of retired-but-not-yet-freed objects —
+	// the "pending garbage" gauge of experiment F12. Always 0 for the GC
+	// domain, which never defers anything.
+	Pending() int64
+	// Deferred reports whether Retire defers free callbacks until no
+	// guard can reach the object (true for EBR and HP). The GC domain
+	// returns false: its Retire simply drops the object for the garbage
+	// collector, so free callbacks never run and node recycling is
+	// impossible.
+	Deferred() bool
+	// Name labels the scheme in benchmark reports: "gc", "ebr", or "hp".
+	Name() string
+}
+
+// A Guard is one goroutine's session with a Domain. Its methods are
+// owner-only: a guard must not be shared between concurrently running
+// operations (Pool enforces this).
+type Guard interface {
+	// Enter opens a read-side critical section. For EBR this pins the
+	// current epoch; retired objects cannot be freed while any guard that
+	// might have seen them is inside a section. Enter/Exit nest.
+	Enter()
+	// Exit closes the critical section and (for HP) clears every hazard
+	// slot.
+	Exit()
+	// Protect publishes ptr in hazard slot i; nil clears the slot. Only
+	// hazard-pointer guards act on it. Publication alone is not safety:
+	// the caller must revalidate the source pointer still holds ptr
+	// before dereferencing (see Load for the canonical dance).
+	Protect(i int, ptr any)
+	// Protects reports whether this guard requires the Protect +
+	// revalidate protocol before dereferencing shared pointers (true only
+	// for hazard-pointer guards). Structures use it to skip the
+	// publication dance under EBR/GC.
+	Protects() bool
+	// Retire schedules free to run once no guard can reach ptr. Under HP,
+	// ptr must be the identical pointer readers pass to Protect. The GC
+	// guard drops the object without ever calling free.
+	Retire(ptr any, free func())
+	// Release unregisters the guard from its domain, handing any
+	// unfreed retirements to the domain. The guard must not be used
+	// afterwards.
+	Release()
+}
+
+// NewGC returns the zero-cost noop domain: Enter/Exit/Protect do nothing
+// and Retire drops the object for Go's garbage collector. It is the
+// default every structure uses when no WithReclaim option is given.
+func NewGC() Domain { return gcDomain{} }
+
+type gcDomain struct{}
+
+func (gcDomain) NewGuard(int) Guard { return gcGuard{} }
+func (gcDomain) Reclaimed() int64   { return 0 }
+func (gcDomain) Pending() int64     { return 0 }
+func (gcDomain) Deferred() bool     { return false }
+func (gcDomain) Name() string       { return "gc" }
+
+type gcGuard struct{}
+
+func (gcGuard) Enter()              {}
+func (gcGuard) Exit()               {}
+func (gcGuard) Protect(int, any)    {}
+func (gcGuard) Protects() bool      { return false }
+func (gcGuard) Retire(any, func())  {}
+func (gcGuard) Release()            {}

@@ -3,6 +3,8 @@ package skiplist
 import (
 	"cmp"
 	"sync/atomic"
+
+	"github.com/cds-suite/cds/reclaim"
 )
 
 // LockFree is the lock-free skip list of Herlihy & Shavit (ch. 14.4), a
@@ -14,11 +16,20 @@ import (
 // and linearizes at the level-0 mark; traversals snip marked nodes as they
 // pass (helping).
 //
-// Progress: Add/Remove lock-free; Contains wait-free.
+// Memory reclamation (WithReclaim): the level-0 marker — the operation
+// that logically removed the key — retires the victim after its unlinking
+// traversal completes, so each node is retired exactly once. Under HP the
+// descent keeps pred in hazard slot 0 and curr in slot 1, revalidating
+// pred's record after each publication. There is no recycling option (see
+// WithReclaim).
+//
+// Progress: Add/Remove lock-free; Contains wait-free under GC and EBR
+// (under HP it shares the helping traversal and is lock-free).
 type LockFree[K cmp.Ordered] struct {
 	head   *lfNode[K]
 	levels *levelGen
 	size   atomic.Int64
+	mem    *reclaim.Pool
 }
 
 type lfNode[K cmp.Ordered] struct {
@@ -42,23 +53,54 @@ func newLFNode[K cmp.Ordered](k K, topLevel int) *lfNode[K] {
 	return n
 }
 
-// NewLockFree returns an empty lock-free skip-list set.
-func NewLockFree[K cmp.Ordered]() *LockFree[K] {
+// NewLockFree returns an empty lock-free skip-list set. See WithReclaim
+// for the memory-reclamation option.
+func NewLockFree[K cmp.Ordered](opts ...Option) *LockFree[K] {
 	h := &lfNode[K]{isHead: true, topLevel: maxLevel - 1}
 	for i := 0; i < maxLevel; i++ {
 		h.next[i].Store(&lfRef[K]{})
 	}
-	return &LockFree[K]{head: h, levels: newLevelGen()}
+	s := &LockFree[K]{head: h, levels: newLevelGen()}
+	if o := buildOptions(opts); o.dom != nil {
+		s.mem = reclaim.NewPool(o.dom, 2)
+	}
+	return s
+}
+
+// acquire returns a guard with its section entered, or nil when the set
+// runs on plain GC reclamation.
+func (s *LockFree[K]) acquire() reclaim.Guard {
+	if s.mem == nil {
+		return nil
+	}
+	g := s.mem.Get()
+	g.Enter()
+	return g
+}
+
+func (s *LockFree[K]) release(g reclaim.Guard) {
+	if g == nil {
+		return
+	}
+	g.Exit()
+	s.mem.Put(g)
 }
 
 // find locates the per-level windows for k, snipping marked nodes it
 // passes. preds/succs/predRefs are filled for levels [0, maxLevel);
 // predRefs[l] is the exact snapshot such that preds[l].next[l] held it with
 // predRefs[l].next == succs[l]. found reports an unmarked level-0 match.
-func (s *LockFree[K]) find(k K, preds, succs *[maxLevel]*lfNode[K], predRefs *[maxLevel]*lfRef[K]) bool {
+// Under a protecting guard the descending pred stays in hazard slot 0 and
+// the current probe in slot 1, revalidated against pred's record after
+// each publication (the head is immortal and needs none).
+func (s *LockFree[K]) find(g reclaim.Guard, k K, preds, succs *[maxLevel]*lfNode[K], predRefs *[maxLevel]*lfRef[K]) bool {
+	hp := g != nil && g.Protects()
 retry:
 	for {
 		pred := s.head
+		if hp {
+			g.Protect(0, nil)
+		}
 		for level := maxLevel - 1; level >= 0; level-- {
 			predRef := pred.next[level].Load()
 			if predRef.marked {
@@ -70,6 +112,12 @@ retry:
 			}
 			curr := predRef.next
 			for curr != nil {
+				if hp {
+					g.Protect(1, curr)
+					if pred.next[level].Load() != predRef {
+						continue retry
+					}
+				}
 				currRef := curr.next[level].Load()
 				if currRef.marked {
 					// Help: physically remove curr at this level. On
@@ -86,7 +134,11 @@ retry:
 					continue
 				}
 				if curr.key < k {
-					pred, predRef, curr = curr, currRef, currRef.next
+					pred, predRef = curr, currRef
+					if hp {
+						g.Protect(0, curr) // pred moves into slot 0
+					}
+					curr = currRef.next
 					continue
 				}
 				break
@@ -101,11 +153,13 @@ retry:
 
 // Add inserts k, reporting false if it was already present.
 func (s *LockFree[K]) Add(k K) bool {
+	g := s.acquire()
+	defer s.release(g)
 	topLevel := s.levels.next() - 1
 	var preds, succs [maxLevel]*lfNode[K]
 	var predRefs [maxLevel]*lfRef[K]
 	for {
-		if s.find(k, &preds, &succs, &predRefs) {
+		if s.find(g, k, &preds, &succs, &predRefs) {
 			return false
 		}
 		n := newLFNode(k, topLevel)
@@ -136,7 +190,7 @@ func (s *LockFree[K]) Add(k K) bool {
 					break
 				}
 				// Window stale: recompute and retry this level.
-				if s.find(k, &preds, &succs, &predRefs); succs[0] != n {
+				if s.find(g, k, &preds, &succs, &predRefs); succs[0] != n {
 					return true // n already unlinked; stop
 				}
 			}
@@ -147,9 +201,11 @@ func (s *LockFree[K]) Add(k K) bool {
 
 // Remove deletes k, reporting false if it was absent.
 func (s *LockFree[K]) Remove(k K) bool {
+	g := s.acquire()
+	defer s.release(g)
 	var preds, succs [maxLevel]*lfNode[K]
 	var predRefs [maxLevel]*lfRef[K]
-	if !s.find(k, &preds, &succs, &predRefs) {
+	if !s.find(g, k, &preds, &succs, &predRefs) {
 		return false
 	}
 	victim := succs[0]
@@ -171,16 +227,29 @@ func (s *LockFree[K]) Remove(k K) bool {
 		}
 		if victim.next[0].CompareAndSwap(ref, &lfRef[K]{next: ref.next, marked: true}) {
 			s.size.Add(-1)
-			// Physically unlink via a helping traversal.
-			s.find(k, &preds, &succs, &predRefs)
+			// Physically unlink via a helping traversal, then retire: the
+			// level-0 marker is the unique logical remover, so the victim
+			// is retired exactly once.
+			s.find(g, k, &preds, &succs, &predRefs)
+			if g != nil {
+				g.Retire(victim, func() {})
+			}
 			return true
 		}
 	}
 }
 
-// Contains reports whether k is present. Wait-free: it reads through marks
-// without helping.
+// Contains reports whether k is present. Wait-free under GC and EBR: it
+// reads through marks without helping. Under HP it runs the protected
+// find instead (lock-free).
 func (s *LockFree[K]) Contains(k K) bool {
+	g := s.acquire()
+	defer s.release(g)
+	if g != nil && g.Protects() {
+		var preds, succs [maxLevel]*lfNode[K]
+		var predRefs [maxLevel]*lfRef[K]
+		return s.find(g, k, &preds, &succs, &predRefs)
+	}
 	pred := s.head
 	var curr *lfNode[K]
 	for level := maxLevel - 1; level >= 0; level-- {

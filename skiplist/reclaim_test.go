@@ -1,0 +1,84 @@
+package skiplist
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/reclaim"
+)
+
+// TestLockFreeReclaimVariants churns add/remove/contains traffic under
+// EBR and HP domains, then verifies set coherence and live gauges. The
+// skip list has no recycling mode (see WithReclaim), so reclaimed nodes
+// simply return to the garbage collector — the test checks the retire
+// accounting, which is what F12's pending-garbage gauge reports.
+func TestLockFreeReclaimVariants(t *testing.T) {
+	variants := map[string]func() reclaim.Domain{
+		"EBR": func() reclaim.Domain {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return d
+		},
+		"HP": func() reclaim.Domain {
+			d := reclaim.NewHP()
+			d.SetScanThreshold(8)
+			return d
+		},
+	}
+	for name, mkDom := range variants {
+		t.Run(name, func(t *testing.T) {
+			dom := mkDom()
+			s := NewLockFree[int](WithReclaim(dom))
+
+			const workers, ops, keyRange = 4, 4000, 64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(w)*31 + 3)
+					for i := 0; i < ops; i++ {
+						k := rng.Intn(keyRange)
+						switch rng.Intn(3) {
+						case 0:
+							s.Add(k)
+						case 1:
+							s.Remove(k)
+						default:
+							s.Contains(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			for k := 0; k < keyRange; k++ {
+				s.Add(k)
+				if !s.Contains(k) {
+					t.Fatalf("key %d absent right after Add", k)
+				}
+			}
+			if got := s.Len(); got != keyRange {
+				t.Fatalf("Len = %d with all %d keys present", got, keyRange)
+			}
+			for k := 0; k < keyRange; k++ {
+				if !s.Remove(k) {
+					t.Fatalf("Remove(%d) failed on a present key", k)
+				}
+				if s.Contains(k) {
+					t.Fatalf("key %d present right after Remove", k)
+				}
+			}
+			if got := s.Len(); got != 0 {
+				t.Fatalf("Len = %d after removing everything", got)
+			}
+			if dom.Reclaimed() == 0 {
+				t.Fatal("domain reclaimed nothing — retire path inert")
+			}
+			if dom.Pending() < 0 {
+				t.Fatalf("pending gauge negative: %d", dom.Pending())
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/contend"
+	"github.com/cds-suite/cds/reclaim"
 )
 
 // Elimination is the elimination-backoff stack of Hendler, Shavit &
@@ -44,9 +45,15 @@ type elimOp[T any] struct {
 // NewElimination returns an elimination-backoff stack with the given
 // maximum elimination-array width and per-visit spin budget. width <= 0
 // selects 8; spins <= 0 selects 128. The array's active width adapts to
-// the observed rendezvous rate (see contend.Elimination).
-func NewElimination[T any](width, spins int) *Elimination[T] {
-	return &Elimination[T]{arr: contend.NewElimination[elimOp[T]](width, spins)}
+// the observed rendezvous rate (see contend.Elimination). WithReclaim and
+// WithRecycling configure the backing Treiber stack's memory reclamation;
+// eliminated pairs never touch the stack, so their values bypass
+// reclamation entirely (and an eliminated push's prepared node goes
+// straight back to the recycler).
+func NewElimination[T any](width, spins int, opts ...Option) *Elimination[T] {
+	s := &Elimination[T]{arr: contend.NewElimination[elimOp[T]](width, spins)}
+	s.stack.initReclaim(buildOptions(opts))
+	return s
 }
 
 // EnableStats turns on hit/miss accounting (a shared atomic per elimination
@@ -70,16 +77,21 @@ func (s *Elimination[T]) Stats() (hits, misses int64) {
 
 // Push adds v to the top of the stack.
 func (s *Elimination[T]) Push(v T) {
-	n := &tnode[T]{value: v}
+	n := s.stack.nodes.Get()
+	n.value = v
 	for {
 		head := s.stack.head.Load()
 		n.next = head
 		if s.stack.head.CompareAndSwap(head, n) {
+			if s.stack.nodes != nil {
+				s.stack.size.Add(1)
+			}
 			return
 		}
 		// Contention: try to meet a pop in the elimination array.
 		if op, ok := s.visit(elimOp[T]{value: v, isPush: true}); ok && !op.isPush {
-			return // eliminated against a pop
+			s.stack.nodes.Put(n) // never published; straight back to the pool
+			return               // eliminated against a pop
 		}
 	}
 }
@@ -88,18 +100,43 @@ func (s *Elimination[T]) Push(v T) {
 // observed empty. A pop eliminated against a concurrent push returns that
 // push's value without touching the stack.
 func (s *Elimination[T]) TryPop() (v T, ok bool) {
-	for {
-		head := s.stack.head.Load()
-		if head == nil {
-			return v, false
-		}
-		if s.stack.head.CompareAndSwap(head, head.next) {
-			return head.value, true
-		}
-		if op, okEx := s.visit(elimOp[T]{isPush: false}); okEx && op.isPush {
-			return op.value, true // eliminated against a push
+	if s.stack.mem == nil {
+		for {
+			head := s.stack.head.Load()
+			if head == nil {
+				return v, false
+			}
+			if s.stack.head.CompareAndSwap(head, head.next) {
+				return head.value, true
+			}
+			if op, okEx := s.visit(elimOp[T]{isPush: false}); okEx && op.isPush {
+				return op.value, true // eliminated against a push
+			}
 		}
 	}
+	g := s.stack.mem.Get()
+	g.Enter()
+	for {
+		head := reclaim.Load(g, 0, &s.stack.head)
+		if head == nil {
+			break
+		}
+		if s.stack.head.CompareAndSwap(head, head.next) {
+			v, ok = head.value, true
+			if s.stack.nodes != nil {
+				s.stack.size.Add(-1)
+			}
+			reclaim.Retire(g, s.stack.nodes, head)
+			break
+		}
+		if op, okEx := s.visit(elimOp[T]{isPush: false}); okEx && op.isPush {
+			v, ok = op.value, true // eliminated against a push
+			break
+		}
+	}
+	g.Exit()
+	s.stack.mem.Put(g)
+	return
 }
 
 // visit performs one elimination attempt. It reports the exchanged

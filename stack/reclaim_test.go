@@ -1,0 +1,135 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/cds-suite/cds/reclaim"
+)
+
+// reclaimVariants enumerates the deferring configurations the stacks are
+// exercised under; thresholds are small so reclamation fires inside test-
+// sized runs.
+func reclaimVariants() map[string]func() []Option {
+	return map[string]func() []Option{
+		"EBR": func() []Option {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return []Option{WithReclaim(d)}
+		},
+		"HP": func() []Option {
+			d := reclaim.NewHP()
+			d.SetScanThreshold(8)
+			return []Option{WithReclaim(d)}
+		},
+		"EBR+recycle": func() []Option {
+			d := reclaim.NewEBR()
+			d.SetAdvanceInterval(4)
+			return []Option{WithReclaim(d), WithRecycling()}
+		},
+		"HP+recycle": func() []Option {
+			d := reclaim.NewHP()
+			d.SetScanThreshold(8)
+			return []Option{WithReclaim(d), WithRecycling()}
+		},
+	}
+}
+
+func domainOf(opts []Option) reclaim.Domain {
+	o := buildOptions(opts)
+	return o.dom
+}
+
+// stressStack drives a symmetric push/pop mix and then drains, verifying
+// conservation: every pushed value is popped exactly once.
+func stressStack(t *testing.T, s interface {
+	Push(int)
+	TryPop() (int, bool)
+	Len() int
+}, dom reclaim.Domain) {
+	t.Helper()
+	const workers, ops = 4, 5000
+	var wg sync.WaitGroup
+	var popped [workers][]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				s.Push(w*ops + i)
+				if v, ok := s.TryPop(); ok {
+					popped[w] = append(popped[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, workers*ops)
+	total := 0
+	record := func(v int) {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+		total++
+	}
+	for w := range popped {
+		for _, v := range popped[w] {
+			record(v)
+		}
+	}
+	for {
+		v, ok := s.TryPop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if total != workers*ops {
+		t.Fatalf("conservation broken: %d values out, want %d", total, workers*ops)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", s.Len())
+	}
+	if dom.Reclaimed() == 0 {
+		t.Fatal("domain reclaimed nothing — retire path inert")
+	}
+	if dom.Pending() < 0 {
+		t.Fatalf("pending gauge negative: %d", dom.Pending())
+	}
+}
+
+func TestTreiberReclaimVariants(t *testing.T) {
+	for name, mkOpts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			opts := mkOpts()
+			stressStack(t, NewTreiber[int](opts...), domainOf(opts))
+		})
+	}
+}
+
+func TestEliminationReclaimVariants(t *testing.T) {
+	for name, mkOpts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			opts := mkOpts()
+			// Narrow array and short spins so the elimination path fires
+			// alongside the reclaim machinery.
+			stressStack(t, NewElimination[int](2, 16, opts...), domainOf(opts))
+		})
+	}
+}
+
+// TestTreiberRecyclingReuses pins the allocation win: under churn, the
+// recycler must serve nodes back to pushes.
+func TestTreiberRecyclingReuses(t *testing.T) {
+	d := reclaim.NewEBR()
+	d.SetAdvanceInterval(1)
+	st := NewTreiber[int](WithReclaim(d), WithRecycling())
+	for i := 0; i < 5000; i++ {
+		st.Push(i)
+		st.TryPop()
+	}
+	if st.nodes.Reused() == 0 {
+		t.Fatal("recycler never reused a node across 5000 push/pop cycles")
+	}
+}

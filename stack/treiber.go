@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/contend"
+	"github.com/cds-suite/cds/reclaim"
 )
 
 // Treiber is R. K. Treiber's lock-free stack: a singly linked list whose
@@ -14,16 +15,25 @@ import (
 // of the head; a successful TryPop at its successful CAS; an empty TryPop at
 // its load of a nil head.
 //
-// ABA safety: nodes are never recycled by the stack — a popped node is left
-// to the garbage collector — so a head CAS can only succeed against the very
-// node value it read (this is the standard way GC'd languages sidestep the
-// ABA problem that hazard pointers/epochs solve in C/C++; see
-// internal/epoch for the protocol itself).
+// ABA safety: by default nodes are never recycled by the stack — a popped
+// node is left to the garbage collector — so a head CAS can only succeed
+// against the very node value it read (this is the standard way GC'd
+// languages sidestep the ABA problem). Constructed WithReclaim, popped
+// nodes are instead retired through the domain: pops protect the head per
+// the domain's protocol (hazard publication or epoch pinning), which
+// restores the same no-reuse-while-referenced guarantee and is what makes
+// WithRecycling's node reuse sound — a pooled node is reissued only after
+// no pop can still hold it, and a push's head CAS is ABA-tolerant (it
+// never dereferences the expected head, and CAS success proves that node
+// is the current top, whichever incarnation it is).
 //
-// The zero value is an empty stack. Progress: lock-free (a failed CAS
-// implies another operation succeeded).
+// The zero value is an empty stack (GC reclamation). Progress: lock-free
+// (a failed CAS implies another operation succeeded).
 type Treiber[T any] struct {
-	head atomic.Pointer[tnode[T]]
+	head  atomic.Pointer[tnode[T]]
+	mem   *reclaim.Pool
+	nodes *reclaim.Recycler[tnode[T]]
+	size  atomic.Int64 // maintained only when recycling (Len cannot traverse reused nodes)
 }
 
 type tnode[T any] struct {
@@ -31,19 +41,40 @@ type tnode[T any] struct {
 	next  *tnode[T]
 }
 
-// NewTreiber returns an empty Treiber stack.
-func NewTreiber[T any]() *Treiber[T] {
-	return &Treiber[T]{}
+// NewTreiber returns an empty Treiber stack. See WithReclaim and
+// WithRecycling for the memory-reclamation options.
+func NewTreiber[T any](opts ...Option) *Treiber[T] {
+	s := &Treiber[T]{}
+	s.initReclaim(buildOptions(opts))
+	return s
+}
+
+func (s *Treiber[T]) initReclaim(o options) {
+	if o.dom == nil {
+		return
+	}
+	s.mem = reclaim.NewPool(o.dom, 1)
+	if o.recycle {
+		s.nodes = reclaim.NewRecycler(func(n *tnode[T]) {
+			var zero T
+			n.value = zero
+			n.next = nil
+		})
+	}
 }
 
 // Push adds v to the top of the stack.
 func (s *Treiber[T]) Push(v T) {
-	n := &tnode[T]{value: v}
+	n := s.nodes.Get()
+	n.value = v
 	var b contend.Backoff
 	for {
 		head := s.head.Load()
 		n.next = head
 		if s.head.CompareAndSwap(head, n) {
+			if s.nodes != nil {
+				s.size.Add(1)
+			}
 			return
 		}
 		b.Pause()
@@ -53,22 +84,52 @@ func (s *Treiber[T]) Push(v T) {
 // TryPop removes and returns the top element; ok is false if the stack was
 // observed empty.
 func (s *Treiber[T]) TryPop() (v T, ok bool) {
+	if s.mem == nil {
+		var b contend.Backoff
+		for {
+			head := s.head.Load()
+			if head == nil {
+				return v, false
+			}
+			if s.head.CompareAndSwap(head, head.next) {
+				return head.value, true
+			}
+			b.Pause()
+		}
+	}
+	g := s.mem.Get()
+	g.Enter()
 	var b contend.Backoff
 	for {
-		head := s.head.Load()
+		head := reclaim.Load(g, 0, &s.head)
 		if head == nil {
-			return v, false
+			break
 		}
+		// head is protected: dereferencing next and value is safe even if
+		// a concurrent pop retires it before our CAS resolves.
 		if s.head.CompareAndSwap(head, head.next) {
-			return head.value, true
+			v, ok = head.value, true
+			if s.nodes != nil {
+				s.size.Add(-1)
+			}
+			reclaim.Retire(g, s.nodes, head)
+			break
 		}
 		b.Pause()
 	}
+	g.Exit()
+	s.mem.Put(g)
+	return
 }
 
 // Len counts the elements by traversing the list. The count is a consistent
 // snapshot only in quiescent states; under concurrency it is best-effort.
+// With node recycling enabled it is served from a counter instead: a
+// traversal could follow a reused node into the wrong incarnation.
 func (s *Treiber[T]) Len() int {
+	if s.nodes != nil {
+		return int(s.size.Load())
+	}
 	n := 0
 	for node := s.head.Load(); node != nil; node = node.next {
 		n++
