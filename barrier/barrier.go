@@ -1,18 +1,3 @@
-// Package barrier implements the classic software barrier algorithms:
-// the central sense-reversing barrier, the combining-tree barrier, and the
-// dissemination barrier (Hensgen–Finkel–Manber / Mellor-Crummey–Scott).
-//
-// A barrier synchronises n parties at a phase boundary: nobody proceeds to
-// phase k+1 until everyone finished phase k. The survey's point is the
-// communication pattern: a central counter costs O(n) serialised updates on
-// one hot line per episode; a combining tree spreads arrival across O(n)
-// nodes with O(log n) depth; dissemination replaces arrival/release with
-// log n rounds of point-to-point flags, with no hot spot at all.
-// Experiment F10 regenerates the episode-latency comparison.
-//
-// All barriers are reusable (sense-reversing) and hand out per-party
-// handles: each participating goroutine must own exactly one handle and
-// call Wait on it once per episode.
 package barrier
 
 import (

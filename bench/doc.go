@@ -1,0 +1,69 @@
+// Package bench is the measurement harness behind the experiment suite in
+// DESIGN.md: deterministic workload generation (uniform and Zipfian key
+// streams), a worker runner with a synchronised start line, per-operation
+// latency sampling into log-bucketed histograms, a mixed-workload scenario
+// engine, and two renderers — aligned text tables in the shape the survey
+// figures use, and a machine-readable JSON Report for tracking results
+// across revisions.
+//
+// Use cmd/cdsbench to regenerate every figure/table, or the testing.B
+// benches in the repository root for quick single-configuration runs.
+// README's "Reading the benchmarks" section walks through interpreting
+// the output; this comment is the schema reference.
+//
+// # JSON schema
+//
+// A serialized Report (cdsbench -format json) is one JSON object:
+//
+//	{
+//	  "schema": "cds-bench/v1",
+//	  "meta": {
+//	    "go_version":   "go1.24.0",     // runtime.Version()
+//	    "goos":         "linux",
+//	    "goarch":       "amd64",
+//	    "num_cpu":      8,
+//	    "gomaxprocs":   8,
+//	    "git_revision": "abc1234",      // build/VCS info; "unknown" if absent
+//	    "quick":        false,          // -quick smoke sizing was in effect
+//	    "unix_time":    1750000000      // seconds; 0 in golden-file tests
+//	  },
+//	  "records": [ Record... ]
+//	}
+//
+// and each Record is one measured cell:
+//
+//	{
+//	  "family":     "queue",           // structure family ("queue", "cmap", ...)
+//	  "algo":       "MS",              // algorithm / implementation label
+//	  "scenario":   "enq-heavy-70/30", // workload description
+//	  "threads":    4,                 // worker count
+//	  "ops":        400000,            // operations completed; omitted on
+//	  "elapsed_ns": 12345678,          // figure-derived records (as is
+//	  "ns_per_op":  81.6,              // elapsed_ns / ns_per_op), which
+//	                                   // keep only the headline value
+//	  "value":      12.251,            // headline metric in "unit"
+//	  "unit":       "mops",            // "mops" unless noted (e.g. "percent")
+//	  "p50_ns":     71,                // latency percentiles; present only
+//	  "p90_ns":     102,               // when the cell sampled per-op
+//	  "p99_ns":     913,               // latency (scenario records do,
+//	  "p999_ns":    4096,              // figure-derived records do not)
+//	  "samples":    400000,            // latency samples behind them
+//	  "gauges": {                      // end-of-run structure gauges;
+//	    "pending_garbage": 128,        // present only on cells that
+//	    "reclaimed":       399872      // report them
+//	  }
+//	}
+//
+// Two scenario families report gauges today: the reclamation cells (F12
+// and the S14 reclaim-structs scenarios) carry pending_garbage/reclaimed,
+// and the S15 dual (blocking-queue) cells carry the waiter-management
+// counters reservations/fulfilled/parks/cancelled/handoffs (see
+// dual.Stats; the channel baseline carries none). Blocking cells bound
+// every operation with a cancellation deadline, so their latency
+// percentiles include parked time — wait behaviour is the measurement,
+// not a distortion of it.
+//
+// Records are append-only across schema versions: consumers must ignore
+// unknown fields, and field removals or meaning changes bump the schema
+// string.
+package bench

@@ -1,14 +1,18 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	cds "github.com/cds-suite/cds"
 	"github.com/cds-suite/cds/barrier"
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
+	"github.com/cds-suite/cds/dual"
 	"github.com/cds-suite/cds/fc"
 	"github.com/cds-suite/cds/internal/epoch"
 	"github.com/cds-suite/cds/internal/hazard"
@@ -140,6 +144,7 @@ func Scenarios() []Scenario {
 	all = append(all, reclaimScenarios()...)
 	all = append(all, contendScenarios()...)
 	all = append(all, reclaimStructScenarios()...)
+	all = append(all, dualScenarios()...)
 	return all
 }
 
@@ -903,6 +908,161 @@ func reclaimStructScenarios() []Scenario {
 	}
 
 	return []Scenario{listSc, mapSc, stallSc}
+}
+
+// chanBQ adapts a Go channel to the blocking-queue shape so the dual
+// scenarios carry the obvious baseline: the runtime's own blocking queue.
+type chanBQ struct{ ch chan int }
+
+func (q chanBQ) Put(ctx context.Context, v int) error {
+	select {
+	case q.ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q chanBQ) Take(ctx context.Context) (int, error) {
+	select {
+	case v := <-q.ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func (q chanBQ) Len() int { return len(q.ch) }
+
+// dualGauges surfaces a dual structure's waiter-management counters as
+// record gauges (the blocking counterpart of the reclamation cells'
+// pending_garbage/reclaimed pair).
+func dualGauges(st dual.Stats) map[string]float64 {
+	return map[string]float64{
+		"reservations": float64(st.Reservations),
+		"fulfilled":    float64(st.Fulfilled),
+		"parks":        float64(st.Parks),
+		"cancelled":    float64(st.Cancelled),
+		"handoffs":     float64(st.Handoffs),
+	}
+}
+
+// dualOpTimeout bounds every blocking operation in the dual cells. It is
+// the cancellation budget of the scenario family: an op that finds no
+// partner (or no room) within it returns ctx.Err, counts in the cancelled
+// gauge, and keeps every cell terminating at any thread count — including
+// the degenerate single-thread cells where a rendezvous can never pair.
+// Blocking cells therefore measure wait behaviour, not pure CPU cost:
+// latency percentiles include parked time and timer overhead, which is
+// exactly what distinguishes the designs (see README, "Reading the
+// benchmarks").
+const dualOpTimeout = 100 * time.Microsecond
+
+// dualScenarios (experiment S15) measures the blocking family under the
+// three regimes the dual design targets: producer-heavy backpressure,
+// bursty production with consumer droughts (parks), and a symmetric
+// rendezvous mix with tight cancellation deadlines.
+func dualScenarios() []Scenario {
+	impls := []struct {
+		label string
+		mk    func(cap int) (cds.BlockingQueue[int], func() map[string]float64)
+	}{
+		{"DualMS", func(int) (cds.BlockingQueue[int], func() map[string]float64) {
+			q := dual.NewMSQueue[int]()
+			return q, func() map[string]float64 { return dualGauges(q.Stats()) }
+		}},
+		{"Sync", func(int) (cds.BlockingQueue[int], func() map[string]float64) {
+			q := dual.NewSync[int](0, 0)
+			return q, func() map[string]float64 { return dualGauges(q.Stats()) }
+		}},
+		{"Bounded", func(capacity int) (cds.BlockingQueue[int], func() map[string]float64) {
+			q := dual.NewBounded[int](capacity)
+			return q, func() map[string]float64 { return dualGauges(q.Stats()) }
+		}},
+		// Buffered channel: the baseline every Go blocking queue is
+		// implicitly compared against. No gauges — the runtime does not
+		// expose its park counts.
+		{"Channel", func(capacity int) (cds.BlockingQueue[int], func() map[string]float64) {
+			return chanBQ{ch: make(chan int, capacity)}, nil
+		}},
+	}
+	const capacity = 1024
+
+	mkScenario := func(name string, roles func(w int, q cds.BlockingQueue[int]) func(i int)) Scenario {
+		s := Scenario{Family: "dual", Name: name}
+		for _, im := range impls {
+			mk := im.mk
+			s.Algos = append(s.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+				q, gauges := mk(capacity)
+				ops := cfg.ops(60000)
+				res := RunLatency(th, ops/th+1, func(w int) func(int) {
+					return roles(w, q)
+				})
+				if gauges != nil {
+					res.Gauges = gauges()
+				}
+				return res
+			}})
+		}
+		return s
+	}
+
+	put := func(q cds.BlockingQueue[int], v int) {
+		ctx, cancel := context.WithTimeout(context.Background(), dualOpTimeout)
+		_ = q.Put(ctx, v)
+		cancel()
+	}
+	take := func(q cds.BlockingQueue[int]) {
+		ctx, cancel := context.WithTimeout(context.Background(), dualOpTimeout)
+		_, _ = q.Take(ctx)
+		cancel()
+	}
+
+	return []Scenario{
+		// Two producers per consumer: the unbounded queue absorbs the
+		// surplus, the bounded queue and channel exert backpressure
+		// (producer parks), the synchronous queue throttles producers to
+		// the consumer rate by construction.
+		mkScenario("producer-heavy-2:1", func(w int, q cds.BlockingQueue[int]) func(int) {
+			// Worker 1, 4, 7, ... consume, the rest produce: at two
+			// threads the cell is a clean 1:1 pair, from four on it is
+			// producer-heavy.
+			if w%3 == 1 {
+				return func(int) { take(q) }
+			}
+			return func(i int) { put(q, i) }
+		}),
+		// One bursty producer, the rest consumers: bursts of 64 puts
+		// alternate with equal droughts, so consumers oscillate between
+		// draining data and parking on reservations (the parks and
+		// cancelled gauges are the signal here).
+		mkScenario("burst-64-1p-consumers", func(w int, q cds.BlockingQueue[int]) func(int) {
+			if w == 0 {
+				return func(i int) {
+					if (i/64)%2 == 0 {
+						put(q, i)
+					} else {
+						runtime.Gosched() // drought: the producer goes quiet
+					}
+				}
+			}
+			return func(int) { take(q) }
+		}),
+		// Symmetric 50/50 put/take from every worker under the tight
+		// deadline: the rendezvous regime (and, at one thread, the
+		// degenerate all-cancellations cell that sizes the cancellation
+		// path itself).
+		mkScenario("rendezvous-50/50-cancel", func(w int, q cds.BlockingQueue[int]) func(int) {
+			mix := NewMixGen(uint64(w)*271+9, 50, 50)
+			return func(i int) {
+				if mix.Next() == 0 {
+					put(q, i)
+				} else {
+					take(q)
+				}
+			}
+		}),
+	}
 }
 
 func lockScenarios() []Scenario {

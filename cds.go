@@ -17,8 +17,10 @@
 // hazard pointers, or the default zero-cost GC-noop behind one
 // Domain/Guard interface, with optional retired-node recycling) that the
 // lock-free structures wire in via their WithReclaim constructor option;
-// and lincheck is the linearizability checker the integration tests verify
-// them with.
+// dual is the blocking family (partial operations as dual data
+// structures over parking-based waiter management, satisfying
+// BlockingQueue); and lincheck is the linearizability checker the
+// integration tests verify them with. ARCHITECTURE.md maps the layers.
 //
 // # Progress guarantees
 //
@@ -41,6 +43,8 @@
 // points in doc comments, and package lincheck provides a checker used by the
 // integration tests to validate recorded histories against sequential models.
 package cds
+
+import "context"
 
 // Stack is a last-in-first-out container.
 //
@@ -67,6 +71,25 @@ type Queue[T any] interface {
 	// ok is false if the queue was empty.
 	TryDequeue() (v T, ok bool)
 	// Len reports the number of elements (see Stack.Len caveats).
+	Len() int
+}
+
+// BlockingQueue is a queue with partial (blocking) operations: where the
+// Try-variants report failure on an unmet precondition, Put and Take wait
+// for it instead — Take on an empty queue waits for an enqueue, Put on a
+// bounded or synchronous queue waits for room or for a taker. Package dual
+// provides the implementations (dual data structures and parking-based
+// waiter management); cancellation is by context, and a cancelled
+// operation returns the context's error after withdrawing its reservation.
+type BlockingQueue[T any] interface {
+	// Put adds v, blocking while the queue cannot accept it. It returns
+	// ctx's error if cancelled first; a nil error means v was delivered.
+	Put(ctx context.Context, v T) error
+	// Take removes and returns the element at the head, blocking while
+	// none is available. It returns ctx's error if cancelled first.
+	Take(ctx context.Context) (v T, err error)
+	// Len reports the number of buffered elements (see Stack.Len caveats);
+	// waiting operations are not counted.
 	Len() int
 }
 

@@ -1,16 +1,3 @@
-// Package cmap implements the concurrent hash table designs from the
-// survey literature: a single-lock baseline, a lock-striped resizable table
-// (fixed stripe array, growing bucket array — the classic striped hash set
-// generalised to a map), and the Shalev–Shavit split-ordered lock-free hash
-// table (recursive split-ordering over a Harris-style lock-free list).
-//
-// Hash tables are the survey's example that making a structure concurrent
-// is easy until it has to resize: striping keeps the lock array fixed so a
-// key's stripe never changes while buckets double underneath, and
-// split-ordering removes locking entirely by never moving items at all —
-// growth only inserts new bucket sentinels into an ordering cleverly chosen
-// (bit-reversed keys) so buckets split in place. Experiments F6 and T2
-// regenerate the scalability and skew-sensitivity comparisons.
 package cmap
 
 import (

@@ -22,8 +22,11 @@
 // rather than keeping private copies: the spin locks and lock-free
 // stack/queue retry loops use Backoff, the elimination stack and the
 // elimination-backed Michael–Scott queue use the exchanger/handoff arrays,
-// and the flat-combining containers (package fc, pqueue.FC, deque.FC) and
-// the combining-tree counter build on the combining cores.
+// the flat-combining containers (package fc, pqueue.FC, deque.FC) and
+// the combining-tree counter build on the combining cores, and the
+// synchronous queue (dual.Sync) uses a HandoffArray as its rendezvous
+// fast path — near-simultaneous Put/Take pairs cancel there before either
+// side pays for parking a waiter.
 //
 // Choosing between the levers (also summarised in the README): backoff is
 // the default when operations cannot cancel or batch; elimination wins for

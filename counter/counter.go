@@ -1,14 +1,3 @@
-// Package counter implements the shared-counter designs from the concurrent
-// data structures literature: a mutex-guarded counter, a single atomic
-// fetch-and-add counter, a cache-line-striped (sharded) counter, a software
-// combining tree, and a statistical approximate counter.
-//
-// Shared counters are the survey's smallest case study in the
-// contention/accuracy trade-off: a single fetch-and-add word saturates at
-// the coherence throughput of one cache line, while distributing the count
-// (striping, combining, approximation) recovers scalability at the cost of
-// more expensive or weaker reads. Experiment F2 regenerates the classic
-// comparison.
 package counter
 
 import (

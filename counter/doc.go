@@ -1,0 +1,19 @@
+// Package counter implements the shared-counter designs from the concurrent
+// data structures literature: a mutex-guarded counter, a single atomic
+// fetch-and-add counter, a cache-line-striped (sharded) counter, a software
+// combining tree (via contend.CombiningTree), and a statistical approximate
+// counter.
+//
+// Shared counters are the survey's smallest case study in the
+// contention/accuracy trade-off: a single fetch-and-add word saturates at
+// the coherence throughput of one cache line, while distributing the count
+// (striping, combining, approximation) recovers scalability at the cost of
+// more expensive or weaker reads. Experiment F2 regenerates the classic
+// comparison, and ablation A4 sweeps the shard count.
+//
+// Progress guarantees: Locked is blocking; Atomic is wait-free; Sharded's
+// Add is wait-free while its Load is a non-atomic sum (linearizable only
+// in quiescence); Combining is blocking in the combining sense (waiters
+// ride the combiner's ascent); Approx trades bounded relative error for a
+// wait-free O(1) read.
+package counter

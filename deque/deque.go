@@ -1,14 +1,3 @@
-// Package deque implements double-ended queues: the Chase–Lev dynamic
-// circular work-stealing deque (SPAA 2005), a mutex-guarded baseline, and
-// a flat-combining deque (FC) with no owner restriction, built on the
-// shared combining core in package contend.
-//
-// Work stealing is the survey's flagship application of relaxed structure
-// semantics: the owner pushes and pops tasks at the bottom with plain loads
-// and stores (no CAS on the fast path), while thieves steal from the top
-// with a CAS. Only the race for the last element needs full
-// synchronization. Experiment F9 regenerates the owner-vs-thief cost
-// curves.
 package deque
 
 import (

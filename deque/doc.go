@@ -1,0 +1,20 @@
+// Package deque implements double-ended queues: the Chase–Lev dynamic
+// circular work-stealing deque (SPAA 2005), a mutex-guarded baseline, and
+// a flat-combining deque (FC) with no owner restriction, built on the
+// shared combining core in package contend.
+//
+// Work stealing is the survey's flagship application of relaxed structure
+// semantics: the owner pushes and pops tasks at the bottom with plain loads
+// and stores (no CAS on the fast path), while thieves steal from the top
+// with a CAS. Only the race for the last element needs full
+// synchronization. Experiment F9 regenerates the owner-vs-thief cost
+// curves, and the scheduler example runs the deque in its native habitat.
+//
+// Progress guarantees: ChaseLev's owner operations are wait-free except
+// for the last-element race; TryPopTop is lock-free among thieves. Mutex
+// is blocking; FC is blocking in the combining sense (one thread applies a
+// batch while the rest wait on their publication records, which under
+// contention beats everyone fighting for the two ends). ChaseLev restricts
+// PushBottom/TryPopBottom to the owner goroutine — the relaxed contract
+// that buys its fast path — while Mutex and FC are symmetric.
+package deque

@@ -1,0 +1,142 @@
+package dual
+
+import (
+	"context"
+	"runtime"
+
+	"github.com/cds-suite/cds/internal/park"
+	"github.com/cds-suite/cds/queue"
+)
+
+// boundedSpins is the spin budget a blocked Put/Take burns on the ring
+// before enrolling as a waiter: under producer–consumer workloads the
+// complementary operation usually arrives within a few scheduler quanta.
+const boundedSpins = 32
+
+// Bounded is a capacity-bounded blocking MPMC queue: queue.MPMC (the
+// Vyukov-style ring) for the data path, with not-empty/not-full waiter
+// sets (park.Lot) turning the ring's failing TryEnqueue/TryDequeue into
+// the blocking Put/Take partial operations — the classic bounded buffer
+// with parking instead of condition-variable broadcast storms: each
+// completed operation wakes at most one waiter on the opposite side.
+//
+// The waiter protocol is enrol → re-check → park: a waiter that finds the
+// ring usable after enrolling withdraws (forwarding any wakeup it may
+// have consumed), so no wakeup is lost and no lock is held around ring
+// operations. Wakeups are FIFO over enrolment, but a concurrently
+// arriving non-waiting operation can overtake a waking waiter (the ring
+// itself arbitrates), so Bounded is not strictly fair.
+//
+// Progress: blocking — waiter management takes a small lock, and the
+// ring is itself "practically nonblocking" (see queue.MPMC). The fast
+// path (no wait needed) is one ring operation plus one empty wake probe.
+type Bounded[T any] struct {
+	ring     *queue.MPMC[T]
+	notEmpty park.Lot
+	notFull  park.Lot
+	st       stats
+}
+
+// NewBounded returns an empty bounded blocking queue with the given
+// capacity, rounded up to a power of two (minimum 2) by the underlying
+// ring.
+func NewBounded[T any](capacity int) *Bounded[T] {
+	return &Bounded[T]{ring: queue.NewMPMC[T](capacity)}
+}
+
+// Put adds v at the tail, blocking while the queue is full. It returns
+// ctx's error if cancelled first.
+func (q *Bounded[T]) Put(ctx context.Context, v T) error {
+	err := q.wait(ctx, &q.notFull, func() bool { return q.ring.TryEnqueue(v) })
+	if err == nil {
+		q.notEmpty.WakeOne()
+	}
+	return err
+}
+
+// Take removes and returns the head element, blocking while the queue is
+// empty. It returns ctx's error if cancelled first.
+func (q *Bounded[T]) Take(ctx context.Context) (v T, err error) {
+	err = q.wait(ctx, &q.notEmpty, func() (ok bool) {
+		v, ok = q.ring.TryDequeue()
+		return ok
+	})
+	if err == nil {
+		q.notFull.WakeOne()
+	}
+	return v, err
+}
+
+// wait runs try until it succeeds, parking on lot between attempts.
+func (q *Bounded[T]) wait(ctx context.Context, lot *park.Lot, try func() bool) error {
+	for i := 0; i < boundedSpins; i++ {
+		if try() {
+			return nil
+		}
+		runtime.Gosched()
+	}
+	for {
+		if try() {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			q.st.cancelled.Add(1)
+			return err
+		}
+		p := park.New()
+		lot.Enroll(p)
+		q.st.reservations.Add(1)
+		// Re-check after enrolling: a waker that ran before our enrolment
+		// has not seen us, so this closes the lost-wakeup window.
+		if try() {
+			if !lot.Withdraw(p) {
+				lot.WakeOne() // consumed a wakeup along with the slot: pass it on
+			}
+			return nil
+		}
+		q.st.parks.Add(1)
+		err := p.Park(ctx)
+		removed := lot.Withdraw(p)
+		if err != nil {
+			if !removed {
+				lot.WakeOne() // our wakeup is in flight: forward it
+			}
+			q.st.cancelled.Add(1)
+			return err
+		}
+		if !removed {
+			q.st.fulfilled.Add(1) // a waker picked us and the token arrived
+		}
+	}
+}
+
+// TryEnqueue adds v without waiting; it reports false if the queue was
+// full.
+func (q *Bounded[T]) TryEnqueue(v T) bool {
+	if q.ring.TryEnqueue(v) {
+		q.notEmpty.WakeOne()
+		return true
+	}
+	return false
+}
+
+// TryDequeue removes and returns the head element without waiting; ok is
+// false if the queue was empty.
+func (q *Bounded[T]) TryDequeue() (v T, ok bool) {
+	if v, ok = q.ring.TryDequeue(); ok {
+		q.notFull.WakeOne()
+		return v, true
+	}
+	return v, false
+}
+
+// Cap reports the fixed capacity.
+func (q *Bounded[T]) Cap() int { return q.ring.Cap() }
+
+// Len reports the number of buffered elements (see queue.MPMC.Len).
+func (q *Bounded[T]) Len() int { return q.ring.Len() }
+
+// Stats snapshots the waiter-management counters. Reservations counts
+// enrolments, Parks actual blocks, Fulfilled parks ended by a wakeup,
+// Cancelled waits abandoned on context expiry.
+func (q *Bounded[T]) Stats() Stats { return q.st.snapshot() }

@@ -1,0 +1,46 @@
+// Package dual implements blocking (partial-operation) queues — the
+// survey's pools and rendezvous channels — as dual data structures in the
+// sense of Scherer & Scott (DISC 2004): when a precondition fails (take on
+// empty, put on full or unmatched), the operation does not spin on the
+// whole structure or fail; it installs an explicit *reservation* that a
+// later inverse operation finds and fulfils, splitting one blocking
+// operation into two nonblocking halves with a wait in between.
+//
+// Three structures share one waiter-management core (internal/park:
+// per-waiter permits with spin-then-park and context cancellation):
+//
+//   - MSQueue: the dualized Michael–Scott queue. Enqueue is total and
+//     nonblocking; Take on an empty queue appends a reservation node to
+//     the same linked list the data travels on, so reservations are
+//     fulfilled in strict FIFO order by later enqueues. Progress:
+//     obstruction of the queue itself is lock-free (every CAS retry means
+//     another operation completed); a parked taker's progress depends on
+//     its fulfiller's unpark, as in all dual structures.
+//   - Sync: a synchronous queue (rendezvous channel): Put and Take both
+//     block until they pair. Near-simultaneous arrivals pair off in a
+//     contend.HandoffArray without touching the slow path; unmatched
+//     operations park on the dual transfer list, where waiting takers are
+//     fulfilled before the handoff array is consulted.
+//   - Bounded: a capacity-bounded blocking MPMC queue wrapping
+//     queue.MPMC with not-empty/not-full waiter sets (park.Lot). Progress:
+//     blocking (waiter management takes a lock), with the MPMC ring's
+//     nonblocking fast path when no wait is needed.
+//
+// All three satisfy the root cds.BlockingQueue interface: Put and Take
+// accept a context and return its error if cancelled before completion. A
+// cancelled reservation is withdrawn with a single CAS and skipped by
+// later fulfilments; it linearizes as an observation of the failed
+// precondition (an empty queue), so a timed-out Take is equivalent to a
+// failed TryDequeue for linearizability purposes.
+//
+// Constructed WithReclaim, dequeued nodes are retired through a
+// reclaim.Domain (guards are never held while parked, so a blocked waiter
+// cannot stall epoch reclamation). Node recycling is deliberately not
+// offered: a waiter reads its own reservation node after that node may
+// already have been retired by the fulfilling side, which is safe while
+// the GC keeps the memory alive but would be an ABA under eager reuse.
+//
+// Each structure exposes a Stats snapshot (reservations, fulfilments,
+// parks, cancellations, fast-path handoffs) that the S15 benchmark
+// scenarios report as record gauges.
+package dual

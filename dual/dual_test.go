@@ -1,0 +1,459 @@
+package dual_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cds-suite/cds/dual"
+	"github.com/cds-suite/cds/reclaim"
+)
+
+// reclaimVariants returns the reclamation configurations every dual test
+// runs under: the default GC path plus aggressive EBR and HP domains (so
+// retirements actually happen inside the test windows).
+func reclaimVariants() map[string][]dual.Option {
+	ebr := reclaim.NewEBR()
+	ebr.SetAdvanceInterval(1)
+	hp := reclaim.NewHP()
+	hp.SetScanThreshold(1)
+	return map[string][]dual.Option{
+		"GC":  nil,
+		"EBR": {dual.WithReclaim(ebr)},
+		"HP":  {dual.WithReclaim(hp)},
+	}
+}
+
+func TestMSQueueBasicFIFO(t *testing.T) {
+	q := dual.NewMSQueue[int]()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if got := q.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		v, err := q.Take(context.Background())
+		if err != nil || v != i {
+			t.Fatalf("Take #%d = (%d, %v), want (%d, nil)", i, v, err, i)
+		}
+	}
+	if v, ok := q.TryDequeue(); ok {
+		t.Fatalf("TryDequeue on empty = (%d, true)", v)
+	}
+}
+
+// TestMSQueueBlockingTakeFulfilledFIFO is the acceptance-criteria test:
+// takes that blocked on an empty queue are fulfilled in reservation order
+// by later enqueues.
+func TestMSQueueBlockingTakeFulfilledFIFO(t *testing.T) {
+	for name, opts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			q := dual.NewMSQueue[int](opts...)
+			const takers = 8
+			results := make([]int, takers)
+			var wg sync.WaitGroup
+			for i := 0; i < takers; i++ {
+				// Serialize reservation registration so arrival order is
+				// deterministic: wait until taker i's reservation is in
+				// the queue before starting taker i+1.
+				before := q.Stats().Reservations
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					v, err := q.Take(context.Background())
+					if err != nil {
+						t.Errorf("taker %d: %v", i, err)
+					}
+					results[i] = v
+				}(i)
+				deadline := time.Now().Add(5 * time.Second)
+				for q.Stats().Reservations == before {
+					if time.Now().After(deadline) {
+						t.Fatalf("taker %d never registered a reservation", i)
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			for v := 0; v < takers; v++ {
+				q.Enqueue(v)
+			}
+			wg.Wait()
+			for i, v := range results {
+				if v != i {
+					t.Fatalf("results = %v: taker %d got %d (reservations not FIFO)", results, i, v)
+				}
+			}
+			st := q.Stats()
+			if st.Reservations != takers || st.Fulfilled != takers {
+				t.Errorf("stats = %+v, want %d reservations all fulfilled", st, takers)
+			}
+		})
+	}
+}
+
+func TestMSQueueTakeCancellation(t *testing.T) {
+	q := dual.NewMSQueue[int]()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := q.Take(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Take on empty with expiring ctx: err = %v", err)
+	}
+	if st := q.Stats(); st.Cancelled != 1 {
+		t.Fatalf("stats = %+v, want 1 cancelled", st)
+	}
+	// The withdrawn reservation must not swallow a later value.
+	q.Enqueue(42)
+	v, err := q.Take(context.Background())
+	if err != nil || v != 42 {
+		t.Fatalf("Take after cancelled reservation = (%d, %v), want (42, nil)", v, err)
+	}
+}
+
+// TestMSQueueConcurrentChurn hammers enqueue/take from both sides and
+// checks conservation: every value enqueued is taken exactly once.
+func TestMSQueueConcurrentChurn(t *testing.T) {
+	for name, opts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			q := dual.NewMSQueue[int](opts...)
+			const (
+				producers = 4
+				consumers = 4
+				perProd   = 2000
+			)
+			var sum, want atomic.Int64
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProd; i++ {
+						v := p*perProd + i
+						want.Add(int64(v))
+						q.Enqueue(v)
+					}
+				}(p)
+			}
+			total := producers * perProd
+			each := total / consumers
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					for i := 0; i < each; i++ {
+						v, err := q.Take(ctx)
+						if err != nil {
+							t.Errorf("Take: %v", err)
+							return
+						}
+						sum.Add(int64(v))
+					}
+				}()
+			}
+			wg.Wait()
+			if sum.Load() != want.Load() {
+				t.Fatalf("sum of taken = %d, want %d", sum.Load(), want.Load())
+			}
+			if got := q.Len(); got != 0 {
+				t.Fatalf("Len after drain = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestSyncRendezvous(t *testing.T) {
+	for name, opts := range reclaimVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := dual.NewSync[string](0, 0, opts...)
+			done := make(chan error, 1)
+			go func() {
+				done <- s.Put(context.Background(), "hello")
+			}()
+			v, err := s.Take(context.Background())
+			if err != nil || v != "hello" {
+				t.Fatalf("Take = (%q, %v), want (hello, nil)", v, err)
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if s.Len() != 0 {
+				t.Fatalf("Len = %d, want 0", s.Len())
+			}
+		})
+	}
+}
+
+func TestSyncPutBlocksWithoutTaker(t *testing.T) {
+	s := dual.NewSync[int](0, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Put(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Put without taker: err = %v", err)
+	}
+	// The cancelled offer must not be delivered to a later taker.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if v, err := s.Take(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Take after cancelled Put = (%d, %v), want deadline error", v, err)
+	}
+}
+
+// TestSyncPairsExactly pairs many concurrent putters and takers and
+// checks every value is received exactly once.
+func TestSyncPairsExactly(t *testing.T) {
+	s := dual.NewSync[int](0, 0)
+	const pairs = 8
+	const perSide = 500
+	var got sync.Map
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for w := 0; w < pairs; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSide; i++ {
+				if err := s.Put(ctx, w*perSide+i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSide; i++ {
+				v, err := s.Take(ctx)
+				if err != nil {
+					t.Errorf("Take: %v", err)
+					return
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("value %d delivered twice", v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	got.Range(func(any, any) bool { n++; return true })
+	if n != pairs*perSide {
+		t.Fatalf("received %d distinct values, want %d", n, pairs*perSide)
+	}
+	st := s.Stats()
+	if st.Handoffs+st.Fulfilled == 0 {
+		t.Error("no rendezvous recorded in stats")
+	}
+}
+
+func TestBoundedBlockingBothSides(t *testing.T) {
+	q := dual.NewBounded[int](2)
+	bg := context.Background()
+	if q.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", q.Cap())
+	}
+	if err := q.Put(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(bg, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Full: Put must block until a Take frees a slot.
+	done := make(chan error, 1)
+	go func() { done <- q.Put(bg, 3) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Put on full queue returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if v, err := q.Take(bg); err != nil || v != 1 {
+		t.Fatalf("Take = (%d, %v), want (1, nil)", v, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("unblocked Put: %v", err)
+	}
+	// The queue is full again ({2, 3}): a Put with an expiring context
+	// must cancel cleanly.
+	ctx, cancel := context.WithTimeout(bg, 20*time.Millisecond)
+	defer cancel()
+	if err := q.Put(ctx, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Put on full with expiring ctx: %v", err)
+	}
+	for _, want := range []int{2, 3} {
+		if v, err := q.Take(bg); err != nil || v != want {
+			t.Fatalf("Take = (%d, %v), want (%d, nil)", v, err, want)
+		}
+	}
+}
+
+// TestBoundedProducerConsumer runs a full producer/consumer mesh over a
+// tiny capacity so both waiter sets engage, checking conservation.
+func TestBoundedProducerConsumer(t *testing.T) {
+	q := dual.NewBounded[int](4)
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 2000
+	)
+	var sum, want atomic.Int64
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				want.Add(int64(v))
+				if err := q.Put(ctx, v); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	each := producers * perProd / consumers
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				v, err := q.Take(ctx)
+				if err != nil {
+					t.Errorf("Take: %v", err)
+					return
+				}
+				sum.Add(int64(v))
+			}
+		}()
+	}
+	wg.Wait()
+	if sum.Load() != want.Load() {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want.Load())
+	}
+	if st := q.Stats(); st.Parks > 0 && st.Fulfilled == 0 {
+		t.Errorf("stats = %+v: parks without fulfilments", st)
+	}
+}
+
+// TestMSQueueReclaimRetires checks that WithReclaim actually routes
+// dequeued dummies through the domain (the gauges the S15 cells report).
+func TestMSQueueReclaimRetires(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		dom  reclaim.Domain
+	}{
+		{"EBR", func() reclaim.Domain { d := reclaim.NewEBR(); d.SetAdvanceInterval(1); return d }()},
+		{"HP", func() reclaim.Domain { d := reclaim.NewHP(); d.SetScanThreshold(1); return d }()},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			q := dual.NewMSQueue[int](dual.WithReclaim(mk.dom))
+			for i := 0; i < 1000; i++ {
+				q.Enqueue(i)
+				if _, err := q.Take(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if total := mk.dom.Reclaimed() + mk.dom.Pending(); total == 0 {
+				t.Errorf("domain saw no retirements (reclaimed=%d pending=%d)",
+					mk.dom.Reclaimed(), mk.dom.Pending())
+			}
+		})
+	}
+}
+
+// TestTakeCancellationStorm races cancellations against fulfilments: a
+// value may be lost only if a fulfilled reservation is misreported as
+// cancelled (or vice versa), so produced == consumed + still-queued.
+func TestTakeCancellationStorm(t *testing.T) {
+	q := dual.NewMSQueue[int]()
+	const consumers = 8
+	const attempts = 300
+	var taken atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%5)*100*time.Microsecond)
+				if _, err := q.Take(ctx); err == nil {
+					taken.Add(1)
+				}
+				cancel()
+			}
+		}(c)
+	}
+	const produced = consumers * attempts / 2
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < produced; i++ {
+			q.Enqueue(i)
+			if i%16 == 0 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	left := 0
+	for {
+		if _, ok := q.TryDequeue(); !ok {
+			break
+		}
+		left++
+	}
+	if got := int(taken.Load()) + left; got != produced {
+		t.Fatalf("taken(%d) + leftover(%d) = %d, want %d (value lost or duplicated)",
+			taken.Load(), left, got, produced)
+	}
+	st := q.Stats()
+	if st.Cancelled == 0 {
+		t.Log("warning: no cancellations exercised (timing)")
+	}
+}
+
+func ExampleMSQueue() {
+	q := dual.NewMSQueue[string]()
+	done := make(chan string)
+	go func() {
+		v, _ := q.Take(context.Background()) // blocks until the enqueue below
+		done <- v
+	}()
+	q.Enqueue("job")
+	fmt.Println(<-done)
+	// Output: job
+}
+
+// TestZeroSizeElementType pins the sentinel-aliasing regression: for a
+// zero-size T every *T shares one address, so the item state machine must
+// not be built on bare value pointers. struct{} queues are the natural
+// way to use a blocking queue as a semaphore/signal.
+func TestZeroSizeElementType(t *testing.T) {
+	q := dual.NewMSQueue[struct{}]()
+	q.Enqueue(struct{}{})
+	if got := q.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := q.Take(ctx); err != nil {
+		t.Fatalf("Take of zero-size element: %v", err)
+	}
+
+	s := dual.NewSync[struct{}](0, 0)
+	done := make(chan error, 1)
+	go func() { done <- s.Put(ctx, struct{}{}) }()
+	if _, err := s.Take(ctx); err != nil {
+		t.Fatalf("Sync.Take of zero-size element: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Sync.Put of zero-size element: %v", err)
+	}
+}

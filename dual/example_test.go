@@ -1,0 +1,84 @@
+package dual_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/cds-suite/cds/dual"
+)
+
+// A blocking Take waits for data instead of failing — and a context
+// cancels the wait, withdrawing the reservation so later enqueues are not
+// swallowed by an abandoned taker.
+func ExampleMSQueue_Take_cancellation() {
+	q := dual.NewMSQueue[string]()
+
+	// No producer yet: this Take gives up after its deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := q.Take(ctx); err != nil {
+		fmt.Println("first take:", err)
+	}
+
+	// A value enqueued after the cancellation is delivered to the next
+	// taker, not to the withdrawn reservation.
+	q.Enqueue("payload")
+	v, err := q.Take(context.Background())
+	fmt.Println("second take:", v, err)
+	// Output:
+	// first take: context deadline exceeded
+	// second take: payload <nil>
+}
+
+// A synchronous queue has no buffer: Put and Take complete together, one
+// pair per rendezvous — a channel built from the module's own parts.
+func ExampleSync() {
+	s := dual.NewSync[int](0, 0)
+
+	results := make(chan string, 2)
+	go func() {
+		// Blocks until the Take below meets it.
+		if err := s.Put(context.Background(), 42); err == nil {
+			results <- "put delivered"
+		}
+	}()
+	go func() {
+		v, _ := s.Take(context.Background())
+		results <- fmt.Sprintf("take got %d", v)
+	}()
+
+	a, b := <-results, <-results
+	// Both halves completed; order of the reports is scheduling noise.
+	if a > b {
+		a, b = b, a
+	}
+	fmt.Println(a)
+	fmt.Println(b)
+	// Output:
+	// put delivered
+	// take got 42
+}
+
+// Bounded turns the MPMC ring into a backpressure primitive: producers
+// block when consumers fall behind, instead of dropping or growing.
+func ExampleBounded() {
+	q := dual.NewBounded[int](2)
+	ctx := context.Background()
+
+	for i := 1; i <= 2; i++ {
+		_ = q.Put(ctx, i) // fits in capacity
+	}
+	go func() {
+		_ = q.Put(ctx, 3) // blocks until the first Take drains a slot
+	}()
+
+	for i := 0; i < 3; i++ {
+		v, _ := q.Take(ctx)
+		fmt.Println(v)
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}

@@ -1,0 +1,68 @@
+package dual
+
+import "context"
+
+// MSQueue is the Scherer–Scott dual Michael–Scott queue (DISC 2004): an
+// unbounded FIFO queue whose dequeue is a partial operation. Enqueue is
+// total and never blocks. Take on a non-empty queue dequeues immediately;
+// Take on an empty queue appends a *reservation* node to the same linked
+// list the data travels on and waits (spin-then-park) until a later
+// Enqueue fulfils it. Because reservations queue up in arrival order and
+// enqueues always fulfil the one at the head, blocked takers are served
+// in strict FIFO order — the fairness property that distinguishes the
+// dualqueue from retry loops over a try-dequeue.
+//
+// Linearization points: Enqueue at its append CAS (or, when fulfilling,
+// at the successful item CAS on the head reservation); a successful Take
+// at its claim CAS (immediate) or at its reservation's fulfilment CAS
+// (blocked); a cancelled Take at its withdrawal CAS, which is legal only
+// while the reservation is unfulfilled and therefore witnesses an empty
+// queue — so a timed-out Take linearizes as a failed TryDequeue.
+//
+// Progress: every CAS retry implies another operation completed, so the
+// queue itself is lock-free; a parked taker's wakeup depends on its
+// fulfiller, as in all dual structures.
+type MSQueue[T any] struct {
+	x *xfer[T]
+}
+
+// NewMSQueue returns an empty dual queue. See WithReclaim for the
+// memory-reclamation option.
+func NewMSQueue[T any](opts ...Option) *MSQueue[T] {
+	return &MSQueue[T]{x: newXfer[T](buildOptions(opts).dom)}
+}
+
+// Enqueue adds v at the tail, fulfilling the oldest waiting Take if one
+// is parked. It never blocks.
+func (q *MSQueue[T]) Enqueue(v T) {
+	// context.Background: the unbounded enqueue has no blocking phase, so
+	// cancellation never applies and the error is always nil.
+	_ = q.x.put(context.Background(), v, false)
+}
+
+// Put is Enqueue under the cds.BlockingQueue contract; on an unbounded
+// queue it always succeeds immediately and the error is always nil.
+func (q *MSQueue[T]) Put(_ context.Context, v T) error {
+	q.Enqueue(v)
+	return nil
+}
+
+// Take removes and returns the head element, blocking while the queue is
+// empty. It returns ctx's error if cancelled before a value arrives; the
+// abandoned reservation is withdrawn and skipped by later enqueues.
+func (q *MSQueue[T]) Take(ctx context.Context) (T, error) {
+	return q.x.take(ctx)
+}
+
+// TryDequeue removes and returns the head element without ever waiting;
+// ok is false if no data was ready (even if takers are parked).
+func (q *MSQueue[T]) TryDequeue() (v T, ok bool) {
+	return q.x.tryTake()
+}
+
+// Len counts ready (unclaimed data) elements; parked reservations count
+// as zero. Best-effort under concurrency, like every Len in this module.
+func (q *MSQueue[T]) Len() int { return q.x.len() }
+
+// Stats snapshots the waiter-management counters.
+func (q *MSQueue[T]) Stats() Stats { return q.x.st.snapshot() }

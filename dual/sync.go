@@ -1,0 +1,84 @@
+package dual
+
+import (
+	"context"
+
+	"github.com/cds-suite/cds/contend"
+)
+
+// Sync is a synchronous queue — a rendezvous channel in the sense of the
+// survey's pools discussion and of java.util.concurrent's
+// SynchronousQueue: it has no capacity, so every Put blocks until a Take
+// consumes its value and every Take blocks until a Put supplies one.
+//
+// The implementation layers two mechanisms:
+//
+//   - Fast path: a contend.HandoffArray. A putter publishes its value in
+//     a randomized handoff slot for a bounded spin window; a taker scans
+//     the bank and claims it. Near-simultaneous arrivals pair here
+//     without parking or touching shared list state — the elimination
+//     insight applied to a structure that is *all* rendezvous.
+//   - Slow path: the dual transfer list shared with MSQueue, with both
+//     sides waiting: an unmatched Put parks on a data node, an unmatched
+//     Take parks on a reservation node.
+//
+// Parked waiters take priority over the fast path: both operations first
+// probe the transfer list for an opposite-mode waiter (tryPut/tryTake)
+// before attempting a handoff, so spinning newcomers cannot starve parked
+// ones indefinitely. Pairing is nevertheless not globally FIFO across
+// both paths (the classic fair/unfair synchronous-queue trade-off);
+// waiters among themselves are served in arrival order.
+//
+// Progress: rendezvous requires a partner by definition, so both
+// operations are blocking; all internal steps between pairings are
+// nonblocking.
+type Sync[T any] struct {
+	fast *contend.HandoffArray[T]
+	x    *xfer[T]
+}
+
+// NewSync returns a synchronous queue. width and spins size the handoff
+// fast path (values <= 0 select the contend defaults); see WithReclaim
+// for the memory-reclamation option on the slow path.
+func NewSync[T any](width, spins int, opts ...Option) *Sync[T] {
+	return &Sync[T]{
+		fast: contend.NewHandoffArray[T](width, spins),
+		x:    newXfer[T](buildOptions(opts).dom),
+	}
+}
+
+// Put transfers v to a taker, blocking until one accepts it. It returns
+// ctx's error if cancelled first.
+func (s *Sync[T]) Put(ctx context.Context, v T) error {
+	if s.x.tryPut(v) {
+		return nil // a parked taker was waiting: served first
+	}
+	if s.fast.TryGive(v) {
+		s.x.st.handoffs.Add(1)
+		return nil
+	}
+	return s.x.put(ctx, v, true)
+}
+
+// Take receives a value from a putter, blocking until one arrives. It
+// returns ctx's error if cancelled first.
+func (s *Sync[T]) Take(ctx context.Context) (v T, err error) {
+	if v, ok := s.x.tryTake(); ok {
+		return v, nil // a parked putter was waiting: served first
+	}
+	// The giver side counts the handoff, so the gauge records each
+	// rendezvous once.
+	if v, ok := s.fast.TryTake(nil); ok {
+		return v, nil
+	}
+	return s.x.take(ctx)
+}
+
+// Len reports the number of parked putters' values not yet consumed. A
+// synchronous queue holds no buffered elements, so this is 0 whenever no
+// putter is blocked.
+func (s *Sync[T]) Len() int { return s.x.len() }
+
+// Stats snapshots the waiter-management counters; Handoffs counts
+// fast-path rendezvous.
+func (s *Sync[T]) Stats() Stats { return s.x.st.snapshot() }

@@ -1,21 +1,3 @@
-// Package fc offers flat-combining containers (Hendler, Incze, Shavit &
-// Tzafrir, SPAA 2010): a queue and a stack whose concurrency comes from
-// contend.Combiner, the module's shared flat-combining core. Instead of
-// every thread fighting for the lock of a shared structure, threads publish
-// their operations into a lock-free list and a single temporary "combiner"
-// applies a whole batch against the plain sequential structure.
-//
-// The counter-intuitive result the paper established — and experiment F2/F4
-// can show — is that one thread applying k operations back-to-back against
-// warm caches often beats k threads applying one operation each through a
-// contended lock or CAS, because the structure's cache lines stay resident
-// with the combiner.
-//
-// The combining machinery itself (publication list, combiner role,
-// completion records) lives in package contend; this package contributes
-// the sequential queue/stack cores and the cds-interface adapters. The
-// flat-combining priority queue and deque live with their families, in
-// pqueue.FC and deque.FC.
 package fc
 
 import (

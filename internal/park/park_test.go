@@ -1,0 +1,164 @@
+package park
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPermitUnparkBeforePark(t *testing.T) {
+	p := New()
+	p.Unpark()
+	if err := p.Park(context.Background()); err != nil {
+		t.Fatalf("Park after Unpark: %v", err)
+	}
+}
+
+func TestPermitUnparkCoalesces(t *testing.T) {
+	p := New()
+	p.Unpark()
+	p.Unpark()
+	if !p.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if p.TryAcquire() {
+		t.Fatal("double Unpark deposited two tokens")
+	}
+}
+
+func TestPermitParkBlocksUntilUnpark(t *testing.T) {
+	p := New()
+	done := make(chan error, 1)
+	go func() { done <- p.Park(context.Background()) }()
+	select {
+	case <-done:
+		t.Fatal("Park returned without a token")
+	case <-time.After(10 * time.Millisecond):
+	}
+	p.Unpark()
+	if err := <-done; err != nil {
+		t.Fatalf("Park: %v", err)
+	}
+}
+
+func TestPermitParkCancellation(t *testing.T) {
+	p := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Park(ctx) }()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Park under cancellation: %v", err)
+	}
+	// A late Unpark must remain visible to TryAcquire (the lost-wakeup
+	// forwarding protocol depends on it).
+	p.Unpark()
+	if !p.TryAcquire() {
+		t.Fatal("token deposited after cancelled Park was lost")
+	}
+}
+
+func TestLotFIFOWakeup(t *testing.T) {
+	var l Lot
+	a, b, c := New(), New(), New()
+	l.Enroll(a)
+	l.Enroll(b)
+	l.Enroll(c)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	l.WakeOne()
+	if !a.TryAcquire() || b.TryAcquire() {
+		t.Fatal("WakeOne did not wake the oldest waiter")
+	}
+	l.WakeAll()
+	if !b.TryAcquire() || !c.TryAcquire() {
+		t.Fatal("WakeAll missed a waiter")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len after WakeAll = %d, want 0", l.Len())
+	}
+}
+
+func TestLotWithdraw(t *testing.T) {
+	var l Lot
+	a, b := New(), New()
+	l.Enroll(a)
+	l.Enroll(b)
+	if !l.Withdraw(a) {
+		t.Fatal("Withdraw of enrolled waiter reported false")
+	}
+	if l.Withdraw(a) {
+		t.Fatal("second Withdraw reported true")
+	}
+	l.WakeOne()
+	if a.TryAcquire() {
+		t.Fatal("withdrawn waiter received a wakeup")
+	}
+	if !b.TryAcquire() {
+		t.Fatal("remaining waiter missed the wakeup")
+	}
+}
+
+// TestLotNoLostWakeupUnderChurn drives the enrol/re-check/park/cancel
+// protocol from many goroutines against a token bucket: every deposited
+// token must eventually be consumed even when waiters cancel concurrently
+// with wakers (the Withdraw-false ⇒ forward rule).
+func TestLotNoLostWakeupUnderChurn(t *testing.T) {
+	var l Lot
+	var bucket atomic.Int64
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	take := func(ctx context.Context) bool {
+		for {
+			if n := bucket.Load(); n > 0 && bucket.CompareAndSwap(n, n-1) {
+				return true
+			}
+			p := New()
+			l.Enroll(p)
+			if n := bucket.Load(); n > 0 && bucket.CompareAndSwap(n, n-1) {
+				if !l.Withdraw(p) {
+					l.WakeOne() // consumed an item and a wakeup: pass it on
+				}
+				return true
+			}
+			err := p.Park(ctx)
+			removed := l.Withdraw(p)
+			if err != nil {
+				if !removed {
+					l.WakeOne() // our wakeup is in flight: forward it
+				}
+				return false
+			}
+			_ = removed
+		}
+	}
+	var wg sync.WaitGroup
+	var got atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if take(ctx) {
+					got.Add(1)
+				}
+			}
+		}()
+	}
+	const tokens = workers * rounds
+	for i := 0; i < tokens; i++ {
+		bucket.Add(1)
+		l.WakeOne()
+	}
+	wg.Wait()
+	if got.Load() != tokens {
+		t.Fatalf("consumed %d of %d tokens (lost wakeup or lost token)", got.Load(), tokens)
+	}
+}

@@ -1,15 +1,18 @@
 package lincheck_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	cds "github.com/cds-suite/cds"
 	"github.com/cds-suite/cds/cmap"
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
+	"github.com/cds-suite/cds/dual"
 	"github.com/cds-suite/cds/internal/xrand"
 	"github.com/cds-suite/cds/lincheck"
 	"github.com/cds-suite/cds/list"
@@ -439,5 +442,97 @@ func TestCheckerCatchesRealBug(t *testing.T) {
 		t.Fatal("rejection carried no diagnostic")
 	} else {
 		_ = fmt.Sprintf("%s", res.Info) // diagnostic is renderable
+	}
+}
+
+// Dual (blocking) structures: every blocking operation carries a timeout
+// so a bug can wedge an operation without wedging the suite. A timed-out
+// Take linearizes as a failed TryDequeue — the reservation it withdrew
+// was installed at an instant the queue held no data — so the plain
+// QueueModel applies. Client 0 is a dedicated producer with as many
+// enqueues as the other clients have takes, so every take that does not
+// time out can be fed.
+func TestLinearizableDualQueues(t *testing.T) {
+	impls := map[string]func() cds.BlockingQueue[int]{
+		"DualMS": func() cds.BlockingQueue[int] { return dual.NewMSQueue[int]() },
+		"DualMS+EBR": func() cds.BlockingQueue[int] {
+			return dual.NewMSQueue[int](dual.WithReclaim(ebrAggressive()))
+		},
+		"DualMS+HP": func() cds.BlockingQueue[int] {
+			return dual.NewMSQueue[int](dual.WithReclaim(hpAggressive()))
+		},
+	}
+	const takeTimeout = 20 * time.Millisecond
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.QueueModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				q := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						if client == 0 {
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.QueueEnqueue{Value: v})
+							if err := q.Put(context.Background(), v); err != nil {
+								t.Errorf("Put: %v", err)
+							}
+							p.End(nil)
+							continue
+						}
+						if rng.Intn(2) == 0 {
+							ctx, cancel := context.WithTimeout(context.Background(), takeTimeout)
+							p := rec.Begin(client, lincheck.QueueDequeue{})
+							v, err := q.Take(ctx)
+							p.End(lincheck.ValueOK{Value: v, OK: err == nil})
+							cancel()
+						} else {
+							p := rec.Begin(client, lincheck.QueueDequeue{})
+							v, ok := q.(*dual.MSQueue[int]).TryDequeue()
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// The synchronous queue: every client mixes puts and takes under short
+// timeouts; whichever halves pair up must pair consistently (no
+// manufactured or duplicated values), which SyncQueueModel enforces.
+func TestLinearizableSyncQueue(t *testing.T) {
+	impls := map[string]func() cds.BlockingQueue[int]{
+		// A narrow, short-spin handoff array forces traffic onto both the
+		// fast path and the parked slow path inside the tiny windows.
+		"Sync": func() cds.BlockingQueue[int] { return dual.NewSync[int](2, 16) },
+		"Sync+EBR": func() cds.BlockingQueue[int] {
+			return dual.NewSync[int](2, 16, dual.WithReclaim(ebrAggressive()))
+		},
+		"Sync+HP": func() cds.BlockingQueue[int] {
+			return dual.NewSync[int](2, 16, dual.WithReclaim(hpAggressive()))
+		},
+	}
+	const rvTimeout = 20 * time.Millisecond
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.SyncQueueModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				s := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						ctx, cancel := context.WithTimeout(context.Background(), rvTimeout)
+						if (client+i)%2 == 0 {
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.SyncPut{Value: v})
+							err := s.Put(ctx, v)
+							p.End(err == nil)
+						} else {
+							p := rec.Begin(client, lincheck.SyncTake{})
+							v, err := s.Take(ctx)
+							p.End(lincheck.ValueOK{Value: v, OK: err == nil})
+						}
+						cancel()
+					}
+				}
+			})
+		})
 	}
 }

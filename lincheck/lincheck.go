@@ -1,17 +1,3 @@
-// Package lincheck is a linearizability checker in the style of Wing &
-// Gong (1993) with Lowe's memoization refinements — the algorithm behind
-// tools like Knossos and Porcupine, reimplemented on the standard library.
-//
-// Linearizability is the correctness condition all structures in this
-// module target: every operation appears to take effect atomically at some
-// instant between its invocation and its response. The checker takes a
-// recorded concurrent history (package-level Recorder) and a sequential
-// model of the data type and searches for a witness ordering: a
-// permutation of the operations that (a) respects real-time order and
-// (b) is legal for the sequential model. The search is exponential in the
-// worst case, so histories should stay small (tens of operations); the
-// integration tests in this module check many small windows rather than
-// one big one.
 package lincheck
 
 import (

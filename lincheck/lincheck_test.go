@@ -273,3 +273,49 @@ func TestAmbiguousPendingWindowRegression(t *testing.T) {
 		t.Fatalf("backtracking case rejected: %s", res.Info)
 	}
 }
+
+func TestSyncQueueRendezvousPairing(t *testing.T) {
+	// A fulfilled put paired with an overlapping take: legal.
+	history := []Operation{
+		h(0, SyncPut{Value: 7}, true, 1, 10),
+		h(1, SyncTake{}, ValueOK{Value: 7, OK: true}, 2, 9),
+	}
+	if res := Check(SyncQueueModel(), history); !res.Ok {
+		t.Fatalf("legal rendezvous rejected: %s", res.Info)
+	}
+	// A take of a value nobody put: manufactured data.
+	history = []Operation{
+		h(0, SyncPut{Value: 7}, true, 1, 10),
+		h(1, SyncTake{}, ValueOK{Value: 8, OK: true}, 2, 9),
+	}
+	if res := Check(SyncQueueModel(), history); res.Ok {
+		t.Fatal("take of wrong value accepted")
+	}
+	// Cancelled halves are no-ops: legal in any state.
+	history = []Operation{
+		h(0, SyncPut{Value: 7}, false, 1, 2),
+		h(1, SyncTake{}, ValueOK{}, 3, 4),
+	}
+	if res := Check(SyncQueueModel(), history); !res.Ok {
+		t.Fatalf("cancelled halves rejected: %s", res.Info)
+	}
+	// Two fulfilled puts strictly before a single take: the second put
+	// had no free slot in any real-time-respecting order.
+	history = []Operation{
+		h(0, SyncPut{Value: 1}, true, 1, 2),
+		h(1, SyncPut{Value: 2}, true, 3, 4),
+		h(2, SyncTake{}, ValueOK{Value: 1, OK: true}, 5, 6),
+	}
+	if res := Check(SyncQueueModel(), history); res.Ok {
+		t.Fatal("two sequential fulfilled puts with one take accepted")
+	}
+	// A lone trailing fulfilled put is accepted: linearizability cannot
+	// demand a partner that would only appear later; the integration
+	// tests' conservation checks cover the missing-partner case.
+	history = []Operation{
+		h(0, SyncPut{Value: 7}, true, 1, 2),
+	}
+	if res := Check(SyncQueueModel(), history); !res.Ok {
+		t.Fatalf("trailing in-transit put rejected: %s", res.Info)
+	}
+}

@@ -58,6 +58,13 @@ type (
 	PQInsert struct{ Value int }
 	// PQDeleteMin removes the minimum; output is ValueOK.
 	PQDeleteMin struct{}
+
+	// SyncPut offers Value on a synchronous queue; output is the bool
+	// reporting whether a taker accepted it (false = cancelled).
+	SyncPut struct{ Value int }
+	// SyncTake receives from a synchronous queue; output is ValueOK
+	// (ok=false = cancelled before a putter arrived).
+	SyncTake struct{}
 )
 
 // ValueOK is the output shape for operations returning (value, ok).
@@ -181,6 +188,54 @@ func QueueModel() Model {
 					return false, s
 				}
 				return true, rest
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// SyncQueueModel models a synchronous queue (rendezvous channel) of ints.
+// Sequentially a rendezvous is a fulfilled SyncPut immediately drained by
+// a SyncTake, so the state is the single in-transit value ("" = none): a
+// fulfilled put is legal only when no value is in transit, a successful
+// take only when one is — forcing the checker to pair them up. Cancelled
+// operations (output false) never transferred anything and are legal in
+// any state; this is sound (a cancelled half observed the absence of a
+// partner at its withdrawal point) and keeps the recorded histories total.
+//
+// The model deliberately does not impose FIFO order across waiting
+// putters: implementations with an elimination-style fast path (dual.Sync)
+// pair opposite operations without global ordering, which is the
+// documented fairness contract. One blind spot is inherent: a fulfilled
+// put whose taker lies outside the recorded window linearizes as a
+// trailing in-transit value, so value-conservation bugs need a
+// counting check alongside the linearizability one (synchronizing
+// objects require strictly stronger conditions than linearizability to
+// pin down completely).
+func SyncQueueModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(string)
+			switch in := input.(type) {
+			case SyncPut:
+				if !output.(bool) {
+					return true, s // cancelled: nothing transferred
+				}
+				if s != "" {
+					return false, s // a fulfilled put needs a free slot
+				}
+				return true, strconv.Itoa(in.Value)
+			case SyncTake:
+				got := output.(ValueOK)
+				if !got.OK {
+					return true, s // cancelled
+				}
+				if s == "" || strconv.Itoa(got.Value) != s {
+					return false, s
+				}
+				return true, ""
 			default:
 				return false, s
 			}

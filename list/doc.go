@@ -1,0 +1,23 @@
+// Package list implements the sorted linked-list set progression that the
+// concurrent data structures literature uses to teach synchronization
+// patterns (Herlihy & Shavit ch. 9, mirroring the survey's linked-list
+// discussion): coarse-grained locking, fine-grained hand-over-hand
+// locking, optimistic validation, lazy marking, and the Harris–Michael
+// lock-free list.
+//
+// All five implement cds.Set[K] over ordered keys, so they are drop-in
+// replaceable; experiment F5 regenerates the classic scalability
+// progression (coarse < fine < optimistic < lazy ≤ lock-free).
+//
+// Every list is a sorted singly linked list with a head sentinel: the
+// element nodes keep strictly increasing keys, which gives each operation a
+// unique (pred, curr) window for its key and makes the validation-based
+// algorithms possible.
+//
+// Progress guarantees: Coarse, Fine, Optimistic and Lazy are blocking
+// (Lazy's Contains is wait-free — the payoff of logical deletion marks);
+// Harris is lock-free, linearizing removals at the mark CAS and physical
+// unlinking at the pred CAS. Harris accepts WithReclaim/WithRecycling:
+// traversals hold hand-over-hand (pred, curr) hazards and the winning
+// unlink CAS retires exactly once.
+package list

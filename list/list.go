@@ -1,17 +1,3 @@
-// Package list implements the sorted linked-list set progression that the
-// concurrent data structures literature uses to teach synchronization
-// patterns (Herlihy & Shavit ch. 9): coarse-grained locking, fine-grained
-// hand-over-hand locking, optimistic validation, lazy marking, and the
-// Harris–Michael lock-free list.
-//
-// All five implement cds.Set[K] over ordered keys, so they are drop-in
-// replaceable; experiment F5 regenerates the classic scalability
-// progression (coarse < fine < optimistic < lazy ≤ lock-free).
-//
-// Every list is a sorted singly linked list with a head sentinel: the
-// element nodes keep strictly increasing keys, which gives each operation a
-// unique (pred, curr) window for its key and makes the validation-based
-// algorithms possible.
 package list
 
 import (

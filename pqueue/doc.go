@@ -1,0 +1,20 @@
+// Package pqueue implements concurrent priority queues: a mutex-guarded
+// binary heap baseline, the lock-free skip-list-based priority queue in
+// the style of Lotan & Shavit, and a flat-combining heap built on the
+// shared combining core in package contend.
+//
+// Priority queues stress a structural hot spot no hash or balance trick can
+// remove: every DeleteMin fights over the minimum. The heap serialises
+// completely (every operation locks the root); the skip-list design spreads
+// inserts across the ordering and lets DeleteMin contenders claim distinct
+// minimal nodes by racing logical-deletion marks down the bottom level.
+// Experiment F8 regenerates the comparison, and the S13 contention cells
+// show where combining overtakes both.
+//
+// Progress guarantees: Heap is blocking; SkipList is lock-free (insert and
+// the delete-min mark race are CAS loops with helping via the underlying
+// list); FC is blocking in the combining sense — one combiner applies a
+// batch against the sequential heap with warm caches, which is exactly
+// the right trade for a structure whose operations serialise anyway. All
+// are linearizable against the multiset model in package lincheck.
+package pqueue

@@ -1,14 +1,3 @@
-// Package pqueue implements concurrent priority queues: a mutex-guarded
-// binary heap baseline, the lock-free skip-list-based priority queue in
-// the style of Lotan & Shavit, and a flat-combining heap built on the
-// shared combining core in package contend.
-//
-// Priority queues stress a structural hot spot no hash or balance trick can
-// remove: every DeleteMin fights over the minimum. The heap serialises
-// completely (every operation locks the root); the skip-list design spreads
-// inserts across the ordering and lets DeleteMin contenders claim distinct
-// minimal nodes by racing logical-deletion marks down the bottom level.
-// Experiment F8 regenerates the comparison.
 package pqueue
 
 import (

@@ -1,0 +1,27 @@
+// Package queue implements the concurrent FIFO queue algorithms from the
+// survey literature: a coarse-locked queue, the Michael–Scott two-lock
+// queue, the Michael–Scott lock-free queue (PODC 1996), an
+// elimination-backed variant of it (Moir, Nussbaum, Shalev & Shavit, SPAA
+// 2005), a bounded array-based MPMC queue (Vyukov-style), and a
+// single-producer/single-consumer ring.
+//
+// Queues are the survey's canonical illustration that a structure with two
+// access points (head and tail) admits more parallelism than a stack: the
+// two-lock queue lets one enqueuer and one dequeuer run concurrently, and
+// the lock-free queue removes the locks entirely. The bounded ring trades
+// unbounded growth for per-slot sequence numbers and the throughput of
+// array locality. Experiment F4 regenerates the classic comparison.
+//
+// Progress guarantees: Mutex and TwoLock are blocking; MS and Elimination
+// are lock-free (every failed CAS implies system-wide progress, with the
+// helping rule completing stalled enqueues); SPSC is wait-free for its two
+// designated threads; MPMC is bounded-nonblocking (a stalled producer can
+// delay the consumer of its slot, and only that slot). All operations are
+// linearizable, with linearization points documented per type. The
+// lock-free queues accept WithReclaim/WithRecycling (package reclaim) for
+// explicit memory reclamation following Michael's two-hazard discipline.
+//
+// The blocking counterpart — a dequeue that waits on empty instead of
+// failing — is the dual queue in package dual, which reuses this
+// package's MPMC ring for its bounded variant.
+package queue

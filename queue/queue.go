@@ -1,15 +1,3 @@
-// Package queue implements the concurrent FIFO queue algorithms from the
-// survey literature: a coarse-locked queue, the Michael–Scott two-lock
-// queue, the Michael–Scott lock-free queue, an elimination-backed variant
-// of it, a bounded array-based MPMC queue (Vyukov-style), and a
-// single-producer/single-consumer ring.
-//
-// Queues are the survey's canonical illustration that a structure with two
-// access points (head and tail) admits more parallelism than a stack: the
-// two-lock queue lets one enqueuer and one dequeuer run concurrently, and
-// the lock-free queue removes the locks entirely. The bounded ring trades
-// unbounded growth for per-slot sequence numbers and the throughput of
-// array locality. Experiment F4 regenerates the classic comparison.
 package queue
 
 import (

@@ -1,33 +1,3 @@
-// Package reclaim unifies the module's safe-memory-reclamation schemes —
-// epoch-based reclamation (internal/epoch), hazard pointers
-// (internal/hazard), and a zero-cost rely-on-the-GC noop — behind one
-// small Domain/Guard interface that the lock-free structures accept via
-// their WithReclaim constructor option.
-//
-// The survey treats reclamation as a core part of lock-free data structure
-// design: an unlinked node may still be referenced by concurrent readers,
-// so its memory can be recycled only once no reader can reach it. Go's
-// garbage collector provides that guarantee for free, which is why the
-// default domain is a noop — but running the real protocols against the
-// real structures is what lets experiment F12 measure their read-side
-// costs and garbage bounds, and it is what makes node *recycling* (a
-// sync.Pool of retired nodes, see Recycler) safe: a pooled node is reused
-// only after the domain declares it unreachable, restoring the
-// never-reuse-while-referenced property the GC otherwise provides.
-//
-// The scheme trade-offs, as the survey frames them:
-//
-//   - EBR (Fraser): readers pin an epoch around whole operations; reads
-//     inside the section cost nothing extra. Garbage is unbounded if a
-//     reader stalls while pinned — one stuck goroutine halts all
-//     reclamation in the domain.
-//   - Hazard pointers (Michael): readers publish each pointer before
-//     dereferencing it and revalidate the source. Every protected read
-//     pays a store + fence + reload, but garbage is bounded even when
-//     readers stall: a stalled thread pins at most its slots' objects.
-//
-// Guards are not goroutine-safe; obtain one per operation from a Pool
-// (which amortises registration) and return it when done.
 package reclaim
 
 // A Domain owns reclamation state for one data structure (or a family
@@ -102,9 +72,9 @@ func (gcDomain) Name() string       { return "gc" }
 
 type gcGuard struct{}
 
-func (gcGuard) Enter()              {}
-func (gcGuard) Exit()               {}
-func (gcGuard) Protect(int, any)    {}
-func (gcGuard) Protects() bool      { return false }
-func (gcGuard) Retire(any, func())  {}
-func (gcGuard) Release()            {}
+func (gcGuard) Enter()             {}
+func (gcGuard) Exit()              {}
+func (gcGuard) Protect(int, any)   {}
+func (gcGuard) Protects() bool     { return false }
+func (gcGuard) Retire(any, func()) {}
+func (gcGuard) Release()           {}

@@ -1,0 +1,21 @@
+// Package skiplist implements the two canonical concurrent skip lists from
+// the survey literature: the lazy lock-based skip list of Herlihy, Lev,
+// Luchangco & Shavit ("A Simple Optimistic Skiplist Algorithm", SIROCCO
+// 2007 — the algorithm behind java.util.concurrent's design lineage) and
+// the lock-free skip list of Herlihy & Shavit (ch. 14.4), a simplification
+// of Fraser's.
+//
+// Skip lists dominate concurrent ordered-set design because balance is
+// probabilistic rather than structural: there are no rotations to
+// synchronise, and every mutation touches a small expected set of nodes.
+// Experiment F7 regenerates the update-mix scalability comparison.
+//
+// Progress guarantees: Lazy is blocking for updates with wait-free
+// Contains; LockFree is lock-free for updates (marker CAS at every level,
+// linearizing at the bottom-level mark) and wait-free for Contains. Both
+// linearize membership at the bottom level — upper levels are only an
+// index. LockFree accepts WithReclaim (level-0 marker retires through
+// package reclaim); recycling is not offered because a racing insert can
+// transiently re-link a marked node at an upper level — tolerable for
+// deferred reclamation, unsafe for eager reuse.
+package skiplist

@@ -1,15 +1,3 @@
-// Package skiplist implements the two canonical concurrent skip lists from
-// the survey literature: the lazy lock-based skip list of Herlihy, Lev,
-// Luchangco & Shavit ("A Simple Optimistic Skiplist Algorithm", SIROCCO
-// 2007 — the algorithm behind java.util.concurrent's design lineage) and
-// the lock-free skip list of Herlihy & Shavit (ch. 14.4), a simplification
-// of Fraser's.
-//
-// Skip lists dominate concurrent ordered-set design because balance is
-// probabilistic rather than structural: there are no rotations to
-// synchronise, and every mutation touches a small expected set of nodes.
-// Both implementations provide wait-free Contains. Experiment F7
-// regenerates the update-mix scalability comparison.
 package skiplist
 
 import (

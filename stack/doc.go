@@ -1,0 +1,23 @@
+// Package stack implements the concurrent stack algorithms from the survey
+// literature: a coarse-locked stack, Treiber's lock-free stack, and the
+// elimination-backoff stack of Hendler, Shavit & Yerushalmi (SPAA 2004).
+// The lock-free rendezvous Exchanger the elimination stack is built on
+// lives in package contend, the module's shared contention-management
+// layer.
+//
+// Stacks look inherently sequential — every operation fights over one top
+// pointer — which is exactly why they are the survey's showcase for
+// elimination: a concurrent push and pop cancel each other without ever
+// touching the top pointer, so under high contention the elimination array
+// turns the bottleneck into parallelism. Experiments F3 and T3 regenerate
+// the classic comparison and the elimination hit-rate behind it; the
+// reproduction follows the survey's stacks discussion (pools and stacks as
+// the simplest structures where relaxed ordering pays).
+//
+// Progress guarantees: Mutex is blocking; Treiber and Elimination are
+// lock-free (a failed top CAS means another operation succeeded). All
+// stacks are linearizable; Treiber linearizes at the top CAS, elimination
+// hits at the exchanger's claim CAS. WithReclaim routes popped nodes
+// through package reclaim, and WithRecycling additionally reuses them once
+// the domain declares them unreachable.
+package stack

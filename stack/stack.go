@@ -1,15 +1,3 @@
-// Package stack implements the concurrent stack algorithms from the survey
-// literature: a coarse-locked stack, Treiber's lock-free stack, and the
-// elimination-backoff stack of Hendler, Shavit & Yerushalmi. The lock-free
-// rendezvous Exchanger the elimination stack is built on lives in package
-// contend, the module's shared contention-management layer.
-//
-// Stacks look inherently sequential — every operation fights over one top
-// pointer — which is exactly why they are the survey's showcase for
-// elimination: a concurrent push and pop cancel each other without ever
-// touching the top pointer, so under high contention the elimination array
-// turns the bottleneck into parallelism. Experiments F3 and T3 regenerate
-// the classic comparison and the elimination hit-rate behind it.
 package stack
 
 import (

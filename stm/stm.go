@@ -1,27 +1,3 @@
-// Package stm implements a word-based software transactional memory in the
-// style of TL2 (Dice, Shalev & Shavit, DISC 2006): a global version clock,
-// per-variable versioned write-locks, invisible readers with commit-time
-// write-back, and NO_WAIT conflict resolution.
-//
-// Transactional memory is the survey's answer to the composability problem:
-// operations on any number of TVars become atomic together, without a
-// global lock and without designing a bespoke concurrent structure. The
-// price is speculative execution — conflicting transactions abort and
-// retry — which experiment F11 quantifies against a coarse lock.
-//
-// # Usage
-//
-//	x := stm.NewTVar(0)
-//	y := stm.NewTVar(0)
-//	stm.Atomically(func(tx *stm.Txn) {
-//		v := x.Read(tx)
-//		y.Write(tx, v+1)
-//	})
-//
-// The closure may run several times (aborted attempts); it must be pure
-// apart from TVar reads and writes. Reads observe a consistent snapshot as
-// of transaction start: the classic TL2 guarantee that no zombie
-// transaction ever sees a half-committed state.
 package stm
 
 import (
