@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"github.com/cds-suite/cds/internal/xrand"
 	"math"
 	"testing"
 )
@@ -133,4 +134,58 @@ func TestRunLatencySamplesEveryOp(t *testing.T) {
 		t.Fatalf("implausible percentiles: p50=%d p99=%d", p50, p99)
 	}
 	_ = sink
+}
+
+// TestBucketGeometryProperty pins the precedence-sensitive midpoint
+// expression in bucketValue: representative values must grow strictly
+// monotonically across the whole bucket range, and a value→bucket→midpoint
+// round trip must stay within the documented 1/2^histSubBits relative
+// error (values below 2^histSubBits are exact).
+func TestBucketGeometryProperty(t *testing.T) {
+	// Midpoints monotone over every bucket.
+	prev := bucketValue(0)
+	for idx := 1; idx < histBuckets; idx++ {
+		v := bucketValue(idx)
+		if v <= prev {
+			t.Fatalf("bucketValue not monotone: bucketValue(%d)=%d <= bucketValue(%d)=%d",
+				idx, v, idx-1, prev)
+		}
+		prev = v
+	}
+
+	// Midpoint round-trip error bound, swept exhaustively through the
+	// small range and pseudo-randomly through every octave above it.
+	check := func(v int64) {
+		t.Helper()
+		m := bucketValue(bucketIndex(v))
+		if v < 1<<histSubBits {
+			if m != v {
+				t.Fatalf("small value %d not exact: midpoint %d", v, m)
+			}
+			return
+		}
+		diff := m - v
+		if diff < 0 {
+			diff = -diff
+		}
+		// |midpoint - v| / v <= 1/2^histSubBits, in integers.
+		if diff<<histSubBits > v {
+			t.Fatalf("midpoint error too large at %d: midpoint %d, |diff| %d > %d/2^%d",
+				v, m, diff, v, histSubBits)
+		}
+	}
+	for v := int64(0); v < 1<<14; v++ {
+		check(v)
+	}
+	rng := uint64(42)
+	for msb := histSubBits; msb < 63; msb++ {
+		base := int64(1) << msb
+		check(base)
+		check(base + base/2)
+		check(base + base - 1) // top of the octave
+		for i := 0; i < 64; i++ {
+			r := xrand.SplitMix64(&rng)
+			check(base + int64(r%uint64(base)))
+		}
+	}
 }

@@ -145,6 +145,7 @@ func Scenarios() []Scenario {
 	all = append(all, contendScenarios()...)
 	all = append(all, reclaimStructScenarios()...)
 	all = append(all, dualScenarios()...)
+	all = append(all, poolScenarios()...)
 	return all
 }
 

@@ -264,3 +264,78 @@ func TestDualScenarioGaugesMove(t *testing.T) {
 	}
 	t.Fatal("rendezvous-50/50-cancel / Sync cell not found")
 }
+
+// TestPoolScenarioShape: the S16 pool family must compare the
+// work-stealing executor against the shared locked-queue and channel
+// baselines, every cell must conserve its task graph (Ops identical
+// across algorithms of a cell), and the WorkStealing records must carry
+// the scheduling gauges the acceptance bar names. The baselines carry
+// none — neither design has a steal or a park to count.
+func TestPoolScenarioShape(t *testing.T) {
+	cfg := Config{Quick: true, Threads: []int{2}, Ops: 2000}
+	var fam []Scenario
+	for _, s := range Scenarios() {
+		if s.Family == "pool" {
+			fam = append(fam, s)
+		}
+	}
+	if len(fam) != 3 {
+		t.Fatalf("pool family has %d scenarios, want 3", len(fam))
+	}
+	wantAlgos := []string{"WorkStealing", "SharedQueue", "Channel"}
+	for _, s := range fam {
+		var got []string
+		for _, a := range s.Algos {
+			got = append(got, a.Label)
+		}
+		if len(got) != len(wantAlgos) {
+			t.Errorf("%s: algos = %v, want %v", s.Name, got, wantAlgos)
+			continue
+		}
+		for i := range wantAlgos {
+			if got[i] != wantAlgos[i] {
+				t.Errorf("%s: algo[%d] = %q, want %q", s.Name, i, got[i], wantAlgos[i])
+			}
+		}
+		opsByAlgo := map[string]int64{}
+		for _, r := range s.Run(cfg) {
+			if r.Ops <= 0 {
+				t.Errorf("%s/%s: no tasks executed", s.Name, r.Algo)
+			}
+			opsByAlgo[r.Algo] = r.Ops
+			// Every backend samples task sojourn latency per task.
+			if r.P99Ns == 0 || r.Samples != uint64(r.Ops) {
+				t.Errorf("%s/%s: sojourn latency missing or miscounted: p99=%d samples=%d ops=%d",
+					s.Name, r.Algo, r.P99Ns, r.Samples, r.Ops)
+			}
+			if r.Algo != "WorkStealing" {
+				if r.Gauges != nil {
+					t.Errorf("%s/%s: unexpected gauges %v", s.Name, r.Algo, r.Gauges)
+				}
+				continue
+			}
+			if r.Gauges == nil {
+				t.Errorf("%s/WorkStealing: record missing gauges", s.Name)
+				continue
+			}
+			for _, key := range []string{"steals", "local_hits", "inject_hits", "parks", "executed"} {
+				if _, ok := r.Gauges[key]; !ok {
+					t.Errorf("%s/WorkStealing: gauge %q missing", s.Name, key)
+				}
+			}
+			// Conservation inside the executor: every execution was
+			// classified, and the count matches the cell's Ops.
+			if got := r.Gauges["executed"]; got != float64(r.Ops) {
+				t.Errorf("%s/WorkStealing: executed gauge %v != ops %d", s.Name, got, r.Ops)
+			}
+		}
+		// The task graph is deterministic, so every executor must have
+		// run exactly the same number of tasks.
+		for algo, ops := range opsByAlgo {
+			if ops != opsByAlgo["WorkStealing"] {
+				t.Errorf("%s: %s ran %d tasks, WorkStealing ran %d — workload not conserved",
+					s.Name, algo, ops, opsByAlgo["WorkStealing"])
+			}
+		}
+	}
+}

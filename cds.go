@@ -19,8 +19,10 @@
 // lock-free structures wire in via their WithReclaim constructor option;
 // dual is the blocking family (partial operations as dual data
 // structures over parking-based waiter management, satisfying
-// BlockingQueue); and lincheck is the linearizability checker the
-// integration tests verify them with. ARCHITECTURE.md maps the layers.
+// BlockingQueue); pool is the work-stealing task executor built on the
+// deque family (satisfying Pool); and lincheck is the linearizability
+// checker the integration tests verify them with. ARCHITECTURE.md maps
+// the layers.
 //
 // # Progress guarantees
 //
@@ -91,6 +93,24 @@ type BlockingQueue[T any] interface {
 	// Len reports the number of buffered elements (see Stack.Len caveats);
 	// waiting operations are not counted.
 	Len() int
+}
+
+// Pool is a task executor: tasks submitted to the pool run asynchronously
+// on its workers, exactly once each. The pools literature deliberately
+// promises no FIFO order between independent tasks — that relaxation is
+// what lets implementations replace one contended queue with per-worker
+// deques and stealing (package pool).
+type Pool[T any] interface {
+	// Submit hands t to the pool. It reports false — and t will never
+	// run — once shutdown has begun; a true return means the pool has
+	// accepted responsibility for running t exactly once (or abandoning
+	// it if a cancelled Shutdown stops the pool first).
+	Submit(t T) bool
+	// Shutdown stops the pool: new submissions are rejected, the workers
+	// finish every accepted task, and the call returns nil once they have
+	// exited (drain). If ctx is cancelled first, the remaining tasks are
+	// abandoned and ctx's error is returned.
+	Shutdown(ctx context.Context) error
 }
 
 // BoundedQueue is a Queue variant with finite capacity: offers can fail.

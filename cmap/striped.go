@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/pow2"
 )
 
 // stripedLoadFactor triggers a bucket-array doubling when
@@ -54,10 +55,7 @@ func NewStriped[K comparable, V any](stripes int) *Striped[K, V] {
 	if stripes <= 0 {
 		stripes = 32
 	}
-	n := 1
-	for n < stripes {
-		n <<= 1
-	}
+	n := pow2.RoundUp(stripes, 1)
 	return &Striped[K, V]{
 		hash:    newHasher[K]().hash,
 		stripes: make([]paddedRWMutex, n),

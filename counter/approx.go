@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/cds-suite/cds/internal/pow2"
 	"github.com/cds-suite/cds/internal/xrand"
 )
 
@@ -35,10 +36,7 @@ func NewApprox(shards int, threshold int64) *Approx {
 	if threshold <= 0 {
 		threshold = 64
 	}
-	n := 1
-	for n < shards {
-		n <<= 1
-	}
+	n := pow2.RoundUp(shards, 1)
 	c := &Approx{
 		threshold: threshold,
 		shards:    make([]paddedInt64, n),

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/pow2"
 	"github.com/cds-suite/cds/internal/xrand"
 )
 
@@ -42,10 +43,7 @@ func NewSharded(shards int) *Sharded {
 	if shards <= 0 {
 		shards = 4 * runtime.GOMAXPROCS(0)
 	}
-	n := 1
-	for n < shards {
-		n <<= 1
-	}
+	n := pow2.RoundUp(shards, 1)
 	c := &Sharded{
 		shards: make([]paddedInt64, n),
 		mask:   uint64(n - 1),

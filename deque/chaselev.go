@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/pow2"
 )
 
 // ChaseLev is the dynamic circular work-stealing deque of Chase & Lev
@@ -20,7 +21,13 @@ import (
 //
 // Elements are boxed (*T) so that slot reads and writes are single atomic
 // pointer operations; the thief's validating CAS on top makes a stale slot
-// read harmless (the steal fails and retries).
+// read harmless (the steal fails and retries). Boxes the owner pops back
+// out are recycled into an owner-private free list, so steady-state
+// push/pop traffic (the fork/join fast path) allocates nothing: a box is
+// only dereferenced by whichever side won the element (the owner's
+// reservation or the top CAS), so a box the owner reclaimed can never be
+// read by a thief — a thief that raced for it has lost its CAS and
+// returns without dereferencing.
 //
 // Linearization points: PushBottom at the bottom publication; owner pop of
 // a non-last element at its bottom store; last-element pop and every steal
@@ -35,7 +42,16 @@ type ChaseLev[T any] struct {
 	_      pad.CacheLinePad
 
 	array atomic.Pointer[clArray[T]]
+
+	// free is the owner-private box free list (PushBottom and
+	// TryPopBottom are owner-only, so no synchronisation is needed).
+	// Boxes that thieves steal are simply left to the GC.
+	free []*T
 }
+
+// maxFreeBoxes bounds the owner's box free list; beyond it, popped boxes
+// go back to the GC.
+const maxFreeBoxes = 4096
 
 type clArray[T any] struct {
 	mask  int64
@@ -67,10 +83,7 @@ func (a *clArray[T]) grow(top, bottom int64) *clArray[T] {
 // NewChaseLev returns an empty deque with the given initial capacity,
 // rounded up to a power of two (minimum 8). The deque grows as needed.
 func NewChaseLev[T any](initialCap int) *ChaseLev[T] {
-	n := int64(8)
-	for n < int64(initialCap) {
-		n <<= 1
-	}
+	n := int64(pow2.RoundUp(initialCap, 8))
 	d := &ChaseLev[T]{}
 	d.array.Store(newCLArray[T](n))
 	return d
@@ -87,8 +100,24 @@ func (d *ChaseLev[T]) PushBottom(v T) {
 		a = a.grow(t, b)
 		d.array.Store(a)
 	}
-	a.put(b, &v)
+	var box *T
+	if n := len(d.free); n > 0 {
+		box = d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		*box = v
+	} else {
+		box = &v
+	}
+	a.put(b, box)
 	d.bottom.Store(b + 1)
+}
+
+// recycle returns a popped box to the owner's free list.
+func (d *ChaseLev[T]) recycle(box *T) {
+	if len(d.free) < maxFreeBoxes {
+		d.free = append(d.free, box)
+	}
 }
 
 // TryPopBottom removes from the owner end. Owner-only.
@@ -108,7 +137,9 @@ func (d *ChaseLev[T]) TryPopBottom() (v T, ok bool) {
 	ptr := a.get(b)
 	if b > t {
 		// More than one element: the reservation alone secures it.
-		return *ptr, true
+		v = *ptr
+		d.recycle(ptr)
+		return v, true
 	}
 	// Exactly one element: race the thieves for it via top.
 	won := d.top.CompareAndSwap(t, t+1)
@@ -116,7 +147,9 @@ func (d *ChaseLev[T]) TryPopBottom() (v T, ok bool) {
 	if !won {
 		return v, false // a thief got it first
 	}
-	return *ptr, true
+	v = *ptr
+	d.recycle(ptr)
+	return v, true
 }
 
 // TryPopTop steals from the top end. Safe for any goroutine.

@@ -1,12 +1,15 @@
-// Scheduler: a work-stealing task scheduler built on the Chase–Lev deque —
-// the workload that motivated the deque's design. Each worker owns a deque;
-// it pushes spawned subtasks at the bottom and pops them LIFO (cache-warm),
-// while idle workers steal FIFO from the top of victims' deques. The same
-// computation runs on a single shared locked queue for comparison.
+// Scheduler: a fork-join computation on pool.WorkStealing — the executor
+// that grew out of this example's original hand-rolled deque loop. Each
+// pool worker owns a Chase–Lev deque: tasks forked with Worker.Spawn push
+// to the spawning worker's bottom and pop back LIFO (cache-warm), while
+// idle workers steal FIFO from victims' tops and park when the whole pool
+// runs dry. The same computation runs on a single shared locked queue for
+// comparison, and the pool's scheduling gauges (local hits, steals,
+// parks) show where the speedup comes from.
 //
-// The task graph is a recursive pseudo-work tree: every task either spawns
-// two children or burns a few hundred nanoseconds, a stand-in for fork/join
-// workloads (parallel quicksort, tree traversals).
+// The task graph is a recursive pseudo-work tree: every task either
+// spawns two children or burns a few hundred nanoseconds, a stand-in for
+// fork/join workloads (parallel quicksort, tree traversals).
 //
 // Run with:
 //
@@ -14,14 +17,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"github.com/cds-suite/cds/deque"
+	"github.com/cds-suite/cds/internal/exampleenv"
 	"github.com/cds-suite/cds/internal/xrand"
+	"github.com/cds-suite/cds/pool"
 	"github.com/cds-suite/cds/queue"
 )
 
@@ -32,10 +38,12 @@ type task struct {
 }
 
 const (
-	forkDepth  = 14 // 2^14 leaf tasks
 	leafSpins  = 300
 	numWorkers = 0 // 0 = GOMAXPROCS
 )
+
+// forkDepth sizes the tree to ~CDS_EXAMPLE_OPS leaves (default 2^14).
+var forkDepth = bits.Len(uint(exampleenv.Ops(1<<14))) - 1
 
 func main() {
 	workers := numWorkers
@@ -43,12 +51,14 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	stealing := runWorkStealing(workers)
+	stealing, stats := runWorkStealing(workers)
 	shared := runSharedQueue(workers)
 
-	fmt.Printf("work-stealing (Chase–Lev): %8.2fms\n", stealing.Seconds()*1000)
-	fmt.Printf("shared locked queue:       %8.2fms\n", shared.Seconds()*1000)
+	fmt.Printf("work-stealing (pool):  %8.2fms\n", stealing.Seconds()*1000)
+	fmt.Printf("shared locked queue:   %8.2fms\n", shared.Seconds()*1000)
 	fmt.Printf("speedup: %.2fx\n", shared.Seconds()/stealing.Seconds())
+	fmt.Printf("pool gauges: local=%d steals=%d inject=%d parks=%d\n",
+		stats.LocalHits, stats.Steals, stats.InjectHits, stats.Parks)
 }
 
 // leafWork simulates a small computation.
@@ -60,62 +70,28 @@ func leafWork(seed uint64) uint64 {
 	return v
 }
 
-// runWorkStealing executes the task tree on per-worker deques with
-// stealing.
-func runWorkStealing(workers int) time.Duration {
-	deques := make([]*deque.ChaseLev[task], workers)
-	for i := range deques {
-		deques[i] = deque.NewChaseLev[task](256)
-	}
-	var (
-		pending atomic.Int64 // tasks spawned but not finished
-		sink    atomic.Uint64
-	)
-	pending.Store(1)
-	deques[0].PushBottom(task{depth: forkDepth, seed: 42})
+// runWorkStealing executes the task tree on the work-stealing executor:
+// Submit injects the root, Spawn forks children onto the running worker's
+// own deque, and Shutdown's drain is the join.
+func runWorkStealing(workers int) (time.Duration, pool.Stats) {
+	var sink atomic.Uint64
+	p := pool.NewWorkStealing(func(w *pool.Worker[task], t task) {
+		if t.depth == 0 {
+			sink.Add(leafWork(t.seed))
+			return
+		}
+		w.Spawn(task{depth: t.depth - 1, seed: t.seed*2 + 1})
+		w.Spawn(task{depth: t.depth - 1, seed: t.seed * 2})
+	}, pool.WithWorkers(workers))
 
 	t0 := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			my := deques[w]
-			rng := xrand.New(uint64(w) + 1)
-			for {
-				t, ok := my.TryPopBottom()
-				if !ok {
-					// Steal from a random victim.
-					victim := rng.Intn(workers)
-					if victim == w {
-						if pending.Load() == 0 {
-							return
-						}
-						continue
-					}
-					t, ok = deques[victim].TryPopTop()
-					if !ok {
-						if pending.Load() == 0 {
-							return
-						}
-						continue
-					}
-				}
-				if t.depth == 0 {
-					sink.Add(leafWork(t.seed))
-					pending.Add(-1)
-					continue
-				}
-				// Fork: push both children (net +1 pending).
-				my.PushBottom(task{depth: t.depth - 1, seed: t.seed*2 + 1})
-				my.PushBottom(task{depth: t.depth - 1, seed: t.seed * 2})
-				pending.Add(1)
-			}
-		}(w)
+	p.Submit(task{depth: forkDepth, seed: 42})
+	if err := p.Shutdown(context.Background()); err != nil {
+		panic(err) // background context: a drain cannot be cancelled
 	}
-	wg.Wait()
+	elapsed := time.Since(t0)
 	_ = sink.Load()
-	return time.Since(t0)
+	return elapsed, p.Stats()
 }
 
 // runSharedQueue executes the same tree through one coarse-locked queue.

@@ -103,7 +103,13 @@ func (l *Lot) Withdraw(p *Permit) bool {
 	defer l.mu.Unlock()
 	for i, w := range l.ws {
 		if w == p {
-			l.ws = append(l.ws[:i], l.ws[i+1:]...)
+			last := len(l.ws) - 1
+			copy(l.ws[i:], l.ws[i+1:])
+			// Nil the vacated tail slot: the shift leaves a duplicate
+			// reference there, and a long-lived Lot (a pool's idle set)
+			// must not pin a dead waiter's permit.
+			l.ws[last] = nil
+			l.ws = l.ws[:last]
 			return true
 		}
 	}
@@ -117,6 +123,9 @@ func (l *Lot) WakeOne() bool {
 	var p *Permit
 	if len(l.ws) > 0 {
 		p = l.ws[0]
+		// Nil the slot before reslicing: the backing array retains the
+		// popped prefix, and it must not keep dead permits reachable.
+		l.ws[0] = nil
 		l.ws = l.ws[1:]
 	}
 	l.mu.Unlock()

@@ -162,3 +162,47 @@ func TestLotNoLostWakeupUnderChurn(t *testing.T) {
 		t.Fatalf("consumed %d of %d tokens (lost wakeup or lost token)", got.Load(), tokens)
 	}
 }
+
+// TestLotReleasesPoppedPermits is the regression test for the stale-slot
+// leak: WakeOne's reslice and Withdraw's shift used to leave references to
+// popped permits in the backing array, pinning dead waiters for the
+// lifetime of a long-lived Lot (exactly what a pool's idle set is). After
+// any pop, the backing array outside the live window must hold no popped
+// permit.
+func TestLotReleasesPoppedPermits(t *testing.T) {
+	var l Lot
+	ps := make([]*Permit, 6)
+	for i := range ps {
+		ps[i] = New()
+		l.Enroll(ps[i])
+	}
+	// Capture the backing array while the slice header still starts at
+	// slot 0, so the popped prefix stays inspectable after reslicing.
+	backing := l.ws[:cap(l.ws)]
+
+	if !l.Withdraw(ps[2]) {
+		t.Fatal("Withdraw(ps[2]) = false, want true")
+	}
+	for i := 0; i < 2; i++ {
+		if !l.WakeOne() {
+			t.Fatalf("WakeOne %d found no waiter", i)
+		}
+	}
+	// Live set is now [ps[3], ps[4], ps[5]], shifted within backing.
+	if got := l.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+
+	live := make(map[*Permit]bool)
+	l.mu.Lock()
+	for _, p := range l.ws {
+		live[p] = true
+	}
+	l.mu.Unlock()
+	for i, p := range backing {
+		if p == nil || live[p] {
+			continue
+		}
+		t.Fatalf("backing slot %d still references popped permit %p", i, p)
+	}
+}

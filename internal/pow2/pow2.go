@@ -1,0 +1,30 @@
+// Package pow2 provides the overflow-guarded power-of-two capacity
+// round-up shared by every ring and stripe constructor.
+//
+// The naive loop — n <<= 1 until n >= target — spins forever on huge
+// requests: the shift overflows to a negative value and never reaches the
+// target. Constructors must not hand-roll it; they call RoundUp, which
+// computes the exponent from the bit length instead of iterating and
+// clamps requests beyond the largest representable power of two.
+package pow2
+
+import "math/bits"
+
+// Max is the largest power of two representable in an int
+// (2^62 on 64-bit platforms).
+const Max = 1 << (bits.UintSize - 2)
+
+// RoundUp returns the smallest power of two >= n, and at least min (min
+// itself must be a power of two; it anchors each constructor's floor).
+// Requests above Max clamp to Max rather than overflowing: the subsequent
+// allocation of such a capacity fails loudly on its own, which beats an
+// infinite loop in the constructor.
+func RoundUp(n, min int) int {
+	if n <= min {
+		return min
+	}
+	if n > Max {
+		return Max
+	}
+	return 1 << bits.Len(uint(n-1))
+}

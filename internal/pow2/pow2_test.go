@@ -1,0 +1,53 @@
+package pow2
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundUp(t *testing.T) {
+	cases := []struct {
+		n, min, want int
+	}{
+		{-5, 2, 2},
+		{0, 2, 2},
+		{1, 2, 2},
+		{2, 2, 2},
+		{3, 2, 4},
+		{5, 8, 8},
+		{8, 8, 8},
+		{9, 8, 16},
+		{1000, 2, 1024},
+		{1 << 20, 2, 1 << 20},
+		{1<<20 + 1, 2, 1 << 21},
+		{Max, 2, Max},
+	}
+	for _, c := range cases {
+		if got := RoundUp(c.n, c.min); got != c.want {
+			t.Errorf("RoundUp(%d, %d) = %d, want %d", c.n, c.min, got, c.want)
+		}
+	}
+}
+
+// TestRoundUpOverflowEdge is the regression test for the n <<= 1 loops
+// that spun forever: capacities beyond the largest representable power of
+// two must terminate (clamped to Max), not wrap negative.
+func TestRoundUpOverflowEdge(t *testing.T) {
+	for _, n := range []int{Max + 1, Max + Max/2, math.MaxInt - 1, math.MaxInt} {
+		if got := RoundUp(n, 2); got != Max {
+			t.Errorf("RoundUp(%d, 2) = %d, want clamp to %d", n, got, Max)
+		}
+	}
+}
+
+func TestRoundUpAlwaysPowerOfTwo(t *testing.T) {
+	for n := -1; n < 1<<12; n++ {
+		got := RoundUp(n, 2)
+		if got&(got-1) != 0 || got < 2 {
+			t.Fatalf("RoundUp(%d, 2) = %d: not a power of two >= min", n, got)
+		}
+		if n > 2 && got < n {
+			t.Fatalf("RoundUp(%d, 2) = %d < n", n, got)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/cds-suite/cds/internal/xrand"
 	"github.com/cds-suite/cds/lincheck"
 	"github.com/cds-suite/cds/list"
+	"github.com/cds-suite/cds/pool"
 	"github.com/cds-suite/cds/pqueue"
 	"github.com/cds-suite/cds/queue"
 	"github.com/cds-suite/cds/reclaim"
@@ -534,5 +535,60 @@ func TestLinearizableSyncQueue(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestPoolTaskConservation records real executor histories against the
+// task-bag model: PoolSubmit windows from producer goroutines, PoolExec
+// windows bracketing each handler invocation on the pool's own workers.
+// Half the rounds race a drain-Shutdown against the producers, so the
+// histories include rejected submissions — the model proves every
+// accepted task ran exactly once, no rejected task ran, and nothing ran
+// before its submission.
+func TestPoolTaskConservation(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs parallelism to record meaningful histories")
+	}
+	const (
+		rounds       = 30
+		submitters   = 2
+		perSubmitter = 4
+		workers      = 2
+	)
+	for round := 0; round < rounds; round++ {
+		rec := lincheck.NewRecorder(submitters + workers)
+		p := pool.NewWorkStealing(func(w *pool.Worker[int], id int) {
+			// Each worker goroutine is its own recorder client; the
+			// window is the handler invocation itself.
+			rec.Begin(submitters+w.ID(), lincheck.PoolExec{ID: id}).End(nil)
+		}, pool.WithWorkers(workers))
+
+		var wg sync.WaitGroup
+		for s := 0; s < submitters; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := 0; i < perSubmitter; i++ {
+					id := s*perSubmitter + i
+					pd := rec.Begin(s, lincheck.PoolSubmit{ID: id})
+					ok := p.Submit(id)
+					pd.End(ok)
+				}
+			}(s)
+		}
+		if round%2 == 1 {
+			// Race the drain against the producers: later submissions
+			// are rejected and must never execute.
+			runtime.Gosched()
+		} else {
+			wg.Wait()
+		}
+		if err := p.Shutdown(context.Background()); err != nil {
+			t.Fatalf("round %d: Shutdown: %v", round, err)
+		}
+		wg.Wait()
+		if res := lincheck.Check(lincheck.PoolModel(), rec.History()); !res.Ok {
+			t.Fatalf("round %d: %s", round, res.Info)
+		}
 	}
 }

@@ -319,3 +319,50 @@ func TestSyncQueueRendezvousPairing(t *testing.T) {
 		t.Fatalf("trailing in-transit put rejected: %s", res.Info)
 	}
 }
+
+func TestPoolModelConservation(t *testing.T) {
+	// Legal: submit two tasks, run each exactly once, in either order.
+	history := []Operation{
+		h(0, PoolSubmit{ID: 1}, true, 1, 2),
+		h(0, PoolSubmit{ID: 2}, true, 3, 4),
+		h(1, PoolExec{ID: 2}, nil, 5, 6),
+		h(2, PoolExec{ID: 1}, nil, 7, 8),
+	}
+	if res := Check(PoolModel(), history); !res.Ok {
+		t.Fatalf("legal out-of-order execution rejected: %s", res.Info)
+	}
+	// A task that runs twice breaks conservation.
+	history = []Operation{
+		h(0, PoolSubmit{ID: 1}, true, 1, 2),
+		h(1, PoolExec{ID: 1}, nil, 3, 4),
+		h(2, PoolExec{ID: 1}, nil, 5, 6),
+	}
+	if res := Check(PoolModel(), history); res.Ok {
+		t.Fatal("double execution accepted")
+	}
+	// A task that runs strictly before its submission window opens.
+	history = []Operation{
+		h(1, PoolExec{ID: 1}, nil, 1, 2),
+		h(0, PoolSubmit{ID: 1}, true, 3, 4),
+	}
+	if res := Check(PoolModel(), history); res.Ok {
+		t.Fatal("execution before submission accepted")
+	}
+	// Overlapping submit and exec: the exec may linearize after the
+	// submit inside the shared window.
+	history = []Operation{
+		h(0, PoolSubmit{ID: 1}, true, 1, 10),
+		h(1, PoolExec{ID: 1}, nil, 2, 9),
+	}
+	if res := Check(PoolModel(), history); !res.Ok {
+		t.Fatalf("overlapping submit/exec rejected: %s", res.Info)
+	}
+	// A rejected submission is a no-op; running the task anyway is a bug.
+	history = []Operation{
+		h(0, PoolSubmit{ID: 1}, false, 1, 2),
+		h(1, PoolExec{ID: 1}, nil, 3, 4),
+	}
+	if res := Check(PoolModel(), history); res.Ok {
+		t.Fatal("execution of a rejected task accepted")
+	}
+}

@@ -65,6 +65,13 @@ type (
 	// SyncTake receives from a synchronous queue; output is ValueOK
 	// (ok=false = cancelled before a putter arrived).
 	SyncTake struct{}
+
+	// PoolSubmit hands task ID to an executor; output is the bool Submit
+	// returned (false = rejected by a shutting-down pool).
+	PoolSubmit struct{ ID int }
+	// PoolExec records the executor running task ID; output is ignored.
+	// The window is the handler invocation, bracketed by the worker.
+	PoolExec struct{ ID int }
 )
 
 // ValueOK is the output shape for operations returning (value, ok).
@@ -236,6 +243,45 @@ func SyncQueueModel() Model {
 					return false, s
 				}
 				return true, ""
+			default:
+				return false, s
+			}
+		},
+	}
+}
+
+// PoolModel models a task pool as the relaxed structure the survey's
+// pools discussion describes: a bag with task-conservation semantics.
+// State is the canonical sorted-set string of accepted-but-not-yet-run
+// task IDs. A successful PoolSubmit adds its (unique) ID; a rejected one
+// is a no-op; PoolExec is legal only for an ID currently in the bag and
+// removes it. Order between tasks is deliberately unconstrained — that is
+// the relaxation executors exploit — so the model checks exactly the
+// executor contract: every accepted task runs exactly once, never before
+// its submission, and rejected tasks never run.
+func PoolModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(string)
+			switch in := input.(type) {
+			case PoolSubmit:
+				if !output.(bool) {
+					return true, s // rejected: the pool took no responsibility
+				}
+				keys := decodeSet(s)
+				if _, dup := keys[in.ID]; dup {
+					return false, s // IDs are unique by construction
+				}
+				keys[in.ID] = struct{}{}
+				return true, encodeSet(keys)
+			case PoolExec:
+				keys := decodeSet(s)
+				if _, ok := keys[in.ID]; !ok {
+					return false, s // ran before submission, twice, or after rejection
+				}
+				delete(keys, in.ID)
+				return true, encodeSet(keys)
 			default:
 				return false, s
 			}

@@ -1,0 +1,31 @@
+// Package pool provides task-pool executors — the workload that, per the
+// survey's pools discussion, motivates relaxed-order structures in the
+// first place: a producer–consumer pool does not promise FIFO between
+// independent tasks, and that freedom is exactly what lets work stealing
+// replace a single contended queue with per-worker deques.
+//
+// WorkStealing is the executor: every worker owns a deque.ChaseLev and
+// runs tasks from its bottom end in LIFO order (cache-warm, CAS-free fast
+// path), while workers that run dry first drain a shared lock-free
+// injection lane (queue.MS, fed by external Submit calls) and then steal
+// FIFO from the top of randomly chosen victims' deques, pacing failed
+// scans with contend.Backoff. Tasks spawned from inside a running task
+// (Worker.Spawn) go straight to the spawning worker's own deque — the
+// fork/join fast path Cederman et al. describe for lock-free task pools.
+//
+// Idle workers spin briefly and then park on internal/park permits. The
+// parking protocol is the package-standard enrol → re-check → park: a
+// worker publishes its permit in the idle set, re-checks every task
+// source (closing the lost-wakeup window against a concurrent Submit or
+// Spawn), and only then sleeps; producers wake at most one idle worker
+// per task. Shutdown is context-based with drain-vs-abandon semantics:
+// Shutdown rejects further Submits and waits until every accepted task
+// has run, unless its context is cancelled first, in which case the
+// remaining tasks are abandoned. Task conservation — every accepted task
+// runs exactly once, including across shutdown — is verified by the
+// lincheck pool model and by the conservation tests in this package.
+//
+// Progress: task execution is lock-free end to end (deque pops, steals
+// and injection-lane dequeues are all lock-free); only the idle path
+// blocks, by design. The executor satisfies the root cds.Pool contract.
+package pool

@@ -1,0 +1,41 @@
+package pool
+
+import "runtime"
+
+// defaultDequeCap is the initial per-worker deque capacity. The deque
+// grows by doubling, so the value only sizes the first allocation.
+const defaultDequeCap = 256
+
+// Option configures a pool constructor.
+type Option func(*options)
+
+type options struct {
+	workers  int
+	dequeCap int
+}
+
+// WithWorkers sets the worker count. Values < 1 select the default,
+// GOMAXPROCS at construction time.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithDequeCapacity sets each worker deque's initial capacity (rounded up
+// to a power of two by the deque). Values < 1 select the default.
+func WithDequeCapacity(n int) Option {
+	return func(o *options) { o.dequeCap = n }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		o.workers = runtime.GOMAXPROCS(0)
+	}
+	if o.dequeCap < 1 {
+		o.dequeCap = defaultDequeCap
+	}
+	return o
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/pow2"
 )
 
 // MPMC is a bounded multi-producer/multi-consumer queue over a circular
@@ -42,13 +43,7 @@ type mpmcSlot[T any] struct {
 // NewMPMC returns an empty bounded queue with the given capacity, rounded
 // up to a power of two (minimum 2).
 func NewMPMC[T any](capacity int) *MPMC[T] {
-	if capacity < 2 {
-		capacity = 2
-	}
-	n := 1
-	for n < capacity {
-		n <<= 1
-	}
+	n := pow2.RoundUp(capacity, 2)
 	q := &MPMC[T]{
 		buf:  make([]mpmcSlot[T], n),
 		mask: uint64(n - 1),

@@ -226,3 +226,11 @@ func (q *MS[T]) Len() int {
 	}
 	return n
 }
+
+// Empty reports whether the queue was observed empty: an O(1) peek at
+// the dummy head's successor, where Len would traverse every node.
+// Pollers (the pool's pre-park re-check) use it as a cheap non-emptiness
+// probe; like Len it is exact only in quiescent states.
+func (q *MS[T]) Empty() bool {
+	return q.head.Load().next.Load() == nil
+}

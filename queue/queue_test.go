@@ -419,3 +419,18 @@ func TestQueueLenUnderConcurrency(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestMSEmpty(t *testing.T) {
+	q := NewMS[int]()
+	if !q.Empty() {
+		t.Fatal("new queue not Empty")
+	}
+	q.Enqueue(1)
+	if q.Empty() {
+		t.Fatal("non-empty queue reported Empty")
+	}
+	q.TryDequeue()
+	if !q.Empty() {
+		t.Fatal("drained queue not Empty")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cds-suite/cds/internal/pad"
+	"github.com/cds-suite/cds/internal/pow2"
 )
 
 // SPSC is a single-producer/single-consumer bounded ring buffer: the
@@ -36,13 +37,7 @@ type SPSC[T any] struct {
 // NewSPSC returns an empty SPSC ring with the given capacity, rounded up
 // to a power of two (minimum 2).
 func NewSPSC[T any](capacity int) *SPSC[T] {
-	if capacity < 2 {
-		capacity = 2
-	}
-	n := 1
-	for n < capacity {
-		n <<= 1
-	}
+	n := pow2.RoundUp(capacity, 2)
 	return &SPSC[T]{
 		buf:  make([]T, n),
 		mask: uint64(n - 1),

@@ -1,0 +1,91 @@
+package stm
+
+import "testing"
+
+// TestReadSetDeduped is the regression test for unbounded read-set growth:
+// re-reading the same TVar in a loop must record its lock word once, not
+// once per read (the duplicates were all re-validated in commit Phase 3).
+func TestReadSetDeduped(t *testing.T) {
+	v := NewTVar(1)
+	w := NewTVar(2)
+	Atomically(func(tx *Txn) {
+		for i := 0; i < 1000; i++ {
+			v.Read(tx)
+		}
+		if got := len(tx.reads); got != 1 {
+			t.Fatalf("read set after 1000 re-reads of one TVar: len = %d, want 1", got)
+		}
+		// Interleaved re-reads of two TVars still record each once.
+		for i := 0; i < 100; i++ {
+			v.Read(tx)
+			w.Read(tx)
+		}
+		if got := len(tx.reads); got != 2 {
+			t.Fatalf("read set over two TVars: len = %d, want 2", got)
+		}
+	})
+}
+
+// TestReadSetDedupeLargeTransactions: past the linear-scan threshold the
+// dedupe switches to the map path; distinct TVars must each still be
+// recorded exactly once, and re-reads must still collapse.
+func TestReadSetDedupeLargeTransactions(t *testing.T) {
+	const n = 4 * readSetScanMax
+	vars := make([]*TVar[int], n)
+	for i := range vars {
+		vars[i] = NewTVar(i)
+	}
+	Atomically(func(tx *Txn) {
+		for pass := 0; pass < 3; pass++ {
+			for _, v := range vars {
+				v.Read(tx)
+			}
+		}
+		if got := len(tx.reads); got != n {
+			t.Fatalf("read set over %d distinct TVars read 3x: len = %d, want %d", n, got, n)
+		}
+		if tx.readSet == nil || len(tx.readSet) != n {
+			t.Fatalf("map path not engaged: readSet len = %d, want %d", len(tx.readSet), n)
+		}
+	})
+}
+
+// TestReadSetDedupeKeepsValidation: the deduped entry still carries its
+// weight in commit Phase 3 — a concurrent commit to a re-read TVar after
+// our snapshot must fail the attempt, exactly as before the dedupe.
+func TestReadSetDedupeKeepsValidation(t *testing.T) {
+	v := NewTVar(0)
+	out := NewTVar(0)
+
+	committed := runAttempt(func(tx *Txn) {
+		for i := 0; i < 10; i++ {
+			v.Read(tx) // one deduped read-set entry for v
+		}
+		out.Write(tx, 1) // non-empty write set forces Phase 3
+		// A full commit to v lands between our snapshot and our commit.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			Atomically(func(tx2 *Txn) {
+				v.Write(tx2, v.Read(tx2)+1)
+			})
+		}()
+		<-done
+	})
+	if committed {
+		t.Fatal("attempt committed despite a conflicting commit on a re-read TVar")
+	}
+
+	// And with no conflict the same shape still commits.
+	if !runAttempt(func(tx *Txn) {
+		for i := 0; i < 10; i++ {
+			v.Read(tx)
+		}
+		out.Write(tx, 2)
+	}) {
+		t.Fatal("conflict-free attempt failed to commit")
+	}
+	if got := out.Load(); got != 2 {
+		t.Fatalf("out = %d, want 2", got)
+	}
+}

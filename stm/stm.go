@@ -53,7 +53,7 @@ func (v *TVar[T]) Read(tx *Txn) T {
 		if l1>>1 > tx.rv {
 			abort() // newer than our snapshot: not consistent with rv
 		}
-		tx.reads = append(tx.reads, &v.lock)
+		tx.recordRead(&v.lock)
 		return *val
 	}
 }
@@ -101,10 +101,49 @@ func (v *TVar[T]) commit(boxed any) { v.val.Store(boxed.(*T)) }
 // Txn is one transaction attempt. It is created by Atomically and must not
 // escape the closure or be shared between goroutines.
 type Txn struct {
-	rv     uint64 // read version: global clock at attempt start
-	reads  []*atomic.Uint64
-	writes map[tvar]any
-	order  []tvar // write set in first-write order (stable locking)
+	rv    uint64 // read version: global clock at attempt start
+	reads []*atomic.Uint64
+	// readSet mirrors reads for O(1) dedupe once the read set outgrows
+	// the linear-scan threshold; nil below it (small transactions stay
+	// allocation-free).
+	readSet map[*atomic.Uint64]struct{}
+	writes  map[tvar]any
+	order   []tvar // write set in first-write order (stable locking)
+}
+
+// readSetScanMax is the read-set size up to which duplicate detection
+// uses a newest-first linear scan; beyond it recordRead switches to a
+// map so transactions over many distinct TVars stay O(1) per read.
+const readSetScanMax = 32
+
+// recordRead adds a lock word to the read set once. Re-reads of a TVar
+// the transaction has already recorded are skipped — without the dedupe a
+// loop re-reading one variable grows the read set unboundedly and commit
+// Phase 3 re-validates every duplicate. Small read sets dedupe with a
+// newest-first scan (the common tight-loop-over-one-TVar case exits on
+// the first probe, and no map is allocated); large ones switch to a map
+// so D distinct reads cost O(D), not O(D²).
+func (tx *Txn) recordRead(w *atomic.Uint64) {
+	if tx.readSet != nil {
+		if _, seen := tx.readSet[w]; seen {
+			return
+		}
+		tx.readSet[w] = struct{}{}
+		tx.reads = append(tx.reads, w)
+		return
+	}
+	for i := len(tx.reads) - 1; i >= 0; i-- {
+		if tx.reads[i] == w {
+			return
+		}
+	}
+	tx.reads = append(tx.reads, w)
+	if len(tx.reads) > readSetScanMax {
+		tx.readSet = make(map[*atomic.Uint64]struct{}, 2*readSetScanMax)
+		for _, r := range tx.reads {
+			tx.readSet[r] = struct{}{}
+		}
+	}
 }
 
 // abort unwinds the attempt; Atomically catches it and retries.
