@@ -146,6 +146,7 @@ func Scenarios() []Scenario {
 	all = append(all, reclaimStructScenarios()...)
 	all = append(all, dualScenarios()...)
 	all = append(all, poolScenarios()...)
+	all = append(all, cacheScenarios()...)
 	return all
 }
 

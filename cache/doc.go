@@ -1,0 +1,39 @@
+// Package cache provides a sharded concurrent cache with pluggable
+// scan-resistant eviction, TTL expiry, and stampede protection.
+//
+// The cache is a power-of-two array of independently locked shards; keys
+// hash to shards with the same seeded maphash the cmap tables use.
+// Within a shard, eviction bookkeeping lives intrusively inside the
+// entries (doubly-linked list links plus per-entry atomic reference
+// bits), so recording a hit allocates nothing and — for the SIEVE and
+// S3-FIFO policies — needs only the shard's read lock. The locked LRU
+// policy is included as the classic baseline: its move-to-front hits
+// demand the exclusive lock, which is precisely the serialisation the
+// modern policies exist to avoid.
+//
+// Three policies are available behind one interface (see Policy):
+//
+//   - SIEVE (NSDI 2024): FIFO + one-bit second chance + sweeping hand.
+//     The default — simplest, and hits are a single atomic bit store.
+//   - S3-FIFO (SOSP 2023): small probationary FIFO, main FIFO, and a
+//     ghost queue of recently evicted keys. Strongest against scans and
+//     one-hit wonders.
+//   - LRU: locked move-to-front list; the reference baseline.
+//
+// Entries may carry a time-to-live (WithTTL for a default, SetTTL per
+// entry). Expired entries are misses the moment their deadline passes —
+// readers detect and remove them lazily — and a background sweeper
+// reclaims untouched expired entries in bounded per-shard batches; Close
+// stops it.
+//
+// GetOrLoad adds cache-aside loading with singleflight semantics: when
+// many goroutines miss on the same key at once, one invokes the loader
+// and the rest wait for its result, so a hot-key expiry does not stampede
+// the backing store. GetMany and SetMany batch operations per shard,
+// taking each shard lock once per batch.
+//
+// The S17 benchmark family (cmd/cdsbench) compares the policies against a
+// single-lock LRU and a sync.Map+TTL baseline on Zipf-distributed keys;
+// package lincheck checks a single shard against a lossy-map
+// linearizability model.
+package cache

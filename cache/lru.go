@@ -1,0 +1,39 @@
+package cache
+
+// lru is the classic least-recently-used policy: a doubly-linked list
+// ordered by recency, move-to-front on every hit, evict from the tail. The
+// move-to-front mutates shared links, so hits demand the shard's exclusive
+// lock (lockedHits) — with WithShards(1) this is exactly the "plain locked
+// LRU" every cache paper baselines against, and the S17 benchmarks use it
+// that way. Its hit ratio on skewed traces is the reference the
+// scan-resistant policies are expected to match while beating it on
+// read-path concurrency.
+type lru[K comparable, V any] struct {
+	l list[K, V]
+}
+
+func newLRU[K comparable, V any](int) policy[K, V] {
+	return &lru[K, V]{}
+}
+
+func (p *lru[K, V]) lockedHits() bool { return true }
+
+func (p *lru[K, V]) hit(e *entry[K, V]) {
+	if p.l.head == e {
+		return
+	}
+	p.l.remove(e)
+	p.l.pushFront(e)
+}
+
+func (p *lru[K, V]) add(e *entry[K, V]) {
+	p.l.pushFront(e)
+}
+
+func (p *lru[K, V]) evict() *entry[K, V] {
+	return p.l.popTail()
+}
+
+func (p *lru[K, V]) remove(e *entry[K, V]) {
+	p.l.remove(e)
+}

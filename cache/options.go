@@ -1,0 +1,80 @@
+package cache
+
+import "time"
+
+// Policy selects the eviction policy a cache shard runs.
+type Policy int
+
+const (
+	// SIEVE is the default: FIFO with a one-bit second chance and a
+	// sweeping hand (NSDI 2024). Lock-free hits, scan resistant, and the
+	// simplest of the three — prefer it unless a trace says otherwise.
+	SIEVE Policy = iota
+	// S3FIFO is the three-queue FIFO family (SOSP 2023): a probationary
+	// small queue filters one-hit wonders through a ghost queue before
+	// they can pollute the main queue. Strongest on traces with many
+	// never-reused keys (scans, crawls); slightly more bookkeeping than
+	// SIEVE.
+	S3FIFO
+	// LRU is the classic locked least-recently-used list. Hits take the
+	// shard's exclusive lock to move the entry to the front, so reads
+	// serialise per shard — it exists as the reference policy and
+	// benchmark baseline.
+	LRU
+)
+
+// String names the policy for logs and benchmark labels.
+func (p Policy) String() string {
+	switch p {
+	case SIEVE:
+		return "SIEVE"
+	case S3FIFO:
+		return "S3-FIFO"
+	case LRU:
+		return "LRU"
+	default:
+		return "unknown"
+	}
+}
+
+// Option configures a cache constructor.
+type Option func(*config)
+
+type config struct {
+	policy   Policy
+	shards   int
+	ttl      time.Duration
+	sweep    time.Duration
+	sweepSet bool
+}
+
+// WithPolicy selects the eviction policy (default SIEVE).
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithShards sets the shard count, rounded up to a power of two and
+// clamped so every shard holds at least one entry. The default scales
+// with GOMAXPROCS; use 1 to get a single lock domain (the locked-LRU
+// baseline, or a deterministic single shard for tests).
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithTTL sets the default time-to-live applied by Set. Entries older
+// than their TTL are misses on read (lazy expiry) and are reclaimed by
+// the background sweeper, which this option enables (interval = the TTL,
+// unless WithSweepInterval overrides it). Zero — the default — means
+// entries never expire. Per-entry deadlines go through SetTTL.
+func WithTTL(d time.Duration) Option {
+	return func(c *config) { c.ttl = d }
+}
+
+// WithSweepInterval sets how often the background sweeper scans for
+// expired entries, or disables it entirely with d <= 0 (lazy read-side
+// expiry still applies; an untouched expired entry then stays resident
+// until evicted). The sweeper runs only when the cache can expire
+// anything, i.e. WithTTL is set or SetTTL is used; Close stops it.
+func WithSweepInterval(d time.Duration) Option {
+	return func(c *config) { c.sweep = d; c.sweepSet = true }
+}

@@ -1,0 +1,99 @@
+package cache
+
+import "sync/atomic"
+
+// entry is one cached key/value pair plus the intrusive bookkeeping every
+// eviction policy needs. The links and region tag are owned by the shard's
+// policy and only touched under the shard's exclusive lock; the reference
+// bits (visited, freq) are atomics so the scan-resistant policies can
+// record hits under the shared read lock without ever upgrading it —
+// that lock-avoidance on the hit path is the entire point of SIEVE and
+// S3-FIFO, and it is what the S17 benchmarks measure against the locked
+// LRU baseline.
+type entry[K comparable, V any] struct {
+	key     K
+	val     V
+	expires int64 // unix nanoseconds; 0 = never expires
+
+	// Intrusive doubly-linked list position: prev points toward the head
+	// (newer), next toward the tail (older). Guarded by the shard lock.
+	prev, next *entry[K, V]
+
+	visited atomic.Bool  // SIEVE reference bit, set on hit
+	freq    atomic.Int32 // S3-FIFO frequency counter, saturating at 3
+	region  int8         // S3-FIFO region the entry currently lives in
+}
+
+// S3-FIFO regions.
+const (
+	regionSmall int8 = iota
+	regionMain
+)
+
+// policy is the per-shard eviction strategy. All methods except hit are
+// called with the shard's exclusive lock held; hit is called with at least
+// the read lock (exactly the read lock when lockedHits is false), so
+// policies whose hit bookkeeping mutates shared links must demand the
+// exclusive lock via lockedHits.
+type policy[K comparable, V any] interface {
+	// lockedHits reports whether hit mutates policy-shared state (LRU's
+	// move-to-front) and therefore needs the shard's exclusive lock. The
+	// scan-resistant policies return false: their hit is a per-entry
+	// atomic store, safe under the shared read lock.
+	lockedHits() bool
+	// hit records an access to a resident entry.
+	hit(e *entry[K, V])
+	// add admits a newly inserted entry.
+	add(e *entry[K, V])
+	// evict unlinks and returns the next victim, or nil if empty. It is
+	// called only when the shard is over capacity; policies may relocate
+	// entries internally (SIEVE's second chance, S3-FIFO's promotions)
+	// before settling on one.
+	evict() *entry[K, V]
+	// remove unlinks a resident entry (explicit Delete or TTL expiry).
+	remove(e *entry[K, V])
+}
+
+// list is the intrusive doubly-linked list the policies share: head is the
+// most recently inserted end, tail the oldest. Entries link themselves, so
+// policy bookkeeping on hits and evictions is allocation-free.
+type list[K comparable, V any] struct {
+	head, tail *entry[K, V]
+	n          int
+}
+
+func (l *list[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.n++
+}
+
+func (l *list[K, V]) remove(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+func (l *list[K, V]) popTail() *entry[K, V] {
+	e := l.tail
+	if e != nil {
+		l.remove(e)
+	}
+	return e
+}

@@ -1,0 +1,143 @@
+package cache
+
+// s3fifo implements the S3-FIFO eviction policy (Yang et al., "FIFO
+// Queues are All You Need for Cache Eviction", SOSP 2023): three FIFO
+// queues instead of an LRU list. New keys enter a small probationary
+// queue (~10% of capacity); keys evicted from it with fewer than two hits
+// are remembered in a ghost queue (keys only, no values), and a re-insert
+// of a ghost key goes straight to the main queue. Eviction from main gives
+// entries with a nonzero frequency another lap instead of evicting them.
+// The small queue filters one-hit-wonder keys out before they pollute
+// main — the scan resistance — while hits are a saturating atomic counter
+// update, never a list move, so reads proceed under the shared lock.
+type s3fifo[K comparable, V any] struct {
+	small, main list[K, V]
+	smallCap    int
+	ghost       ghost[K]
+}
+
+// s3fifoFreqMax saturates the frequency counter: 2 bits of frequency are
+// enough to separate the reuse classes, and the cap bounds how long a
+// once-hot entry can linger in main after going cold.
+const s3fifoFreqMax = 3
+
+func newS3FIFO[K comparable, V any](capacity int) policy[K, V] {
+	smallCap := capacity / 10
+	if smallCap < 1 {
+		smallCap = 1
+	}
+	return &s3fifo[K, V]{
+		smallCap: smallCap,
+		ghost:    newGhost[K](capacity),
+	}
+}
+
+func (p *s3fifo[K, V]) lockedHits() bool { return false }
+
+// hit bumps the saturating frequency counter. The load-then-CAS races
+// with concurrent hits and with evict's reset; a lost increment is
+// acceptable — the counter is a reuse heuristic, not an invariant.
+func (p *s3fifo[K, V]) hit(e *entry[K, V]) {
+	if f := e.freq.Load(); f < s3fifoFreqMax {
+		e.freq.CompareAndSwap(f, f+1)
+	}
+}
+
+func (p *s3fifo[K, V]) add(e *entry[K, V]) {
+	if p.ghost.take(e.key) {
+		// Seen recently enough for its ghost to survive: skip probation.
+		e.region = regionMain
+		p.main.pushFront(e)
+		return
+	}
+	e.region = regionSmall
+	p.small.pushFront(e)
+}
+
+func (p *s3fifo[K, V]) evict() *entry[K, V] {
+	// Each iteration either returns a victim, moves an entry from small to
+	// main, or decrements a nonzero frequency in main — all three are
+	// bounded, so the loop terminates.
+	for {
+		if p.small.n > p.smallCap || p.main.n == 0 {
+			e := p.small.popTail()
+			if e == nil {
+				return nil // both queues empty
+			}
+			if e.freq.Load() > 1 {
+				// Reused while on probation: promote instead of evicting.
+				e.freq.Store(0)
+				e.region = regionMain
+				p.main.pushFront(e)
+				continue
+			}
+			// Evicted from probation: remember the key so a quick
+			// re-insert skips straight to main.
+			p.ghost.add(e.key)
+			return e
+		}
+		e := p.main.popTail()
+		if e.freq.Load() > 0 {
+			// Still warm: one more lap through main.
+			e.freq.Add(-1)
+			p.main.pushFront(e)
+			continue
+		}
+		return e
+	}
+}
+
+func (p *s3fifo[K, V]) remove(e *entry[K, V]) {
+	if e.region == regionMain {
+		p.main.remove(e)
+		return
+	}
+	p.small.remove(e)
+}
+
+// ghost is the S3-FIFO ghost queue: a fixed-capacity FIFO of recently
+// evicted keys (keys only — ghosts hold no values and do not count toward
+// the cache's capacity) with set-membership lookup.
+type ghost[K comparable] struct {
+	keys map[K]struct{}
+	ring []K
+	pos  int
+	n    int
+}
+
+func newGhost[K comparable](capacity int) ghost[K] {
+	return ghost[K]{
+		keys: make(map[K]struct{}, capacity),
+		ring: make([]K, capacity),
+	}
+}
+
+// add remembers k, displacing the oldest ghost when full.
+func (g *ghost[K]) add(k K) {
+	if len(g.ring) == 0 {
+		return
+	}
+	if _, ok := g.keys[k]; ok {
+		return
+	}
+	if g.n == len(g.ring) {
+		delete(g.keys, g.ring[g.pos])
+	} else {
+		g.n++
+	}
+	g.ring[g.pos] = k
+	g.pos = (g.pos + 1) % len(g.ring)
+	g.keys[k] = struct{}{}
+}
+
+// take reports whether k was remembered, forgetting it either way. The
+// displaced ring slot keeps the stale key value; membership is decided by
+// the map alone, and a slot whose key was taken simply deletes nothing
+// when displaced.
+func (g *ghost[K]) take(k K) bool {
+	if _, ok := g.keys[k]; ok {
+		delete(g.keys, k)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package cache
+
+// sieve implements the SIEVE eviction policy (Zhang, Yang et al., "SIEVE
+// is Simpler than LRU: an Efficient Turn-Key Eviction Algorithm for Web
+// Caches", NSDI 2024): a FIFO list with a one-bit second chance and a
+// "hand" that sweeps from the oldest entry toward the newest. A hit sets
+// the entry's visited bit — one atomic store, no list movement, no lock
+// upgrade — and eviction walks the hand past visited entries (clearing
+// them) until it finds an unvisited victim. Retained entries keep their
+// list position, so the hand implicitly partitions the list into a
+// frequently-hit old section and a probationary new section; that is what
+// makes the policy scan-resistant despite having no explicit segments.
+type sieve[K comparable, V any] struct {
+	l    list[K, V]
+	hand *entry[K, V]
+}
+
+func newSieve[K comparable, V any](int) policy[K, V] {
+	return &sieve[K, V]{}
+}
+
+func (p *sieve[K, V]) lockedHits() bool { return false }
+
+func (p *sieve[K, V]) hit(e *entry[K, V]) {
+	e.visited.Store(true)
+}
+
+func (p *sieve[K, V]) add(e *entry[K, V]) {
+	p.l.pushFront(e)
+}
+
+func (p *sieve[K, V]) evict() *entry[K, V] {
+	e := p.hand
+	if e == nil {
+		e = p.l.tail
+	}
+	// Each visited entry is cleared as the hand passes it, so a full lap
+	// leaves everything unvisited and the walk terminates in at most 2n
+	// steps.
+	for e != nil && e.visited.Load() {
+		e.visited.Store(false)
+		e = e.prev
+		if e == nil {
+			e = p.l.tail
+		}
+	}
+	if e == nil {
+		return nil
+	}
+	p.hand = e.prev // may be nil: the next sweep restarts at the tail
+	p.l.remove(e)
+	return e
+}
+
+func (p *sieve[K, V]) remove(e *entry[K, V]) {
+	if p.hand == e {
+		p.hand = e.prev
+	}
+	p.l.remove(e)
+}

@@ -166,6 +166,27 @@ type Map[K any, V any] interface {
 	Len() int
 }
 
+// Cache is a bounded, lossy Map: Set may evict another entry to stay
+// within capacity, and any entry may disappear between operations (evicted
+// by a concurrent Set, or expired by its TTL). Get reporting ok=false is
+// therefore always a legal outcome; what a cache still guarantees is value
+// integrity — a hit returns the value most recently Set for that key — and
+// that an evicted or expired key stays absent until Set again. Package
+// cache provides the implementations (sharded, with pluggable eviction
+// policies, TTL expiry, and a singleflight loader); package lincheck's
+// CacheModel is the machine-checkable form of this relaxed contract.
+type Cache[K any, V any] interface {
+	// Get returns the value cached for k. ok is false on a miss — the key
+	// was never Set, was evicted, or expired.
+	Get(k K) (v V, ok bool)
+	// Set caches v for k, evicting other entries if the cache is full.
+	Set(k K, v V)
+	// Delete removes k, reporting whether it was present (and unexpired).
+	Delete(k K) bool
+	// Len reports the number of live entries (see Stack.Len caveats).
+	Len() int
+}
+
 // PriorityQueue delivers the minimum element first, per the Less function the
 // implementation was constructed with.
 type PriorityQueue[T any] interface {

@@ -85,6 +85,16 @@ func (c *Locked[K, V]) Range(f func(K, V) bool) {
 	}
 }
 
+// NewHash returns a 64-bit hash function over K seeded randomly per call,
+// the same hashing the package's own tables use (hash-flooding resistance,
+// and independent tables get independent collision patterns). It exists so
+// structures layered on the map machinery — the sharded cache in package
+// cache is the canonical client — share one hashing discipline instead of
+// re-deriving it.
+func NewHash[K comparable]() func(K) uint64 {
+	return newHasher[K]().hash
+}
+
 // hasher produces 64-bit hashes of comparable keys using a per-structure
 // random seed (hash-flooding resistance, and independent tables get
 // independent collision patterns).

@@ -97,7 +97,7 @@ func (c *Striped[K, V]) Store(k K, v V) {
 	threshold := int64(stripedLoadFactor * len(c.buckets))
 	mu.Unlock()
 	if grew > threshold {
-		c.resize(int(threshold) / stripedLoadFactor)
+		c.resize()
 	}
 }
 
@@ -121,7 +121,7 @@ func (c *Striped[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 	threshold := int64(stripedLoadFactor * len(c.buckets))
 	mu.Unlock()
 	if grew > threshold {
-		c.resize(int(threshold) / stripedLoadFactor)
+		c.resize()
 	}
 	return v, false
 }
@@ -186,10 +186,18 @@ func (c *Striped[K, V]) bucketFor(h uint64) []stripedEntry[K, V] {
 	return c.buckets[c.bucketIndex(h)]
 }
 
-// resize doubles the bucket array if it still has the expected size.
+// resize grows the bucket array until the load factor is satisfied again.
 // Acquiring every stripe in index order makes concurrent resizes
 // deadlock-free and mutually exclusive.
-func (c *Striped[K, V]) resize(expectBuckets int) {
+//
+// The loop (rather than a single doubling guarded by an expected length)
+// is what makes racing growers safe: when many writers cross the threshold
+// together, the size they collectively reached may demand more than one
+// doubling, and the writers that lose the race must not silently drop the
+// growth they observed. Each resizer re-derives the need from the current
+// size under all locks — a stale observation then costs a no-op, never an
+// under-sized table.
+func (c *Striped[K, V]) resize() {
 	for i := range c.stripes {
 		c.stripes[i].mu.Lock()
 	}
@@ -198,16 +206,15 @@ func (c *Striped[K, V]) resize(expectBuckets int) {
 			c.stripes[i].mu.Unlock()
 		}
 	}()
-	if len(c.buckets) != expectBuckets {
-		return // someone resized before us
-	}
-	next := make([][]stripedEntry[K, V], 2*len(c.buckets))
-	nmask := uint64(len(next) - 1)
-	for _, bucket := range c.buckets {
-		for _, e := range bucket {
-			idx := e.hash & nmask
-			next[idx] = append(next[idx], e)
+	for int64(stripedLoadFactor*len(c.buckets)) < c.size.Load() {
+		next := make([][]stripedEntry[K, V], 2*len(c.buckets))
+		nmask := uint64(len(next) - 1)
+		for _, bucket := range c.buckets {
+			for _, e := range bucket {
+				idx := e.hash & nmask
+				next[idx] = append(next[idx], e)
+			}
 		}
+		c.buckets = next
 	}
-	c.buckets = next
 }

@@ -1,9 +1,9 @@
 // Command cdsbench regenerates the experiment figures and tables from
 // DESIGN.md — throughput-scalability series for every structure family
 // (F1–F12, T1–T3) plus the mixed-workload scenario matrix with latency
-// percentiles (S1–S15, including the S14 reclamation and S15 blocking
-// families whose records carry structure gauges) — as aligned text
-// tables or as a machine-readable JSON report.
+// percentiles (S1–S17, including the S14 reclamation, S15 blocking, S16
+// executor, and S17 cache families whose records carry structure gauges)
+// — as aligned text tables or as a machine-readable JSON report.
 //
 // Usage:
 //

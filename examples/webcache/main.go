@@ -1,9 +1,21 @@
-// Webcache: a read-heavy concurrent cache in front of a slow "origin",
-// the canonical deployment of a concurrent hash map. The cache layer is a
-// lock-free split-ordered map (so cache hits never serialise), hit/miss
-// accounting uses sharded counters (so stats never become the bottleneck —
-// a direct instance of the survey's functionality-vs-performance point),
-// and entries carry a TTL checked on read.
+// Webcache: a read-heavy bounded cache in front of a slow "origin", the
+// canonical deployment of the cache package. Earlier revisions of this
+// example rolled their own cache on a raw concurrent map, which had two
+// real bugs this rewrite retires:
+//
+//   - the per-client request split used requests/clients and silently
+//     dropped the remainder, so the reported totals never matched the
+//     requested load on client counts that do not divide it;
+//   - expired entries were overwritten but never removed, so with a key
+//     space larger than capacity the "cache" grew without bound.
+//
+// The cache package fixes the second structurally: capacity-bounded
+// shards evict with SIEVE, TTL expiry removes stale entries (lazily on
+// read plus a background sweeper), and GetOrLoad collapses concurrent
+// misses on a hot key into one origin fetch. The example asserts both
+// properties at the end of the run — accounting must balance exactly, and
+// the steady-state size must stay within capacity even though the key
+// space is orders of magnitude larger.
 //
 // The simulated clients draw keys from a Zipfian distribution, as real
 // content popularity does.
@@ -14,13 +26,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
-	"github.com/cds-suite/cds/cmap"
-	"github.com/cds-suite/cds/counter"
+	"github.com/cds-suite/cds/cache"
 	"github.com/cds-suite/cds/internal/exampleenv"
 	"github.com/cds-suite/cds/internal/zipf"
 )
@@ -29,76 +42,110 @@ import (
 // smoke-run the example without paying for the full demonstration.
 var requests = exampleenv.Ops(200000)
 
-type entry struct {
-	value   string
-	expires time.Time
+// splitRequests divides total across clients so every request is issued:
+// each client gets the base share and the first total%clients clients
+// carry one extra, instead of truncating the remainder away.
+func splitRequests(total, clients int) []int {
+	shares := make([]int, clients)
+	base, extra := total/clients, total%clients
+	for i := range shares {
+		shares[i] = base
+		if i < extra {
+			shares[i]++
+		}
+	}
+	return shares
 }
 
-type cache struct {
-	entries *cmap.SplitOrdered[uint64, entry]
-	hits    *counter.Sharded
-	misses  *counter.Sharded
-	ttl     time.Duration
+// runStats is what one simulation reports; main prints it, the smoke test
+// asserts on it.
+type runStats struct {
+	stats   cache.Stats
+	size    int
+	elapsed time.Duration
 }
 
-func newCache(ttl time.Duration) *cache {
-	return &cache{
-		entries: cmap.NewSplitOrdered[uint64, entry](),
-		hits:    counter.NewSharded(0),
-		misses:  counter.NewSharded(0),
-		ttl:     ttl,
+// run drives clients workers through the cache for the given total
+// request count and returns the final accounting.
+func run(total, clients, keySpace, capacity int, ttl time.Duration) runStats {
+	c := cache.New[uint64, string](capacity, cache.WithTTL(ttl))
+	defer c.Close()
+
+	origin := func(_ context.Context, key uint64) (string, error) {
+		// A "slow" origin: a microsecond-ish of fake CPU work. A spin is
+		// used instead of time.Sleep because the sleep's ~1ms timer
+		// granularity would dominate the whole simulation.
+		x := key
+		for i := 0; i < 2000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		if x == 0 { // never true; defeats dead-code elimination
+			return "", nil
+		}
+		return fmt.Sprintf("content-%d", key), nil
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for cl, share := range splitRequests(total, clients) {
+		wg.Add(1)
+		go func(cl, share int) {
+			defer wg.Done()
+			keys, err := zipf.New(uint64(keySpace), 0.99, uint64(cl)+1)
+			if err != nil {
+				panic(err) // static parameters; cannot fail
+			}
+			for i := 0; i < share; i++ {
+				if _, err := c.GetOrLoad(context.Background(), keys.Next(), origin); err != nil {
+					panic(err) // origin never fails in the simulation
+				}
+			}
+		}(cl, share)
+	}
+	wg.Wait()
+
+	return runStats{
+		stats:   c.Stats(),
+		size:    c.Len(),
+		elapsed: time.Since(t0),
 	}
 }
 
-// get returns the cached value or fetches it from the origin.
-func (c *cache) get(key uint64, origin func(uint64) string) string {
-	if e, ok := c.entries.Load(key); ok && time.Now().Before(e.expires) {
-		c.hits.Inc()
-		return e.value
+// check verifies the two regression properties the old example violated.
+func (r runStats) check(total, capacity int) error {
+	if got := r.stats.Lookups(); got != int64(total) {
+		return fmt.Errorf("accounting: hits(%d) + misses(%d) = %d, want exactly %d requests",
+			r.stats.Hits, r.stats.Misses, got, total)
 	}
-	c.misses.Inc()
-	v := origin(key)
-	c.entries.Store(key, entry{value: v, expires: time.Now().Add(c.ttl)})
-	return v
+	if r.size > capacity {
+		return fmt.Errorf("unbounded growth: %d resident entries, capacity %d", r.size, capacity)
+	}
+	return nil
 }
 
 func main() {
 	const (
 		keySpace = 100000
+		capacity = 4096 // deliberately far smaller than the key space
 		ttl      = 500 * time.Millisecond
 	)
 	clients := runtime.GOMAXPROCS(0)
 
-	c := newCache(ttl)
-	origin := func(key uint64) string {
-		// A "slow" origin: a microsecond-ish of fake work.
-		time.Sleep(2 * time.Microsecond)
-		return fmt.Sprintf("content-%d", key)
-	}
+	r := run(requests, clients, keySpace, capacity, ttl)
+	st := r.stats
 
-	t0 := time.Now()
-	var wg sync.WaitGroup
-	for cl := 0; cl < clients; cl++ {
-		wg.Add(1)
-		go func(cl int) {
-			defer wg.Done()
-			keys, err := zipf.New(keySpace, 0.99, uint64(cl)+1)
-			if err != nil {
-				panic(err) // static parameters; cannot fail
-			}
-			for i := 0; i < requests/clients; i++ {
-				_ = c.get(keys.Next(), origin)
-			}
-		}(cl)
-	}
-	wg.Wait()
-	elapsed := time.Since(t0)
-
-	hits, misses := c.hits.Load(), c.misses.Load()
-	total := hits + misses
+	total := st.Lookups()
 	fmt.Printf("requests:   %d in %.0fms (%.2f M req/s)\n",
-		total, elapsed.Seconds()*1000, float64(total)/elapsed.Seconds()/1e6)
+		total, r.elapsed.Seconds()*1000, float64(total)/r.elapsed.Seconds()/1e6)
 	fmt.Printf("hit rate:   %.1f%% (%d hits, %d misses)\n",
-		100*float64(hits)/float64(total), hits, misses)
-	fmt.Printf("cache size: %d entries\n", c.entries.Len())
+		100*st.HitRate(), st.Hits, st.Misses)
+	fmt.Printf("origin:     %d fetches (%d stampedes suppressed)\n",
+		st.Loads, st.StampedeSuppressed)
+	fmt.Printf("cache size: %d entries (capacity %d, %d evicted, %d expired)\n",
+		r.size, capacity, st.Evictions, st.Expired)
+
+	if err := r.check(requests, capacity); err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSplitRequestsKeepsRemainder is the regression test for the dropped
+// requests%clients remainder: every split must cover the total exactly,
+// with shares differing by at most one.
+func TestSplitRequestsKeepsRemainder(t *testing.T) {
+	for _, tc := range []struct{ total, clients int }{
+		{100, 3}, {7, 4}, {10000, 7}, {5, 8}, {1, 1}, {9, 3},
+	} {
+		shares := splitRequests(tc.total, tc.clients)
+		if len(shares) != tc.clients {
+			t.Fatalf("split(%d, %d): %d shares", tc.total, tc.clients, len(shares))
+		}
+		sum, min, max := 0, shares[0], shares[0]
+		for _, s := range shares {
+			sum += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("split(%d, %d) sums to %d, dropping %d requests",
+				tc.total, tc.clients, sum, tc.total-sum)
+		}
+		if max-min > 1 {
+			t.Errorf("split(%d, %d) is uneven: min %d, max %d", tc.total, tc.clients, min, max)
+		}
+	}
+}
+
+// TestRunSmoke runs the simulation at smoke scale and asserts the two
+// regression properties: exact hit/miss accounting (no dropped requests)
+// and a steady-state size bounded by capacity despite a key space far
+// larger than the cache.
+func TestRunSmoke(t *testing.T) {
+	const (
+		total    = 5003 // prime: never divides evenly across clients
+		clients  = 4
+		keySpace = 10000
+		capacity = 256
+	)
+	r := run(total, clients, keySpace, capacity, 50*time.Millisecond)
+	if err := r.check(total, capacity); err != nil {
+		t.Fatal(err)
+	}
+	if r.stats.Loads == 0 {
+		t.Fatal("simulation performed no origin fetches")
+	}
+}

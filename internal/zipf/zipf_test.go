@@ -101,6 +101,53 @@ func TestUniformTheta(t *testing.T) {
 	}
 }
 
+// TestZipfProperties sweeps a grid of (n, theta, seed) and asserts the
+// three properties every consumer of this package leans on, together on
+// the same parameters rather than at isolated points:
+//
+//  1. every draw lies in [0, n);
+//  2. for any theta > 0 the distribution is strictly skewed: rank 0 is
+//     drawn strictly more often than rank 1 (their probabilities differ
+//     by the factor 2^theta, so with enough samples a tie or inversion
+//     is a generator bug, not noise);
+//  3. identical seeds yield identical streams, and the draws above are
+//     reproducible by a second generator.
+func TestZipfProperties(t *testing.T) {
+	const samples = 50000
+	for _, n := range []uint64{2, 10, 1000} {
+		for _, theta := range []float64{0.2, 0.5, 0.99, 1.2} {
+			for _, seed := range []uint64{1, 99} {
+				g, err := New(n, theta, seed)
+				if err != nil {
+					t.Fatalf("New(%d, %v, %d): %v", n, theta, seed, err)
+				}
+				twin, err := New(n, theta, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts := make(map[uint64]int, 8)
+				for i := 0; i < samples; i++ {
+					v := g.Next()
+					if v >= n {
+						t.Fatalf("n=%d theta=%v seed=%d: draw %d out of [0,%d)", n, theta, seed, v, n)
+					}
+					if w := twin.Next(); w != v {
+						t.Fatalf("n=%d theta=%v seed=%d: streams diverged at draw %d: %d vs %d",
+							n, theta, seed, i, v, w)
+					}
+					if v < 2 {
+						counts[v]++
+					}
+				}
+				if counts[0] <= counts[1] {
+					t.Fatalf("n=%d theta=%v seed=%d: rank-0 drawn %d times, rank-1 %d — skew inverted or flat",
+						n, theta, seed, counts[0], counts[1])
+				}
+			}
+		}
+	}
+}
+
 func TestZetaStatic(t *testing.T) {
 	// H_{4,1}... theta=1 unsupported in New, but zetaStatic itself is general:
 	// H_{4,0} = 4.

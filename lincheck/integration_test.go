@@ -9,6 +9,7 @@ import (
 	"time"
 
 	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/cache"
 	"github.com/cds-suite/cds/cmap"
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
@@ -249,6 +250,48 @@ func TestLinearizableMaps(t *testing.T) {
 						default:
 							p := rec.Begin(client, lincheck.MapDelete{Key: k})
 							p.End(m.Delete(k))
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLinearizableCaches records windows from one shard of the bounded
+// cache (WithShards(1) pins every key to a single lock domain) under each
+// eviction policy, checked against the lossy-map CacheModel. The capacity
+// sits below the key range so evictions fire inside the windows: the
+// checker then verifies the lossy contract — hits return the latest
+// value, an observed miss means the key stays absent until re-Set — while
+// *which* victim each policy picks is pinned separately by the
+// deterministic unit traces in package cache.
+func TestLinearizableCaches(t *testing.T) {
+	impls := map[string]func() cds.Cache[int, int]{
+		"SIEVE":  func() cds.Cache[int, int] { return cache.New[int, int](2, cache.WithShards(1)) },
+		"S3FIFO": func() cds.Cache[int, int] { return cache.NewS3FIFO[int, int](2, cache.WithShards(1)) },
+		"LRU":    func() cds.Cache[int, int] { return cache.NewLRU[int, int](2, cache.WithShards(1)) },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.CacheModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				c := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						k := rng.Intn(linKeyRange)
+						switch rng.Intn(4) {
+						case 0:
+							p := rec.Begin(client, lincheck.CacheDelete{Key: k})
+							p.End(c.Delete(k))
+						case 1, 2:
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.CacheSet{Key: k, Value: v})
+							c.Set(k, v)
+							p.End(nil)
+						default:
+							p := rec.Begin(client, lincheck.CacheGet{Key: k})
+							v, ok := c.Get(k)
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
 						}
 					}
 				}

@@ -252,6 +252,63 @@ func TestMapSemantics(t *testing.T) {
 	}
 }
 
+func TestCacheModelLossySemantics(t *testing.T) {
+	// Eviction may drop any entry: a miss on a stored key is legal...
+	good := []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(1, CacheGet{Key: 1}, ValueOK{}, 3, 4), // evicted: legal miss
+		h(1, CacheGet{Key: 1}, ValueOK{}, 5, 6), // ...and it stays gone
+		h(0, CacheSet{Key: 1, Value: 20}, nil, 7, 8),
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 20, OK: true}, 9, 10),
+	}
+	if res := Check(CacheModel(), good); !res.Ok {
+		t.Fatalf("legal lossy history rejected: %s", res.Info)
+	}
+	// ...but a dropped key must not resurrect without a Set.
+	bad := []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(1, CacheGet{Key: 1}, ValueOK{}, 3, 4),
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 5, 6),
+	}
+	if res := Check(CacheModel(), bad); res.Ok {
+		t.Fatal("resurrected entry accepted")
+	}
+	// A hit must return the latest value, lossiness notwithstanding.
+	bad = []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(0, CacheSet{Key: 1, Value: 20}, nil, 3, 4),
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 5, 6),
+	}
+	if res := Check(CacheModel(), bad); res.Ok {
+		t.Fatal("stale cache read accepted")
+	}
+	// Delete(true) needs a live entry; a hit cannot follow the delete.
+	good = []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(0, CacheDelete{Key: 1}, true, 3, 4),
+		h(1, CacheGet{Key: 1}, ValueOK{}, 5, 6),
+		h(0, CacheDelete{Key: 1}, false, 7, 8), // already gone
+	}
+	if res := Check(CacheModel(), good); !res.Ok {
+		t.Fatalf("legal delete history rejected: %s", res.Info)
+	}
+	bad = []Operation{
+		h(0, CacheDelete{Key: 1}, true, 1, 2), // never stored
+	}
+	if res := Check(CacheModel(), bad); res.Ok {
+		t.Fatal("delete of never-stored key accepted")
+	}
+	// Delete(false) marks the entry evicted: it must stay gone too.
+	bad = []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(0, CacheDelete{Key: 1}, false, 3, 4),
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 5, 6),
+	}
+	if res := Check(CacheModel(), bad); res.Ok {
+		t.Fatal("entry survived an observed eviction")
+	}
+}
+
 func TestInvalidOperationTimes(t *testing.T) {
 	bad := []Operation{h(0, RegisterRead{}, 0, 5, 5)}
 	if res := Check(RegisterModel(), bad); res.Ok {

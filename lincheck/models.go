@@ -72,6 +72,16 @@ type (
 	// PoolExec records the executor running task ID; output is ignored.
 	// The window is the handler invocation, bracketed by the worker.
 	PoolExec struct{ ID int }
+
+	// CacheGet looks Key up in a cache; output is ValueOK.
+	CacheGet struct{ Key int }
+	// CacheSet stores Key→Value in a cache; output is ignored.
+	CacheSet struct {
+		Key   int
+		Value int
+	}
+	// CacheDelete removes Key from a cache; output is the returned bool.
+	CacheDelete struct{ Key int }
 )
 
 // ValueOK is the output shape for operations returning (value, ok).
@@ -284,6 +294,62 @@ func PoolModel() Model {
 				return true, encodeSet(keys)
 			default:
 				return false, s
+			}
+		},
+	}
+}
+
+// CacheModel models a bounded cache as a lossy map — the specification
+// the cds.Cache interface documents. State is the canonical "k=v,..."
+// string of keys the cache is still obliged to hold. A Set always stores;
+// a Get that hits must return the stored value; but because eviction and
+// TTL expiry may drop any entry at any moment, a miss is legal for every
+// key — and observing one removes the key from the model, pinning the
+// contract that a dropped key stays absent until the next Set (the
+// implementation deletes lazily-expired entries on the miss path, so a
+// hit after an unexplained miss with no intervening Set is a real bug,
+// and so is a hit returning a stale value). Delete(true) needs a live
+// entry; Delete(false) is legal anywhere (the entry may have just been
+// evicted) and likewise clears the obligation.
+//
+// What this model deliberately cannot see: *which* entry eviction picks
+// (policy order is pinned by the deterministic unit traces in package
+// cache, not by linearizability) and capacity itself. What it does
+// verify, under the concurrent histories the checker enumerates, is that
+// per-key reads/writes/deletes linearize against a map that only ever
+// loses keys — no resurrection, no stale values, no lost updates.
+func CacheModel() Model {
+	return Model{
+		Init: func() any { return "" },
+		Step: func(state, input, output any) (bool, any) {
+			m := decodeMap(state.(string))
+			switch in := input.(type) {
+			case CacheSet:
+				m[in.Key] = in.Value
+				return true, encodeMap(m)
+			case CacheGet:
+				got := output.(ValueOK)
+				v, ok := m[in.Key]
+				if got.OK {
+					return ok && got.Value == v, state
+				}
+				if ok {
+					delete(m, in.Key) // evicted/expired: stays gone
+					return true, encodeMap(m)
+				}
+				return true, state
+			case CacheDelete:
+				_, ok := m[in.Key]
+				if output.(bool) && !ok {
+					return false, state // deleted an entry it never had
+				}
+				if ok {
+					delete(m, in.Key)
+					return true, encodeMap(m)
+				}
+				return true, state
+			default:
+				return false, state
 			}
 		},
 	}
