@@ -20,6 +20,7 @@ func Ablations() []Experiment {
 		{ID: "A2", Title: "Ablation: elimination spin budget (X = spins)", Run: runA2},
 		{ID: "A3", Title: "Ablation: striped map stripe count (X = stripes)", Run: runA3},
 		{ID: "A4", Title: "Ablation: sharded counter shard count (X = shards)", Run: runA4},
+		{ID: "A5", Title: "Ablation: LCRQ segment size vs MS/MPMC baselines (X = segment size)", Run: runA5},
 	}
 }
 

@@ -129,6 +129,7 @@ func runFamilyRecords(cfg Config, family string) []Record {
 // their figures flattened one record per point.
 func BuildReport(cfg Config, exps []Experiment) Report {
 	rep := Report{Schema: ReportSchema, Meta: NewMeta(cfg.Quick)}
+	rep.Summary = RunSummary(rep.Meta)
 	for _, e := range exps {
 		if e.Records != nil {
 			rep.Records = append(rep.Records, e.Records(cfg)...)

@@ -29,6 +29,7 @@ func goldenReport() Report {
 			Quick:       true,
 			UnixTime:    0,
 		},
+		Summary: "num_cpu=8 gomaxprocs=8 — fixed golden summary",
 		Records: []Record{
 			{
 				Family:    "queue",

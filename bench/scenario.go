@@ -147,6 +147,7 @@ func Scenarios() []Scenario {
 	all = append(all, dualScenarios()...)
 	all = append(all, poolScenarios()...)
 	all = append(all, cacheScenarios()...)
+	all = append(all, segQueueScenarios()...)
 	return all
 }
 
@@ -315,6 +316,12 @@ func queueScenarios() []Scenario {
 			})
 		}})
 	}
+	// The segmented/bounded designs ride along with structure gauges
+	// attached (segment-lifecycle counters for the LCRQ, CAS-miss/backoff
+	// counters for the MPMC ring); see bench/segqueue.go.
+	m2, s2 := segQueueS2Algos()
+	mixed.Algos = append(mixed.Algos, m2...)
+	split.Algos = append(split.Algos, s2...)
 	return []Scenario{mixed, split}
 }
 

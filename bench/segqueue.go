@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/cds-suite/cds/queue"
+	"github.com/cds-suite/cds/reclaim"
+)
+
+// The queue-segmented family (experiment S18) measures the FAA-claimed
+// segmented queues against the CAS-retry designs they are built to beat:
+// queue.MS (one CAS race per operation) and the bounded queue.MPMC ring
+// (one CAS race per ticket). Every record carries conservation gauges —
+// harness-counted enqueues/dequeues plus the structure's own segment
+// counters — so a report certifies not just throughput but where the
+// operations went: enqueues == dequeues + residual, and segs_allocated ==
+// segs_recycled + segs_live + segs_retired_pending. The enq_slowpath and
+// deq_abandoned gauges split FAA fast-path operations from tantrum/append
+// traffic, which is the evidence that matters on hardware too small to
+// show a parallel-speedup ratio (see Report.Summary).
+
+// segWorkerCounts is one worker's successful-operation tally, padded so
+// concurrent workers do not false-share tally lines.
+type segWorkerCounts struct {
+	enq, deq int64
+	_        [112]byte
+}
+
+// segHarnessGauges folds the per-worker tallies into the conservation
+// gauges. prefill counts as enqueues (the harness performed them before
+// the measured region) so the identity enqueues == dequeues + residual
+// holds exactly. extra, when non-nil, contributes the structure's own
+// end-of-run counters.
+func segHarnessGauges(counts []segWorkerCounts, prefill, residual int, extra func() map[string]float64) map[string]float64 {
+	var enq, deq int64
+	for i := range counts {
+		enq += counts[i].enq
+		deq += counts[i].deq
+	}
+	g := map[string]float64{
+		"enqueues": float64(int64(prefill) + enq),
+		"dequeues": float64(deq),
+		"residual": float64(residual),
+	}
+	if extra != nil {
+		for k, v := range extra() {
+			g[k] = v
+		}
+	}
+	return g
+}
+
+// segStatGauges flattens a segmented queue's segment-lifecycle counters
+// into record gauges. The naming is what the CI bench-smoke validation
+// asserts over.
+func segStatGauges(s queue.SegStats) map[string]float64 {
+	return map[string]float64{
+		"segs_allocated":       float64(s.SegsAllocated),
+		"segs_recycled":        float64(s.SegsRecycled),
+		"segs_reused":          float64(s.SegsReused),
+		"segs_closed":          float64(s.SegsClosed),
+		"segs_live":            float64(s.SegsLive),
+		"segs_retired_pending": float64(s.SegsRetiredPending),
+		"enq_slowpath":         float64(s.EnqSlowpath),
+		"deq_abandoned":        float64(s.DeqAbandoned),
+	}
+}
+
+// mpmcStatGauges flattens the bounded ring's CAS-miss and backoff
+// counters (the observable face of the S2 backoff fix).
+func mpmcStatGauges(s queue.MPMCStats) map[string]float64 {
+	return map[string]float64{
+		"enq_cas_misses": float64(s.EnqCASMisses),
+		"deq_cas_misses": float64(s.DeqCASMisses),
+		"backoffs":       float64(s.Backoffs),
+	}
+}
+
+// segDriver adapts one queue implementation to the S18 harness: enq/deq
+// report success (so failed bounded-ring tickets and empty dequeues do not
+// corrupt the conservation gauges), length reads the residual, and gauges
+// (optional) snapshots the structure's own counters.
+type segDriver struct {
+	enq    func(int) bool
+	deq    func() bool
+	length func() int
+	gauges func() map[string]float64
+}
+
+func msSegDriver() segDriver {
+	q := queue.NewMS[int]()
+	return segDriver{
+		enq:    func(v int) bool { q.Enqueue(v); return true },
+		deq:    func() bool { _, ok := q.TryDequeue(); return ok },
+		length: q.Len,
+	}
+}
+
+func lcrqSegDriver(opts ...queue.Option) segDriver {
+	q := queue.NewLCRQ[int](opts...)
+	return segDriver{
+		enq:    func(v int) bool { q.Enqueue(v); return true },
+		deq:    func() bool { _, ok := q.TryDequeue(); return ok },
+		length: q.Len,
+		gauges: func() map[string]float64 { return segStatGauges(q.Stats()) },
+	}
+}
+
+// lcrqEBRSegDriver runs the LCRQ with real reclamation and segment
+// recycling — the deployment shape — and merges the domain's
+// pending/reclaimed gauges with the segment counters. The advance interval
+// is forced to 1 so even quick runs exercise the recycler.
+func lcrqEBRSegDriver() segDriver {
+	dom := reclaim.NewEBR()
+	dom.SetAdvanceInterval(1)
+	q := queue.NewLCRQ[int](queue.WithReclaim(dom), queue.WithRecycling())
+	return segDriver{
+		enq:    func(v int) bool { q.Enqueue(v); return true },
+		deq:    func() bool { _, ok := q.TryDequeue(); return ok },
+		length: q.Len,
+		gauges: func() map[string]float64 {
+			g := segStatGauges(q.Stats())
+			for k, v := range reclaimGauges(dom) {
+				g[k] = v
+			}
+			return g
+		},
+	}
+}
+
+func mpscSegDriver() segDriver {
+	q := queue.NewMPSC[int]()
+	return segDriver{
+		enq:    func(v int) bool { q.Enqueue(v); return true },
+		deq:    func() bool { _, ok := q.TryDequeue(); return ok },
+		length: q.Len,
+		gauges: func() map[string]float64 { return segStatGauges(q.Stats()) },
+	}
+}
+
+func mpmcSegDriver() segDriver {
+	q := queue.NewMPMC[int](1 << 16)
+	return segDriver{
+		enq:    q.TryEnqueue,
+		deq:    func() bool { _, ok := q.TryDequeue(); return ok },
+		length: q.Len,
+		gauges: func() map[string]float64 { return mpmcStatGauges(q.Stats()) },
+	}
+}
+
+// runSegCell measures one (implementation, thread-count) cell: prefill,
+// drive the per-worker role closures with latency sampling, then attach
+// the conservation gauges.
+func runSegCell(cfg Config, th, prefill int, mk func() segDriver,
+	role func(w, th int, d segDriver, c *segWorkerCounts) func(int)) Result {
+	d := mk()
+	for i := 0; i < prefill; i++ {
+		d.enq(i)
+	}
+	counts := make([]segWorkerCounts, th)
+	ops := cfg.ops(200000)
+	res := RunLatency(th, ops/th+1, func(w int) func(int) {
+		return role(w, th, d, &counts[w])
+	})
+	res.Gauges = segHarnessGauges(counts, prefill, d.length(), d.gauges)
+	return res
+}
+
+// segQueueScenarios is the S18 matrix. Three mixes: the symmetric hot
+// path, an enqueue-burst shape that forces segment churn, and the pool
+// injection-lane shape (many producers, one consumer) where the MPSC
+// specialization is legal.
+func segQueueScenarios() []Scenario {
+	type impl struct {
+		label string
+		mk    func() segDriver
+	}
+	common := []impl{
+		{"MS", msSegDriver},
+		{"LCRQ", func() segDriver { return lcrqSegDriver() }},
+		{"LCRQ/EBR-recycle", lcrqEBRSegDriver},
+		{"MPMC-64k", mpmcSegDriver},
+	}
+
+	// hot-5050: prefilled symmetric mix — the common-case regime where the
+	// LCRQ's one-FAA fast path is the whole story.
+	hot := Scenario{Family: "queue-segmented", Name: "hot-5050"}
+	for _, im := range common {
+		mk := im.mk
+		hot.Algos = append(hot.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			return runSegCell(cfg, th, 1024, mk, func(w, _ int, d segDriver, c *segWorkerCounts) func(int) {
+				mix := NewMixGen(uint64(w)*7919+101, 50, 50)
+				return func(i int) {
+					if mix.Next() == 0 {
+						if d.enq(i) {
+							c.enq++
+						}
+					} else if d.deq() {
+						c.deq++
+					}
+				}
+			})
+		}})
+	}
+
+	// enq-burst-64-churn: alternating 64-op enqueue bursts and drain
+	// phases, starting empty. Bursts fill whole segments and the drains
+	// retire them, so this is the allocation/recycling regime: watch
+	// segs_allocated vs segs_reused across the LCRQ variants.
+	burst := Scenario{Family: "queue-segmented", Name: "enq-burst-64-churn"}
+	for _, im := range common {
+		mk := im.mk
+		burst.Algos = append(burst.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			return runSegCell(cfg, th, 0, mk, func(_, _ int, d segDriver, c *segWorkerCounts) func(int) {
+				return func(i int) {
+					if (i/64)%2 == 0 {
+						if d.enq(i) {
+							c.enq++
+						}
+					} else if d.deq() {
+						c.deq++
+					}
+				}
+			})
+		}})
+	}
+
+	// pool-injection-1-consumer: workers 1..n produce, worker 0 is the
+	// sole consumer — the shape of the executor's injection lane. The
+	// single-consumer topology makes the MPSC variant legal here, so this
+	// is the one cell that can price its skipped dequeue-side FAA/CAS
+	// against the full LCRQ. At one thread the cell degenerates to
+	// enqueue/dequeue pairs (still single-consumer).
+	inject := Scenario{Family: "queue-segmented", Name: "pool-injection-1-consumer"}
+	for _, im := range append(common[:3:3], impl{"MPSC", mpscSegDriver}, common[3]) {
+		mk := im.mk
+		inject.Algos = append(inject.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			return runSegCell(cfg, th, 0, mk, func(w, th int, d segDriver, c *segWorkerCounts) func(int) {
+				if th == 1 {
+					return func(i int) {
+						if d.enq(i) {
+							c.enq++
+						}
+						if d.deq() {
+							c.deq++
+						}
+					}
+				}
+				if w == 0 {
+					return func(int) {
+						if d.deq() {
+							c.deq++
+						}
+					}
+				}
+				return func(i int) {
+					if d.enq(i) {
+						c.enq++
+					}
+				}
+			})
+		}})
+	}
+
+	return []Scenario{hot, burst, inject}
+}
+
+// segQueueS2Algos returns the gauge-carrying additions to the S2 queue
+// family: the LCRQ alongside the linked designs it replaces, and the
+// bounded MPMC ring whose CAS-miss/backoff gauges pin the S2 backoff fix
+// observably. Both cells mirror the existing S2 mixes exactly (same
+// prefill, op budget, and mix seeds) so the new rows are comparable with
+// the incumbent ones.
+func segQueueS2Algos() (mixed, split []ScenarioAlgo) {
+	type gauged struct {
+		label string
+		mk    func() segDriver
+	}
+	impls := []gauged{
+		{"LCRQ", func() segDriver { return lcrqSegDriver() }},
+		{"MPMC-64k", mpmcSegDriver},
+	}
+	for _, im := range impls {
+		mk := im.mk
+		mixed = append(mixed, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			d := mk()
+			for i := 0; i < 1024; i++ {
+				d.enq(i)
+			}
+			ops := cfg.ops(200000)
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*7919+1, 70, 30)
+				return func(i int) {
+					if mix.Next() == 0 {
+						d.enq(i)
+					} else {
+						d.deq()
+					}
+				}
+			})
+			res.Gauges = d.gauges()
+			return res
+		}})
+		split = append(split, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			d := mk()
+			for i := 0; i < 1024; i++ {
+				d.enq(i)
+			}
+			ops := cfg.ops(200000)
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
+				if w%2 == 0 {
+					return func(i int) { d.enq(i) }
+				}
+				return func(int) { d.deq() }
+			})
+			res.Gauges = d.gauges()
+			return res
+		}})
+	}
+	return mixed, split
+}
+
+// runA5 sweeps the LCRQ's segment size on the symmetric 50/50 mix, with
+// queue.MS and the 64k MPMC ring re-measured at every X as flat baselines
+// (neither takes a segment-size parameter; re-measuring keeps their noise
+// floor honest rather than drawing a single stale line). The sweep brackets
+// the default: 64 retires segments fast enough to stress the reclaim path,
+// 1024 amortises allocation hardest but strands more slots on residual
+// queues.
+func runA5(cfg Config) []Figure {
+	ops := cfg.ops(200000)
+	th := runtime.GOMAXPROCS(0)
+	fig := Figure{
+		ID:     "A5",
+		Family: "queue-segmented",
+		Title:  fmt.Sprintf("LCRQ segment-size sweep at %d threads, 50/50 enq-deq (MS and MPMC-64k as baselines)", th),
+		XLabel: "segsize",
+	}
+	impls := []struct {
+		label string
+		mk    func(segSize int) segDriver
+	}{
+		{"MS", func(int) segDriver { return msSegDriver() }},
+		{"LCRQ", func(segSize int) segDriver { return lcrqSegDriver(queue.WithSegmentSize(segSize)) }},
+		{"MPMC-64k", func(int) segDriver { return mpmcSegDriver() }},
+	}
+	for _, im := range impls {
+		var s Series
+		s.Label = im.label
+		for _, segSize := range []int{64, 256, 1024} {
+			d := im.mk(segSize)
+			for i := 0; i < 1024; i++ {
+				d.enq(i)
+			}
+			res := Run(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*7919+101, 50, 50)
+				return func(i int) {
+					if mix.Next() == 0 {
+						d.enq(i)
+					} else {
+						d.deq()
+					}
+				}
+			})
+			s.Points = append(s.Points, Point{X: segSize, Mops: res.Throughput()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}
+}

@@ -1,9 +1,10 @@
 // Command cdsbench regenerates the experiment figures and tables from
 // DESIGN.md — throughput-scalability series for every structure family
 // (F1–F12, T1–T3) plus the mixed-workload scenario matrix with latency
-// percentiles (S1–S17, including the S14 reclamation, S15 blocking, S16
-// executor, and S17 cache families whose records carry structure gauges)
-// — as aligned text tables or as a machine-readable JSON report.
+// percentiles (S1–S18, including the S14 reclamation, S15 blocking, S16
+// executor, S17 cache, and S18 segmented-queue families whose records
+// carry structure gauges) — as aligned text tables or as a machine-readable
+// JSON report.
 //
 // Usage:
 //
@@ -42,7 +43,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cdsbench", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "", "experiment ID to run (e.g. F1, A2, S3); empty runs the main suite")
-		ablations  = fs.Bool("ablations", false, "also run the ablation sweeps (A1..A4)")
+		ablations  = fs.Bool("ablations", false, "also run the ablation sweeps (A1..A5)")
 		quick      = fs.Bool("quick", false, "smoke-sized workloads")
 		threads    = fs.String("threads", "", "comma-separated thread sweep (default: 1,2,4,...,GOMAXPROCS)")
 		ops        = fs.Int("ops", 0, "per-worker operations (0 = per-experiment default)")
@@ -107,6 +108,9 @@ func run(args []string) error {
 				rep.Meta.GitRevision = rev
 			}
 		}
+		// Echo the hardware framing to stderr so a redirected run still
+		// shows the reader what the numbers can and cannot claim.
+		fmt.Fprintln(os.Stderr, "cdsbench:", rep.Summary)
 		return rep.WriteJSON(w)
 	}
 	for _, e := range selected {

@@ -125,6 +125,23 @@ func TestLinearizableQueues(t *testing.T) {
 		"MS+HP": func() cds.Queue[int] {
 			return queue.NewMS[int](queue.WithReclaim(hpAggressive()), queue.WithRecycling())
 		},
+		// Segment size 2 forces the close/append transition every couple of
+		// enqueues, so the exhaustive windows repeatedly cross segment
+		// boundaries — the linearization-sensitive path (the append CAS, and
+		// empty verdicts racing a seal). The EBR/HP variants recycle, so a
+		// premature segment reuse inside a window is an ABA the checker
+		// would flag as an impossible history.
+		"LCRQ": func() cds.Queue[int] {
+			return queue.NewLCRQ[int](queue.WithSegmentSize(2))
+		},
+		"LCRQ+EBR": func() cds.Queue[int] {
+			return queue.NewLCRQ[int](queue.WithSegmentSize(2),
+				queue.WithReclaim(ebrAggressive()), queue.WithRecycling())
+		},
+		"LCRQ+HP": func() cds.Queue[int] {
+			return queue.NewLCRQ[int](queue.WithSegmentSize(2),
+				queue.WithReclaim(hpAggressive()), queue.WithRecycling())
+		},
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {
@@ -169,6 +186,50 @@ func TestLinearizableBoundedQueues(t *testing.T) {
 			}
 		})
 	})
+}
+
+// TestLinearizableMPSCQueues respects the MPSC contract inside the
+// windows: clients 0..n-2 are enqueue-only producers and the last client
+// is the sole dequeuer (the plain-store dequeue cursor is only sound
+// single-consumer). The model is still the full QueueModel — the
+// specialization must not cost FIFO or exactly-once delivery. Segment
+// size 2 keeps every window crossing segment boundaries, and the EBR/HP
+// variants recycle those segments aggressively.
+func TestLinearizableMPSCQueues(t *testing.T) {
+	impls := map[string]func() *queue.MPSC[int]{
+		"MPSC": func() *queue.MPSC[int] {
+			return queue.NewMPSC[int](queue.WithSegmentSize(2))
+		},
+		"MPSC+EBR": func() *queue.MPSC[int] {
+			return queue.NewMPSC[int](queue.WithSegmentSize(2),
+				queue.WithReclaim(ebrAggressive()), queue.WithRecycling())
+		},
+		"MPSC+HP": func() *queue.MPSC[int] {
+			return queue.NewMPSC[int](queue.WithSegmentSize(2),
+				queue.WithReclaim(hpAggressive()), queue.WithRecycling())
+		},
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.QueueModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				q := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						if client != linClients-1 {
+							v := rng.Intn(linValueRange)
+							p := rec.Begin(client, lincheck.QueueEnqueue{Value: v})
+							q.Enqueue(v)
+							p.End(nil)
+							continue
+						}
+						p := rec.Begin(client, lincheck.QueueDequeue{})
+						v, ok := q.TryDequeue()
+						p.End(lincheck.ValueOK{Value: v, OK: ok})
+					}
+				}
+			})
+		})
+	}
 }
 
 func TestLinearizableSets(t *testing.T) {

@@ -12,6 +12,30 @@ type Option func(*options)
 type options struct {
 	workers  int
 	dequeCap int
+	lane     Lane
+}
+
+// Lane selects the queue implementation behind the pool's shared
+// injection lane (the structure external Submits land in and every worker
+// dequeues from).
+type Lane int
+
+const (
+	// LaneMS is the default: the Michael–Scott linked queue, unbounded
+	// with per-task allocation. Proven by the S16 numbers; stays the
+	// default until S18's pool-injection cell justifies flipping.
+	LaneMS Lane = iota
+	// LaneSegmented selects queue.LCRQ: FAA-claimed ring segments,
+	// allocation per SegmentSize tasks instead of per task. The lane is
+	// multi-consumer (every worker dequeues), so it takes the full LCRQ
+	// rather than the single-consumer MPSC variant.
+	LaneSegmented
+)
+
+// WithInjectionLane selects the injection-lane implementation. Unknown
+// values select the default.
+func WithInjectionLane(l Lane) Option {
+	return func(o *options) { o.lane = l }
 }
 
 // WithWorkers sets the worker count. Values < 1 select the default,

@@ -42,10 +42,28 @@ const spinRounds = 8
 // task that needs to fork submits children via the Worker it was handed.
 //
 // WorkStealing satisfies cds.Pool.
+// injectLane is what the pool needs from its injection queue: the
+// unbounded enqueue, the non-blocking dequeue every worker polls, and the
+// O(1) emptiness probe the pre-park re-check runs. queue.MS and
+// queue.LCRQ both satisfy it; WithInjectionLane picks one.
+type injectLane[T any] interface {
+	Enqueue(T)
+	TryDequeue() (T, bool)
+	Empty() bool
+}
+
+// newLane builds the configured injection lane.
+func newLane[T any](l Lane) injectLane[T] {
+	if l == LaneSegmented {
+		return queue.NewLCRQ[T]()
+	}
+	return queue.NewMS[T]()
+}
+
 type WorkStealing[T any] struct {
 	handler func(w *Worker[T], t T)
 	workers []*Worker[T]
-	inject  *queue.MS[T]
+	inject  injectLane[T]
 
 	idle  park.Lot
 	nidle atomic.Int64
@@ -114,7 +132,7 @@ func NewWorkStealing[T any](handler func(w *Worker[T], t T), opts ...Option) *Wo
 	o := buildOptions(opts)
 	p := &WorkStealing[T]{
 		handler: handler,
-		inject:  queue.NewMS[T](),
+		inject:  newLane[T](o.lane),
 		drained: make(chan struct{}),
 		stopC:   make(chan struct{}),
 	}

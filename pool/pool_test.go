@@ -259,3 +259,60 @@ func TestStatsClassifySources(t *testing.T) {
 		t.Fatalf("accepted %d, want %d", st.Submitted+st.Spawned, total)
 	}
 }
+
+// TestSubmitConservationSegmentedLane re-runs submit conservation with the
+// injection lane on the segmented queue: the lane swap must be invisible
+// to the exactly-once guarantee and to the inject-hit accounting.
+func TestSubmitConservationSegmentedLane(t *testing.T) {
+	const n = 10000
+	var executed [n]atomic.Int32
+	p := NewWorkStealing(func(_ *Worker[task], tk task) {
+		executed[tk.lo].Add(1)
+	}, WithWorkers(4), WithInjectionLane(LaneSegmented))
+	for i := 0; i < n; i++ {
+		if !p.Submit(task{lo: i, hi: i + 1}) {
+			t.Fatalf("Submit(%d) rejected before shutdown", i)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := range executed {
+		if c := executed[i].Load(); c != 1 {
+			t.Fatalf("task %d executed %d times, want 1", i, c)
+		}
+	}
+	st := p.Stats()
+	if st.Executed() != n || st.Submitted != n {
+		t.Fatalf("stats executed=%d submitted=%d, want %d", st.Executed(), st.Submitted, n)
+	}
+	if st.InjectHits == 0 {
+		t.Fatal("segmented lane never served a task")
+	}
+}
+
+// TestForkJoinSegmentedLane drives the spawn/steal path with the
+// segmented lane underneath, exercising lane dequeues racing worker
+// steals.
+func TestForkJoinSegmentedLane(t *testing.T) {
+	const leaves = 1 << 12
+	var executed [leaves]atomic.Int32
+	p := NewWorkStealing(func(w *Worker[task], tk task) {
+		if tk.hi-tk.lo == 1 {
+			executed[tk.lo].Add(1)
+			return
+		}
+		mid := (tk.lo + tk.hi) / 2
+		w.Spawn(task{lo: tk.lo, hi: mid})
+		w.Spawn(task{lo: mid, hi: tk.hi})
+	}, WithWorkers(4), WithInjectionLane(LaneSegmented))
+	p.Submit(task{lo: 0, hi: leaves})
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := range executed {
+		if c := executed[i].Load(); c != 1 {
+			t.Fatalf("leaf %d executed %d times, want 1", i, c)
+		}
+	}
+}

@@ -2,8 +2,10 @@
 // survey literature: a coarse-locked queue, the Michael–Scott two-lock
 // queue, the Michael–Scott lock-free queue (PODC 1996), an
 // elimination-backed variant of it (Moir, Nussbaum, Shalev & Shavit, SPAA
-// 2005), a bounded array-based MPMC queue (Vyukov-style), and a
-// single-producer/single-consumer ring.
+// 2005), a bounded array-based MPMC queue (Vyukov-style), a
+// single-producer/single-consumer ring, and a segmented FAA-based queue
+// (LCRQ, after Morrison & Afek, PPoPP 2013) with a single-consumer MPSC
+// specialization.
 //
 // Queues are the survey's canonical illustration that a structure with two
 // access points (head and tail) admits more parallelism than a stack: the
@@ -12,12 +14,33 @@
 // unbounded growth for per-slot sequence numbers and the throughput of
 // array locality. Experiment F4 regenerates the classic comparison.
 //
+// The segmented queues (LCRQ, MPSC) chase the next bottleneck: on MS every
+// operation races one CAS on a shared word, so under contention most
+// attempts fail and retry. LCRQ replaces that race with a fetch-and-add —
+// every enqueuer is assigned a distinct slot ticket in the current
+// fixed-size segment and publishes into its slot privately; dequeuers
+// claim tickets the same way. FAA always succeeds, so the common case is
+// one uncontended RMW plus one slot CAS regardless of how many threads
+// pile on. CAS appears only on the rare paths: sealing a contended or full
+// segment (the "tantrum" closed bit) and appending a fresh one. Segments
+// retire through the reclamation layer at segment granularity — one
+// retire per SegmentSize operations instead of one per node — and recycle
+// through the same Recycler machinery as the node-based structures. The
+// MPSC variant additionally exploits a single-consumer topology (e.g. an
+// executor's injection lane) by replacing the dequeue-side FAA with a
+// plain store. Experiment S18 and ablation A5 measure the family;
+// LCRQ.Stats exposes the segment-lifecycle and fast-path/slow-path
+// counters those benchmarks report as gauges.
+//
 // Progress guarantees: Mutex and TwoLock are blocking; MS and Elimination
 // are lock-free (every failed CAS implies system-wide progress, with the
 // helping rule completing stalled enqueues); SPSC is wait-free for its two
 // designated threads; MPMC is bounded-nonblocking (a stalled producer can
-// delay the consumer of its slot, and only that slot). All operations are
-// linearizable, with linearization points documented per type. The
+// delay the consumer of its slot — and a stalled consumer the producer
+// reusing its slot — but only that slot); LCRQ and MPSC are
+// lock-free (a failed publication marks the slot or seals the segment, so
+// some operation always completes). All operations are linearizable, with
+// linearization points documented per type. The
 // lock-free queues accept WithReclaim/WithRecycling (package reclaim) for
 // explicit memory reclamation following Michael's two-hazard discipline.
 //

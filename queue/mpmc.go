@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/internal/pad"
 	"github.com/cds-suite/cds/internal/pow2"
 )
@@ -17,13 +18,21 @@ import (
 // element, dense cache behaviour) at the cost of a fixed capacity.
 //
 // Linearization points: TryEnqueue at the successful enqueue-cursor CAS;
-// TryDequeue at the successful dequeue-cursor CAS; full/empty returns at
-// the slot-sequence load that observed the condition.
+// TryDequeue at the successful dequeue-cursor CAS; an empty return at the
+// enqueue-cursor load that found no claim beyond the dequeue view, a full
+// return at the dequeue-cursor load that found a full lap of unconsumed
+// claims. The slot-sequence observation alone is not enough for either
+// verdict: a lagging sequence can mean an in-flight publication (or, for
+// full, an in-flight consumption) at the head of the line, and reporting
+// empty while completed enqueues sit in later slots would not be
+// linearizable — the cursor re-check distinguishes the two.
 //
 // Progress: not strictly lock-free — a producer that claims a slot and
-// stalls before publishing delays the consumer of that slot — but every
-// cursor operation is bounded and the design is the standard "practically
-// non-blocking" bounded queue used in high-performance systems.
+// stalls before publishing delays the consumer of that slot, and a
+// consumer that stalls between its claim and its sequence store delays
+// the producer reusing that slot — but every cursor operation is bounded
+// and the design is the standard "practically non-blocking" bounded
+// queue used in high-performance systems.
 type MPMC[T any] struct {
 	buf     []mpmcSlot[T]
 	mask    uint64
@@ -32,6 +41,34 @@ type MPMC[T any] struct {
 	_       pad.CacheLinePad
 	dequeue atomic.Uint64
 	_       pad.CacheLinePad
+	stats   mpmcCounters
+}
+
+// mpmcCounters sit behind Stats; they are touched only on the CAS-miss
+// slow path, so the uncontended fast path pays nothing for them.
+type mpmcCounters struct {
+	enqMisses atomic.Int64
+	deqMisses atomic.Int64
+	backoffs  atomic.Int64
+}
+
+// MPMCStats is a snapshot of the ring's contention counters (the S2
+// gauges): cursor-CAS misses per side, and how many retries — repeat
+// CAS misses plus waits on an in-flight peer's slot publication or
+// release — were paced with a backoff pause rather than spun hot.
+type MPMCStats struct {
+	EnqCASMisses int64
+	DeqCASMisses int64
+	Backoffs     int64
+}
+
+// Stats snapshots the contention counters. Counters are monotone.
+func (q *MPMC[T]) Stats() MPMCStats {
+	return MPMCStats{
+		EnqCASMisses: q.stats.enqMisses.Load(),
+		DeqCASMisses: q.stats.deqMisses.Load(),
+		Backoffs:     q.stats.backoffs.Load(),
+	}
 }
 
 type mpmcSlot[T any] struct {
@@ -56,8 +93,10 @@ func NewMPMC[T any](capacity int) *MPMC[T] {
 
 // TryEnqueue adds v at the tail; it reports false if the queue was full.
 func (q *MPMC[T]) TryEnqueue(v T) bool {
+	var b contend.Backoff
+	misses := 0
+	pos := q.enqueue.Load()
 	for {
-		pos := q.enqueue.Load()
 		slot := &q.buf[pos&q.mask]
 		seq := slot.sequence.Load()
 		switch {
@@ -68,11 +107,36 @@ func (q *MPMC[T]) TryEnqueue(v T) bool {
 				slot.sequence.Store(pos + 1) // publish to consumers
 				return true
 			}
+			// Lost the ticket race. Go's CAS reports failure without
+			// returning the witnessed value (unlike C++'s
+			// compare_exchange), so one cursor reload per miss is the
+			// floor — but only one: no spin back to a cold re-read, and
+			// repeated misses pace the retry instead of hammering the
+			// contended line.
+			q.stats.enqMisses.Add(1)
+			misses++
+			if misses > 1 {
+				q.stats.backoffs.Add(1)
+				b.Pause()
+			}
+			pos = q.enqueue.Load()
 		case seq < pos:
-			// Slot still occupied by the previous lap: queue is full.
-			return false
+			// Slot not yet freed for this lap. That proves the queue full
+			// only if a whole lap of claims is unconsumed; otherwise either
+			// the slot's consumer is mid-claim (dequeue-cursor CAS done,
+			// sequence store pending — wait it out, per the documented
+			// caveat that a stalled peer delays this slot and only this
+			// slot) or our cursor view is a whole lap stale (the signed
+			// delta goes negative) and a reload fixes it.
+			if int64(pos-q.dequeue.Load()) >= int64(len(q.buf)) {
+				return false // full linearizes at the dequeue-cursor load
+			}
+			pos = q.enqueue.Load()
+			q.stats.backoffs.Add(1)
+			b.Pause()
 		default:
-			// Another producer advanced the cursor; reload and retry.
+			// Another producer advanced the cursor past our stale view.
+			pos = q.enqueue.Load()
 		}
 	}
 }
@@ -80,8 +144,10 @@ func (q *MPMC[T]) TryEnqueue(v T) bool {
 // TryDequeue removes and returns the head element; ok is false if the
 // queue was empty.
 func (q *MPMC[T]) TryDequeue() (v T, ok bool) {
+	var b contend.Backoff
+	misses := 0
+	pos := q.dequeue.Load()
 	for {
-		pos := q.dequeue.Load()
 		slot := &q.buf[pos&q.mask]
 		seq := slot.sequence.Load()
 		switch {
@@ -95,10 +161,30 @@ func (q *MPMC[T]) TryDequeue() (v T, ok bool) {
 				slot.sequence.Store(pos + q.mask + 1)
 				return v, true
 			}
+			// Lost the claim race: one reload, paced after repeat misses
+			// (see TryEnqueue for why the reload itself is unavoidable).
+			q.stats.deqMisses.Add(1)
+			misses++
+			if misses > 1 {
+				q.stats.backoffs.Add(1)
+				b.Pause()
+			}
+			pos = q.dequeue.Load()
 		case seq < pos+1:
-			return v, false // nothing published yet: empty
+			// Slot not yet published for this lap. That proves the queue
+			// empty only if no enqueuer has claimed a ticket beyond our
+			// view — a producer that claimed this very slot and stalled
+			// before its sequence store would otherwise make us report
+			// empty while its completed successors sit in later slots.
+			if q.enqueue.Load() == pos {
+				return v, false // empty linearizes at the enqueue-cursor load
+			}
+			pos = q.dequeue.Load()
+			q.stats.backoffs.Add(1)
+			b.Pause()
 		default:
-			// Another consumer advanced the cursor; reload and retry.
+			// Another consumer advanced the cursor past our stale view.
+			pos = q.dequeue.Load()
 		}
 	}
 }
@@ -113,14 +199,18 @@ func (q *MPMC[T]) Len() int {
 	// values when producers race ahead between the two loads.
 	deq := q.dequeue.Load()
 	enq := q.enqueue.Load()
-	if enq < deq {
+	// The unsigned difference is correct even when the cursors straddle a
+	// uint64 wraparound (a direct enq < deq comparison is not); a racing
+	// dequeuer that got ahead between the two loads shows up as a huge
+	// difference that is negative in two's complement.
+	d := int64(enq - deq)
+	if d < 0 {
 		return 0
 	}
-	n := int(enq - deq)
-	if n > len(q.buf) {
-		n = len(q.buf)
+	if d > int64(len(q.buf)) {
+		return len(q.buf)
 	}
-	return n
+	return int(d)
 }
 
 // String describes the queue state for debugging.

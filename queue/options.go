@@ -8,6 +8,7 @@ type Option func(*options)
 type options struct {
 	dom     reclaim.Domain
 	recycle bool
+	segSize int
 }
 
 // WithReclaim attaches a safe-memory-reclamation domain (reclaim.NewEBR,
@@ -24,6 +25,15 @@ func WithReclaim(d reclaim.Domain) Option {
 // deferring WithReclaim domain (EBR or HP) and is ignored otherwise.
 func WithRecycling() Option {
 	return func(o *options) { o.recycle = true }
+}
+
+// WithSegmentSize sets the slots per ring segment for the segmented
+// queues (LCRQ, MPSC); other variants ignore it. Rounded up to a power of
+// two, minimum 2, default 256. Larger segments amortise the append slow
+// path further but hold more memory per live segment; the A5 ablation
+// sweeps the trade-off.
+func WithSegmentSize(n int) Option {
+	return func(o *options) { o.segSize = n }
 }
 
 func buildOptions(opts []Option) options {

@@ -12,6 +12,8 @@ var (
 	_ cds.Queue[int]        = (*TwoLock[int])(nil)
 	_ cds.Queue[int]        = (*MS[int])(nil)
 	_ cds.Queue[int]        = (*Elimination[int])(nil)
+	_ cds.Queue[int]        = (*LCRQ[int])(nil)
+	_ cds.Queue[int]        = (*MPSC[int])(nil)
 	_ cds.BoundedQueue[int] = (*MPMC[int])(nil)
 	_ cds.BoundedQueue[int] = (*SPSC[int])(nil)
 )

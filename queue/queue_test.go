@@ -383,6 +383,36 @@ func TestMPMCFullEmptyTransitions(t *testing.T) {
 	}
 }
 
+// TestMPMCNoFalseEmptyInPairs pins the empty-report linearizability fix:
+// each worker runs strict enqueue-then-dequeue pairs, so at the instant
+// of any TryDequeue the caller's own unmatched enqueue (at least) is in
+// the queue and a false return is impossible. The pre-fix code could
+// report empty here when a producer stalled between its cursor claim and
+// its sequence store while completed enqueues sat in later slots — the
+// interleaving the lincheck MPMC windows flagged.
+func TestMPMCNoFalseEmptyInPairs(t *testing.T) {
+	const workers, pairs = 8, 20000
+	q := NewMPMC[int](1024) // capacity >> workers: never full
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				if !q.TryEnqueue(w) {
+					t.Errorf("worker %d: enqueue %d reported full", w, i)
+					return
+				}
+				if _, ok := q.TryDequeue(); !ok {
+					t.Errorf("worker %d: dequeue %d reported empty with own enqueue unmatched", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestQueueLenUnderConcurrency(t *testing.T) {
 	// Len must never go negative or exceed capacity for bounded queues.
 	q := NewMPMC[int](64)

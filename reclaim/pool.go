@@ -111,6 +111,30 @@ func (p *Pool) Put(g Guard) {
 	g.Release()
 }
 
+// Drain releases every parked guard, handing their buffered retirements
+// back to the domain as orphans, which subsequent retire traffic (or the
+// backend's own drain) reclaims. Retired objects otherwise sit in the
+// buffer of whichever parked guard retired them until that guard is
+// reused, so a structure that must reach zero pending garbage at a
+// quiescent point — teardown, a leak check — drains its pool first.
+// Guards currently checked out are unaffected; the pool remains usable
+// (Get simply registers fresh guards).
+func (p *Pool) Drain() {
+	if p.shared != nil {
+		return
+	}
+	for i := range p.cache {
+		s := &p.cache[i]
+		s.mu.Lock()
+		g := s.g
+		s.g = nil
+		s.mu.Unlock()
+		if g != nil {
+			g.Release()
+		}
+	}
+}
+
 // Recycler pools retired nodes of one concrete type for reuse, the
 // allocation win deferred reclamation unlocks: a node handed to Retire is
 // reset and returned to a sync.Pool once the guard's domain declares it
