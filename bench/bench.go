@@ -166,7 +166,12 @@ func RunSummary(m Meta) string {
 			"at 4 threads; on fewer cores that ratio is not observable and the "+
 			"S18 gauges carry the evidence instead — enq_slowpath and "+
 			"deq_abandoned staying small relative to enqueues/dequeues shows "+
-			"the single-FAA fast path dominating.",
+			"the single-FAA fast path dominating. Combining-backend sweep "+
+			"(S13): CC-Synch/DSM-Synch are expected to overtake flat "+
+			"combining only when real cores keep many waiters pending; below "+
+			"that, compare the avg_batch and handoffs gauges across the "+
+			"FlatCombining/CC-Synch/DSM-Synch rows of one cell — growing "+
+			"batches are the signature of delegation working.",
 		m.NumCPU, m.GOMAXPROCS)
 }
 

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Report diffing: the tooling that turns two BENCH_*.json trajectory
+// points into a reviewable statement about what got faster, slower, or
+// disappeared. cmd/benchdiff is the CLI; CI uses the regression flags to
+// gate on the noise threshold.
+
+// CellKey identifies one measured cell across reports: the
+// (experiment/family, scenario, algorithm, threads) coordinate every
+// Record carries.
+type CellKey struct {
+	Family   string
+	Scenario string
+	Algo     string
+	Threads  int
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s | %s | %s | t=%d", k.Family, k.Scenario, k.Algo, k.Threads)
+}
+
+// CellDiff compares one cell present in both reports.
+type CellDiff struct {
+	Key CellKey
+	// OldValue/NewValue are the records' headline values (throughput for
+	// mops cells); ValueDelta is the fractional change (new-old)/old,
+	// positive when the new report is higher.
+	OldValue, NewValue float64
+	ValueDelta         float64
+	// Unit is the cells' shared unit ("" when the two records disagree,
+	// in which case no value comparison was made).
+	Unit string
+	// P99 comparison, only when both records sampled latency.
+	HasP99         bool
+	OldP99, NewP99 int64
+	P99Delta       float64
+	// ValueRegression marks a headline-value drop beyond the noise
+	// threshold; P99Regression marks a p99 rise beyond it. Higher is
+	// better for both supported units (mops, percent), lower for p99.
+	ValueRegression bool
+	P99Regression   bool
+}
+
+// Regressed reports whether the cell regressed on either axis.
+func (c CellDiff) Regressed() bool { return c.ValueRegression || c.P99Regression }
+
+// Diff is the join of two reports.
+type Diff struct {
+	// Noise is the fractional threshold the regression flags used.
+	Noise float64
+	// Cells holds every key present in both reports, in the new report's
+	// record order.
+	Cells []CellDiff
+	// OnlyOld and OnlyNew list cells that exist in one report only
+	// (dropped and added coverage, respectively), sorted by key.
+	OnlyOld, OnlyNew []CellKey
+}
+
+// Regressions returns the cells that regressed beyond the noise threshold.
+func (d Diff) Regressions() []CellDiff {
+	var out []CellDiff
+	for _, c := range d.Cells {
+		if c.Regressed() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DiffReports joins two reports by cell key and flags regressions beyond
+// the fractional noise threshold (0.10 = 10%). Quick-mode runs are noisy;
+// the threshold exists so CI only fails on drops that outrun it.
+func DiffReports(oldR, newR Report, noise float64) Diff {
+	d := Diff{Noise: noise}
+	oldByKey := make(map[CellKey]Record, len(oldR.Records))
+	for _, r := range oldR.Records {
+		oldByKey[recordKey(r)] = r
+	}
+	newKeys := make(map[CellKey]bool, len(newR.Records))
+	for _, nr := range newR.Records {
+		k := recordKey(nr)
+		newKeys[k] = true
+		or, ok := oldByKey[k]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, k)
+			continue
+		}
+		d.Cells = append(d.Cells, diffCell(k, or, nr, noise))
+	}
+	for _, or := range oldR.Records {
+		if k := recordKey(or); !newKeys[k] {
+			d.OnlyOld = append(d.OnlyOld, k)
+		}
+	}
+	sortKeys(d.OnlyOld)
+	sortKeys(d.OnlyNew)
+	return d
+}
+
+func recordKey(r Record) CellKey {
+	return CellKey{Family: r.Family, Scenario: r.Scenario, Algo: r.Algo, Threads: r.Threads}
+}
+
+func diffCell(k CellKey, or, nr Record, noise float64) CellDiff {
+	c := CellDiff{Key: k, OldValue: or.Value, NewValue: nr.Value}
+	if or.Unit == nr.Unit {
+		c.Unit = or.Unit
+		if or.Value > 0 {
+			c.ValueDelta = (nr.Value - or.Value) / or.Value
+			c.ValueRegression = -c.ValueDelta > noise
+		}
+	}
+	if or.Samples > 0 && nr.Samples > 0 && or.P99Ns > 0 {
+		c.HasP99 = true
+		c.OldP99, c.NewP99 = or.P99Ns, nr.P99Ns
+		c.P99Delta = float64(nr.P99Ns-or.P99Ns) / float64(or.P99Ns)
+		c.P99Regression = c.P99Delta > noise
+	}
+	return c
+}
+
+func sortKeys(keys []CellKey) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+}
+
+// LoadReport reads a cds-bench/v1 JSON report from disk, verifying the
+// schema so two incompatible layouts are never silently joined.
+func LoadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("bench: load report: %w", err)
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// ReadReport decodes a report and verifies its schema.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: decode report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return Report{}, fmt.Errorf("bench: report schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	return rep, nil
+}
+
+// Render writes the diff as an aligned table: one row per joined cell,
+// with fractional deltas as percentages and regressions flagged in the
+// last column. Cells whose delta stays within the noise threshold on both
+// axes are summarised unless verbose is set.
+func (d Diff) Render(w io.Writer, verbose bool) error {
+	quiet := 0
+	if _, err := fmt.Fprintf(w, "%-66s %12s %12s %8s %9s %s\n",
+		"cell (family | scenario | algo | threads)", "old", "new", "Δvalue", "Δp99", "flag"); err != nil {
+		return err
+	}
+	for _, c := range d.Cells {
+		interesting := c.Regressed() ||
+			c.ValueDelta > d.Noise || (c.HasP99 && -c.P99Delta > d.Noise)
+		if !verbose && !interesting {
+			quiet++
+			continue
+		}
+		p99 := "-"
+		if c.HasP99 {
+			p99 = fmt.Sprintf("%+.1f%%", 100*c.P99Delta)
+		}
+		flag := ""
+		switch {
+		case c.ValueRegression && c.P99Regression:
+			flag = "REGRESSION(value,p99)"
+		case c.ValueRegression:
+			flag = "REGRESSION(value)"
+		case c.P99Regression:
+			flag = "REGRESSION(p99)"
+		case interesting:
+			flag = "improved"
+		}
+		if _, err := fmt.Fprintf(w, "%-66s %12.4f %12.4f %+7.1f%% %9s %s\n",
+			c.Key.String(), c.OldValue, c.NewValue, 100*c.ValueDelta, p99, flag); err != nil {
+			return err
+		}
+	}
+	if quiet > 0 {
+		if _, err := fmt.Fprintf(w, "(%d cells within ±%.0f%% noise suppressed; -v shows them)\n",
+			quiet, 100*d.Noise); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.OnlyOld {
+		if _, err := fmt.Fprintf(w, "only in old report: %s\n", k); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.OnlyNew {
+		if _, err := fmt.Fprintf(w, "only in new report: %s\n", k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffReport(records ...Record) Report {
+	return Report{Schema: ReportSchema, Records: records}
+}
+
+func diffRec(algo string, threads int, value float64, p99 int64) Record {
+	r := Record{
+		Family:   "contend",
+		Scenario: "queue-pingpong",
+		Algo:     algo,
+		Threads:  threads,
+		Value:    value,
+		Unit:     UnitMops,
+	}
+	if p99 > 0 {
+		r.P99Ns = p99
+		r.Samples = 1000
+	}
+	return r
+}
+
+func TestDiffReportsFlagsInjectedRegression(t *testing.T) {
+	oldR := diffReport(
+		diffRec("FC", 4, 10.0, 1000),
+		diffRec("FC/CC-Synch", 4, 12.0, 900),
+	)
+	// Inject a >10% throughput regression on FC (10.0 -> 8.0 = -20%)
+	// while CC-Synch stays within noise (12.0 -> 11.5 = -4.2%).
+	newR := diffReport(
+		diffRec("FC", 4, 8.0, 1000),
+		diffRec("FC/CC-Synch", 4, 11.5, 920),
+	)
+	d := DiffReports(oldR, newR, 0.10)
+	regs := d.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("Regressions() = %d cells, want 1: %+v", len(regs), regs)
+	}
+	got := regs[0]
+	if got.Key.Algo != "FC" || !got.ValueRegression || got.P99Regression {
+		t.Fatalf("wrong regression cell: %+v", got)
+	}
+	if got.ValueDelta > -0.19 || got.ValueDelta < -0.21 {
+		t.Fatalf("ValueDelta = %v, want ~-0.20", got.ValueDelta)
+	}
+}
+
+func TestDiffReportsFlagsP99Regression(t *testing.T) {
+	oldR := diffReport(diffRec("FC", 2, 10.0, 1000))
+	newR := diffReport(diffRec("FC", 2, 10.0, 1200)) // p99 +20%
+	d := DiffReports(oldR, newR, 0.10)
+	regs := d.Regressions()
+	if len(regs) != 1 || !regs[0].P99Regression || regs[0].ValueRegression {
+		t.Fatalf("want exactly one p99 regression, got %+v", regs)
+	}
+}
+
+func TestDiffReportsWithinNoiseNotFlagged(t *testing.T) {
+	oldR := diffReport(diffRec("FC", 2, 10.0, 1000))
+	newR := diffReport(diffRec("FC", 2, 9.5, 1050)) // -5% value, +5% p99
+	d := DiffReports(oldR, newR, 0.10)
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Fatalf("within-noise drift flagged as regression: %+v", regs)
+	}
+}
+
+func TestDiffReportsOnlyOldOnlyNew(t *testing.T) {
+	oldR := diffReport(diffRec("FC", 1, 10, 0), diffRec("Dropped", 1, 5, 0))
+	newR := diffReport(diffRec("FC", 1, 10, 0), diffRec("Added", 1, 7, 0))
+	d := DiffReports(oldR, newR, 0.10)
+	if len(d.Cells) != 1 {
+		t.Fatalf("joined cells = %d, want 1", len(d.Cells))
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0].Algo != "Dropped" {
+		t.Fatalf("OnlyOld = %+v, want the Dropped cell", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0].Algo != "Added" {
+		t.Fatalf("OnlyNew = %+v, want the Added cell", d.OnlyNew)
+	}
+}
+
+func TestDiffReportsUnitMismatchSkipsValueComparison(t *testing.T) {
+	or := diffRec("FC", 1, 10, 0)
+	nr := diffRec("FC", 1, 2, 0)
+	nr.Unit = UnitPercent // unit changed between reports: values not comparable
+	d := DiffReports(diffReport(or), diffReport(nr), 0.10)
+	if len(d.Cells) != 1 {
+		t.Fatalf("joined cells = %d, want 1", len(d.Cells))
+	}
+	if c := d.Cells[0]; c.Unit != "" || c.ValueRegression {
+		t.Fatalf("unit-mismatched cell compared anyway: %+v", c)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	_, err := ReadReport(strings.NewReader(`{"schema":"other/v9","records":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema report accepted: err = %v", err)
+	}
+}
+
+func TestDiffRenderMentionsRegression(t *testing.T) {
+	oldR := diffReport(diffRec("FC", 4, 10.0, 0))
+	newR := diffReport(diffRec("FC", 4, 5.0, 0))
+	d := DiffReports(oldR, newR, 0.10)
+	var sb strings.Builder
+	if err := d.Render(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION(value)") {
+		t.Fatalf("rendered diff does not flag the regression:\n%s", sb.String())
+	}
+}

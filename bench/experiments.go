@@ -11,6 +11,7 @@ import (
 	cds "github.com/cds-suite/cds"
 	"github.com/cds-suite/cds/barrier"
 	"github.com/cds-suite/cds/cmap"
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
 	"github.com/cds-suite/cds/fc"
@@ -353,6 +354,20 @@ func runF4(cfg Config) []Figure {
 			}
 			return opsQueue(q)
 		}},
+		{label: "FC/CC-Synch", mk: func() func(int) func(int) {
+			q := fc.NewQueue[int](fc.WithBackend(contend.BackendCCSynch))
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
+		{label: "FC/DSM-Synch", mk: func() func(int) func(int) {
+			q := fc.NewQueue[int](fc.WithBackend(contend.BackendDSMSynch))
+			for i := 0; i < 1024; i++ {
+				q.Enqueue(i)
+			}
+			return opsQueue(q)
+		}},
 		{label: "MPMC-64k", mk: func() func(int) func(int) {
 			q := queue.NewMPMC[int](1 << 16)
 			for i := 0; i < 1024; i++ {
@@ -595,6 +610,14 @@ func runF8(cfg Config) []Figure {
 		{label: "SkipListPQ", mk: func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
 		{label: "FCHeap", mk: func() cds.PriorityQueue[int] {
 			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
+		}},
+		{label: "FCHeap/CC-Synch", mk: func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b },
+				pqueue.WithBackend(contend.BackendCCSynch))
+		}},
+		{label: "FCHeap/DSM-Synch", mk: func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b },
+				pqueue.WithBackend(contend.BackendDSMSynch))
 		}},
 	}
 	for _, im := range impls {

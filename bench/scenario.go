@@ -10,6 +10,7 @@ import (
 
 	cds "github.com/cds-suite/cds"
 	"github.com/cds-suite/cds/barrier"
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
 	"github.com/cds-suite/cds/dual"
@@ -722,28 +723,66 @@ func reclaimScenarios() []Scenario {
 	}
 }
 
-// contendScenarios showcases the contention-management layer: the three
+// delegatorGauges flattens a combining backend's stats into record gauges.
+// avg_batch is the headline: batch size growing with the thread count is
+// the signature of delegation working, and comparing it across the
+// FlatCombining/CC-Synch/DSM-Synch rows of one cell shows which protocol
+// keeps batches full.
+func delegatorGauges(s contend.DelegatorStats) map[string]float64 {
+	return map[string]float64{
+		"batches":      float64(s.Batches),
+		"ops_combined": float64(s.Ops),
+		"max_batch":    float64(s.MaxBatch),
+		"avg_batch":    s.AvgBatch(),
+		"handoffs":     float64(s.Handoffs),
+	}
+}
+
+// combiningBackendSweep is the delegation-strategy axis of the S13 cells:
+// every combining-backed structure is measured over all three backends so
+// the flat-combining/CC-Synch/DSM-Synch comparison is direct per scenario.
+func combiningBackendSweep() []contend.Backend { return contend.Backends() }
+
+// contendScenarios showcases the contention-management layer: the
 // combining/elimination-backed variants under the high-contention symmetric
 // mixes they were designed for. Unlike the family matrices above, these
 // cells start empty (no prefill): the symmetric 50/50 mix then keeps the
 // structures hovering near empty, which maximises head/tail (or top)
 // collisions — the regime where elimination pairs operations off and
-// combining batches them, and where the plain CAS loops degrade.
+// combining batches them, and where the plain CAS loops degrade. Every
+// combining-backed row is swept over the three delegation backends and
+// carries the backend gauges (batches, avg/max batch, handoffs).
 func contendScenarios() []Scenario {
 	queueSc := Scenario{Family: "contend", Name: "queue-symmetric-50/50-empty"}
-	for _, im := range []struct {
-		label string
-		mk    func() cds.Queue[int]
-	}{
-		{"MS", func() cds.Queue[int] { return queue.NewMS[int]() }},
-		{"ElimMS", func() cds.Queue[int] { return queue.NewElimination[int](0, 0) }},
-		{"FC", func() cds.Queue[int] { return fc.NewQueue[int]() }},
-	} {
-		mk := im.mk
+	type qimpl struct {
+		label  string
+		mk     func() cds.Queue[int]
+		gauges func(cds.Queue[int]) map[string]float64
+	}
+	qimpls := []qimpl{
+		{label: "MS", mk: func() cds.Queue[int] { return queue.NewMS[int]() }},
+		{label: "ElimMS", mk: func() cds.Queue[int] { return queue.NewElimination[int](0, 0) }},
+	}
+	for _, be := range combiningBackendSweep() {
+		be := be
+		label := "FC"
+		if be != contend.BackendFlatCombining {
+			label = "FC/" + be.String()
+		}
+		qimpls = append(qimpls, qimpl{
+			label: label,
+			mk:    func() cds.Queue[int] { return fc.NewQueue[int](fc.WithBackend(be)) },
+			gauges: func(q cds.Queue[int]) map[string]float64 {
+				return delegatorGauges(q.(*fc.Queue[int]).Stats())
+			},
+		})
+	}
+	for _, im := range qimpls {
+		im := im
 		queueSc.Algos = append(queueSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
-			q := mk()
+			q := im.mk()
 			ops := cfg.ops(200000)
-			return RunLatency(th, ops/th+1, func(w int) func(int) {
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
 				mix := NewMixGen(uint64(w)*104729+13, 50, 50)
 				return func(i int) {
 					if mix.Next() == 0 {
@@ -753,27 +792,47 @@ func contendScenarios() []Scenario {
 					}
 				}
 			})
+			if im.gauges != nil {
+				res.Gauges = im.gauges(q)
+			}
+			return res
 		}})
 	}
 
 	pqSc := Scenario{Family: "contend", Name: "pqueue-symmetric-50/50"}
-	for _, im := range []struct {
-		label string
-		mk    func() cds.PriorityQueue[int]
-	}{
-		{"LockedHeap", func() cds.PriorityQueue[int] {
+	type pqimpl struct {
+		label  string
+		mk     func() cds.PriorityQueue[int]
+		gauges func(cds.PriorityQueue[int]) map[string]float64
+	}
+	pqimpls := []pqimpl{
+		{label: "LockedHeap", mk: func() cds.PriorityQueue[int] {
 			return pqueue.NewHeap[int](func(a, b int) bool { return a < b })
 		}},
-		{"SkipListPQ", func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
-		{"FCHeap", func() cds.PriorityQueue[int] {
-			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
-		}},
-	} {
-		mk := im.mk
+		{label: "SkipListPQ", mk: func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() }},
+	}
+	for _, be := range combiningBackendSweep() {
+		be := be
+		label := "FCHeap"
+		if be != contend.BackendFlatCombining {
+			label = "FCHeap/" + be.String()
+		}
+		pqimpls = append(pqimpls, pqimpl{
+			label: label,
+			mk: func() cds.PriorityQueue[int] {
+				return pqueue.NewFC[int](func(a, b int) bool { return a < b }, pqueue.WithBackend(be))
+			},
+			gauges: func(q cds.PriorityQueue[int]) map[string]float64 {
+				return delegatorGauges(q.(*pqueue.FC[int]).Stats())
+			},
+		})
+	}
+	for _, im := range pqimpls {
+		im := im
 		pqSc.Algos = append(pqSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
-			pq := mk()
+			pq := im.mk()
 			ops := cfg.ops(60000)
-			return RunLatency(th, ops/th+1, func(w int) func(int) {
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
 				mix := NewMixGen(uint64(w)*104729+29, 50, 50)
 				rng := xrand.New(uint64(w) + 43)
 				return func(int) {
@@ -784,6 +843,10 @@ func contendScenarios() []Scenario {
 					}
 				}
 			})
+			if im.gauges != nil {
+				res.Gauges = im.gauges(pq)
+			}
+			return res
 		}})
 	}
 
@@ -791,18 +854,34 @@ func contendScenarios() []Scenario {
 	// workload Chase-Lev's owner restriction rules out, so the combining
 	// deque is compared against the locked baseline.
 	dqSc := Scenario{Family: "contend", Name: "deque-symmetric-both-ends"}
-	for _, im := range []struct {
-		label string
-		mk    func() cds.Deque[int]
-	}{
-		{"MutexDeque", func() cds.Deque[int] { return deque.NewMutex[int]() }},
-		{"FCDeque", func() cds.Deque[int] { return deque.NewFC[int]() }},
-	} {
-		mk := im.mk
+	type dqimpl struct {
+		label  string
+		mk     func() cds.Deque[int]
+		gauges func(cds.Deque[int]) map[string]float64
+	}
+	dqimpls := []dqimpl{
+		{label: "MutexDeque", mk: func() cds.Deque[int] { return deque.NewMutex[int]() }},
+	}
+	for _, be := range combiningBackendSweep() {
+		be := be
+		label := "FCDeque"
+		if be != contend.BackendFlatCombining {
+			label = "FCDeque/" + be.String()
+		}
+		dqimpls = append(dqimpls, dqimpl{
+			label: label,
+			mk:    func() cds.Deque[int] { return deque.NewFC[int](deque.WithBackend(be)) },
+			gauges: func(d cds.Deque[int]) map[string]float64 {
+				return delegatorGauges(d.(*deque.FC[int]).Stats())
+			},
+		})
+	}
+	for _, im := range dqimpls {
+		im := im
 		dqSc.Algos = append(dqSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
-			d := mk()
+			d := im.mk()
 			ops := cfg.ops(200000)
-			return RunLatency(th, ops/th+1, func(w int) func(int) {
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
 				mix := NewMixGen(uint64(w)*104729+31, 40, 30, 30)
 				return func(i int) {
 					switch mix.Next() {
@@ -815,10 +894,62 @@ func contendScenarios() []Scenario {
 					}
 				}
 			})
+			if im.gauges != nil {
+				res.Gauges = im.gauges(d)
+			}
+			return res
 		}})
 	}
 
-	return []Scenario{queueSc, pqSc, dqSc}
+	// The counter cell is the smallest combining payload — pure delegation
+	// overhead, no structure work to hide it — so the three backends (and
+	// the atomic baseline) separate most cleanly here.
+	ctrSc := Scenario{Family: "contend", Name: "counter-inc-heavy-90/10"}
+	type cimpl struct {
+		label  string
+		mk     func() cds.Counter
+		gauges func(cds.Counter) map[string]float64
+	}
+	cimpls := []cimpl{
+		{label: "Atomic", mk: func() cds.Counter { return &counter.Atomic{} }},
+	}
+	for _, be := range combiningBackendSweep() {
+		be := be
+		label := "Combining"
+		if be != contend.BackendFlatCombining {
+			label = "Combining/" + be.String()
+		}
+		cimpls = append(cimpls, cimpl{
+			label: label,
+			mk:    func() cds.Counter { return counter.NewCombining(counter.WithBackend(be)) },
+			gauges: func(c cds.Counter) map[string]float64 {
+				return delegatorGauges(c.(*counter.Combining).Stats())
+			},
+		})
+	}
+	for _, im := range cimpls {
+		im := im
+		ctrSc.Algos = append(ctrSc.Algos, ScenarioAlgo{Label: im.label, Run: func(cfg Config, th int) Result {
+			c := im.mk()
+			ops := cfg.ops(200000)
+			res := RunLatency(th, ops/th+1, func(w int) func(int) {
+				mix := NewMixGen(uint64(w)*104729+37, 90, 10)
+				return func(int) {
+					if mix.Next() == 0 {
+						c.Inc()
+					} else {
+						c.Load()
+					}
+				}
+			})
+			if im.gauges != nil {
+				res.Gauges = im.gauges(c)
+			}
+			return res
+		}})
+	}
+
+	return []Scenario{queueSc, pqSc, dqSc, ctrSc}
 }
 
 // reclaimStructScenarios (experiment S14) measures the reclamation layer

@@ -1,0 +1,67 @@
+// Command benchdiff compares two cds-bench/v1 reports cell by cell.
+//
+// It joins records by (experiment family, scenario, algo, threads), prints
+// per-cell throughput and p99 deltas, and exits nonzero when any cell
+// regressed beyond the noise threshold — so CI can gate on it:
+//
+//	go run ./cmd/benchdiff -noise 0.10 baseline.json current.json
+//
+// Quick-mode reports are noisy; widen -noise rather than trusting
+// single-run deltas on a loaded machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/cds-suite/cds/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	noise := fs.Float64("noise", 0.10, "fractional noise threshold; deltas beyond it are regressions")
+	verbose := fs.Bool("v", false, "print cells that stayed within the noise threshold too")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [-noise 0.10] [-v] old.json new.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *noise < 0 {
+		fmt.Fprintln(stderr, "benchdiff: -noise must be >= 0")
+		return 2
+	}
+	oldR, err := bench.LoadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newR, err := bench.LoadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	d := bench.DiffReports(oldR, newR, *noise)
+	if err := d.Render(stdout, *verbose); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if regs := d.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(stdout, "%d cell(s) regressed beyond %.0f%% noise\n", len(regs), 100**noise)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions beyond %.0f%% noise (%d cells compared)\n", 100**noise, len(d.Cells))
+	return 0
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cds-suite/cds/bench"
+)
+
+func writeReport(t *testing.T, dir, name string, rep bench.Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(value float64) bench.Report {
+	return bench.Report{
+		Schema: bench.ReportSchema,
+		Records: []bench.Record{{
+			Family:   "contend",
+			Scenario: "queue-pingpong",
+			Algo:     "FC",
+			Threads:  4,
+			Value:    value,
+			Unit:     bench.UnitMops,
+		}},
+	}
+}
+
+func TestRunFlagsInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	// New report is 20% slower than old: beyond the default 10% noise.
+	oldPath := writeReport(t, dir, "old.json", report(10.0))
+	newPath := writeReport(t, dir, "new.json", report(8.0))
+	var out, errb bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for injected regression\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION(value)") {
+		t.Fatalf("output does not flag the regression:\n%s", out.String())
+	}
+}
+
+func TestRunCleanWhenWithinNoise(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report(10.0))
+	newPath := writeReport(t, dir, "new.json", report(9.5)) // -5% < 10% noise
+	var out, errb bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 for within-noise delta\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("output missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestRunWiderNoiseToleratesDrop(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report(10.0))
+	newPath := writeReport(t, dir, "new.json", report(8.0)) // -20%
+	var out, errb bytes.Buffer
+	if code := run([]string{"-noise", "0.25", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 with -noise 0.25\nstdout:\n%s", code, out.String())
+	}
+}
+
+func TestRunSelfDiffIsClean(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "same.json", report(10.0))
+	var out, errb bytes.Buffer
+	if code := run([]string{path, path}, &out, &errb); code != 0 {
+		t.Fatalf("self-diff exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {
+		t.Fatalf("one-arg exit code = %d, want 2", code)
+	}
+	if code := run([]string{"missing-a.json", "missing-b.json"}, &out, &errb); code != 2 {
+		t.Fatalf("missing-file exit code = %d, want 2", code)
+	}
+}

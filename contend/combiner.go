@@ -1,7 +1,6 @@
 package contend
 
 import (
-	"runtime"
 	"sync/atomic"
 )
 
@@ -31,10 +30,13 @@ import (
 // served. Lock-free in aggregate: the combiner role is claimed by CAS and
 // held only for a bounded batch.
 type Combiner[S any] struct {
-	seq  S
-	head atomic.Pointer[record[S]]
-	busy atomic.Bool
+	seq   S
+	head  atomic.Pointer[record[S]]
+	busy  atomic.Bool
+	stats delegStats
 }
+
+var _ Delegator[*int] = (*Combiner[*int])(nil)
 
 type record[S any] struct {
 	apply func(S)
@@ -61,7 +63,12 @@ func (c *Combiner[S]) Do(apply func(S)) {
 			break
 		}
 	}
-	spins := 0
+	// The wait loop uses the package's own Backoff pacing — the same
+	// spin-wait discipline as the CCSynch/DSMSynch waiters — instead of a
+	// bare busy-wait: randomized growth spreads the re-check stampede and
+	// the built-in yield threshold keeps a spinner from occupying the OS
+	// thread a stalled combiner needs.
+	var b Backoff
 	for {
 		if r.done.Load() {
 			return
@@ -73,14 +80,17 @@ func (c *Combiner[S]) Do(apply func(S)) {
 				return
 			}
 			// Our record was claimed by a previous combiner that has not
-			// finished applying it yet; keep waiting.
+			// finished applying it yet; keep waiting. This is flat
+			// combining's handoff analog: another thread completes our
+			// operation while we ran a pass of our own.
+			c.stats.handoffs.Add(1)
 		}
-		spins++
-		if spins%64 == 0 {
-			runtime.Gosched()
-		}
+		b.Pause()
 	}
 }
+
+// Stats reports the combining gauges accumulated so far.
+func (c *Combiner[S]) Stats() DelegatorStats { return c.stats.snapshot() }
 
 // combine claims the pending list and applies it. Caller holds busy.
 // Records are served in submission order (the CAS-push builds a LIFO list,
@@ -98,10 +108,13 @@ func (c *Combiner[S]) combine() {
 		rev = batch
 		batch = next
 	}
+	var served uint64
 	for r := rev; r != nil; {
 		next := r.next // r may be reused/collected once done is set
 		r.apply(c.seq)
 		r.done.Store(true)
+		served++
 		r = next
 	}
+	c.stats.endBatch(served, false)
 }

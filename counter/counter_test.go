@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/contend"
 )
 
 func testSequential(t *testing.T, c cds.Counter) {
@@ -59,6 +60,9 @@ func TestCountersSequential(t *testing.T) {
 		{name: "Atomic", c: new(Atomic)},
 		{name: "Sharded", c: NewSharded(8)},
 		{name: "CombiningTree", c: NewCombiningTree(8)},
+		{name: "Combining", c: NewCombining()},
+		{name: "Combining/CC-Synch", c: NewCombining(WithBackend(contend.BackendCCSynch))},
+		{name: "Combining/DSM-Synch", c: NewCombining(WithBackend(contend.BackendDSMSynch))},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -98,6 +102,53 @@ func TestCountersConcurrent(t *testing.T) {
 		c := NewCombiningTree(2 * runtime.GOMAXPROCS(0))
 		testConcurrentSum(t, c, c.Load)
 	})
+	for _, be := range contend.Backends() {
+		t.Run("Combining/"+be.String(), func(t *testing.T) {
+			c := NewCombining(WithBackend(be))
+			testConcurrentSum(t, c, c.Load)
+			if st := c.Stats(); st.Ops == 0 || st.Batches == 0 {
+				t.Fatalf("backend gauges empty after traffic: %+v", st)
+			}
+		})
+	}
+}
+
+func TestCombiningFetchAddDistinct(t *testing.T) {
+	// FetchAdd priors within one counter must be unique: each operation
+	// observes the value immediately before its own position in a batch.
+	for _, be := range contend.Backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			c := NewCombining(WithBackend(be))
+			const workers, perW = 8, 200
+			var (
+				wg   sync.WaitGroup
+				mu   sync.Mutex
+				seen = make(map[int64]bool, workers*perW)
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					priors := make([]int64, 0, perW)
+					for i := 0; i < perW; i++ {
+						priors = append(priors, c.FetchAdd(1))
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					for _, p := range priors {
+						if seen[p] {
+							t.Errorf("duplicate FetchAdd prior %d", p)
+						}
+						seen[p] = true
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Load(); got != workers*perW {
+				t.Fatalf("Load = %d, want %d", got, workers*perW)
+			}
+		})
+	}
 }
 
 func TestShardedHandle(t *testing.T) {

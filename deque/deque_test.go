@@ -8,13 +8,16 @@ import (
 	"testing/quick"
 
 	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/contend"
 )
 
 func implementations() map[string]func() cds.Deque[int] {
 	return map[string]func() cds.Deque[int]{
-		"Mutex":    func() cds.Deque[int] { return NewMutex[int]() },
-		"ChaseLev": func() cds.Deque[int] { return NewChaseLev[int](8) },
-		"FC":       func() cds.Deque[int] { return NewFC[int]() },
+		"Mutex":        func() cds.Deque[int] { return NewMutex[int]() },
+		"ChaseLev":     func() cds.Deque[int] { return NewChaseLev[int](8) },
+		"FC":           func() cds.Deque[int] { return NewFC[int]() },
+		"FC/CC-Synch":  func() cds.Deque[int] { return NewFC[int](WithBackend(contend.BackendCCSynch)) },
+		"FC/DSM-Synch": func() cds.Deque[int] { return NewFC[int](WithBackend(contend.BackendDSMSynch)) },
 	}
 }
 

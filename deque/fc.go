@@ -7,28 +7,49 @@ import (
 
 var _ cds.Deque[int] = (*FC[int])(nil)
 
-// FC is a flat-combining deque: a plain sequential slice deque made
-// concurrent through contend.Combiner. Unlike Chase-Lev it has no owner
+// FC is a combining deque: a plain sequential slice deque made concurrent
+// through a contend.Delegator backend (flat combining by default; CC-Synch
+// or DSM-Synch via WithBackend). Unlike Chase-Lev it has no owner
 // restriction — any goroutine may push or pop at either end — which makes
 // it the symmetric-deque baseline the work-stealing design is traded
 // against: Chase-Lev buys an uncontended owner fast path by restricting
-// who may touch the bottom, the flat-combining deque keeps full generality
+// who may touch the bottom, the combining deque keeps full generality
 // and batches all ends through one combiner.
 //
 // Progress: blocking in the small (a stalled combiner delays its batch) but
-// the combiner role is claimed by CAS and held only for a bounded batch.
+// the combiner role is held only for a bounded batch.
 type FC[T any] struct {
-	c *contend.Combiner[*seqDeque[T]]
+	c contend.Delegator[*seqDeque[T]]
 }
 
 type seqDeque[T any] struct {
 	items []T
 }
 
-// NewFC returns an empty flat-combining deque.
-func NewFC[T any]() *FC[T] {
-	return &FC[T]{c: contend.NewCombiner(&seqDeque[T]{})}
+// Option configures the combining deque at construction.
+type Option func(*fcConfig)
+
+type fcConfig struct {
+	backend contend.Backend
 }
+
+// WithBackend selects the combining backend (flat combining default,
+// CC-Synch, DSM-Synch); see contend.Backend.
+func WithBackend(b contend.Backend) Option {
+	return func(c *fcConfig) { c.backend = b }
+}
+
+// NewFC returns an empty combining deque.
+func NewFC[T any](opts ...Option) *FC[T] {
+	var cfg fcConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &FC[T]{c: contend.NewDelegator(cfg.backend, &seqDeque[T]{})}
+}
+
+// Stats reports the combining-backend gauges (batches, ops, handoffs).
+func (d *FC[T]) Stats() contend.DelegatorStats { return d.c.Stats() }
 
 // PushBottom adds v at the bottom end.
 func (d *FC[T]) PushBottom(v T) {

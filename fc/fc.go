@@ -18,10 +18,32 @@ func NewCombiner[S any](seq S) *Combiner[S] {
 	return contend.NewCombiner(seq)
 }
 
-// Queue is a FIFO queue built from a plain slice ring via a Combiner —
-// the flat-combining counterpart to the queues in package queue.
+// Option configures a combining container at construction.
+type Option func(*config)
+
+type config struct {
+	backend contend.Backend
+}
+
+// WithBackend selects the combining backend the container delegates
+// through: flat combining (the default), CC-Synch, or DSM-Synch. See
+// contend.Backend for when each wins.
+func WithBackend(b contend.Backend) Option {
+	return func(c *config) { c.backend = b }
+}
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Queue is a FIFO queue built from a plain slice ring via a combining
+// backend — the combining counterpart to the queues in package queue.
 type Queue[T any] struct {
-	c *contend.Combiner[*seqQueue[T]]
+	c contend.Delegator[*seqQueue[T]]
 }
 
 type seqQueue[T any] struct {
@@ -32,10 +54,15 @@ type seqQueue[T any] struct {
 
 var _ cds.Queue[int] = (*Queue[int])(nil)
 
-// NewQueue returns an empty flat-combining queue.
-func NewQueue[T any]() *Queue[T] {
-	return &Queue[T]{c: contend.NewCombiner(&seqQueue[T]{})}
+// NewQueue returns an empty combining queue, flat-combining by default;
+// see WithBackend.
+func NewQueue[T any](opts ...Option) *Queue[T] {
+	cfg := buildConfig(opts)
+	return &Queue[T]{c: contend.NewDelegator(cfg.backend, &seqQueue[T]{})}
 }
+
+// Stats reports the combining-backend gauges (batches, ops, handoffs).
+func (q *Queue[T]) Stats() contend.DelegatorStats { return q.c.Stats() }
 
 // Enqueue adds v at the tail.
 func (q *Queue[T]) Enqueue(v T) {
@@ -85,9 +112,9 @@ func (s *seqQueue[T]) pop() (v T, ok bool) {
 	return v, true
 }
 
-// Stack is a LIFO stack via a Combiner.
+// Stack is a LIFO stack via a combining backend.
 type Stack[T any] struct {
-	c *contend.Combiner[*seqStack[T]]
+	c contend.Delegator[*seqStack[T]]
 }
 
 type seqStack[T any] struct {
@@ -96,10 +123,15 @@ type seqStack[T any] struct {
 
 var _ cds.Stack[int] = (*Stack[int])(nil)
 
-// NewStack returns an empty flat-combining stack.
-func NewStack[T any]() *Stack[T] {
-	return &Stack[T]{c: contend.NewCombiner(&seqStack[T]{})}
+// NewStack returns an empty combining stack, flat-combining by default;
+// see WithBackend.
+func NewStack[T any](opts ...Option) *Stack[T] {
+	cfg := buildConfig(opts)
+	return &Stack[T]{c: contend.NewDelegator(cfg.backend, &seqStack[T]{})}
 }
+
+// Stats reports the combining-backend gauges (batches, ops, handoffs).
+func (s *Stack[T]) Stats() contend.DelegatorStats { return s.c.Stats() }
 
 // Push adds v to the top of the stack.
 func (s *Stack[T]) Push(v T) {

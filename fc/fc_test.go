@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"github.com/cds-suite/cds/contend"
 )
 
 func TestCombinerAppliesAll(t *testing.T) {
@@ -88,42 +90,61 @@ func TestCombinerSubmissionOrderPerThread(t *testing.T) {
 }
 
 func TestFCQueueFIFO(t *testing.T) {
-	q := NewQueue[int]()
-	if _, ok := q.TryDequeue(); ok {
-		t.Fatal("empty queue dequeued")
-	}
-	for i := 0; i < 100; i++ {
-		q.Enqueue(i)
-	}
-	if q.Len() != 100 {
-		t.Fatalf("Len = %d", q.Len())
-	}
-	for i := 0; i < 100; i++ {
-		v, ok := q.TryDequeue()
-		if !ok || v != i {
-			t.Fatalf("TryDequeue = (%d,%v), want (%d,true)", v, ok, i)
-		}
+	for _, be := range contend.Backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			q := NewQueue[int](WithBackend(be))
+			if _, ok := q.TryDequeue(); ok {
+				t.Fatal("empty queue dequeued")
+			}
+			for i := 0; i < 100; i++ {
+				q.Enqueue(i)
+			}
+			if q.Len() != 100 {
+				t.Fatalf("Len = %d", q.Len())
+			}
+			for i := 0; i < 100; i++ {
+				v, ok := q.TryDequeue()
+				if !ok || v != i {
+					t.Fatalf("TryDequeue = (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if st := q.Stats(); st.Ops == 0 || st.Batches == 0 {
+				t.Fatalf("backend gauges empty after traffic: %+v", st)
+			}
+		})
 	}
 }
 
 func TestFCStackLIFO(t *testing.T) {
-	s := NewStack[string]()
-	for _, v := range []string{"a", "b", "c"} {
-		s.Push(v)
-	}
-	for _, want := range []string{"c", "b", "a"} {
-		v, ok := s.TryPop()
-		if !ok || v != want {
-			t.Fatalf("TryPop = (%q,%v), want (%q,true)", v, ok, want)
-		}
-	}
-	if _, ok := s.TryPop(); ok {
-		t.Fatal("empty stack popped")
+	for _, be := range contend.Backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			s := NewStack[string](WithBackend(be))
+			for _, v := range []string{"a", "b", "c"} {
+				s.Push(v)
+			}
+			for _, want := range []string{"c", "b", "a"} {
+				v, ok := s.TryPop()
+				if !ok || v != want {
+					t.Fatalf("TryPop = (%q,%v), want (%q,true)", v, ok, want)
+				}
+			}
+			if _, ok := s.TryPop(); ok {
+				t.Fatal("empty stack popped")
+			}
+		})
 	}
 }
 
 func TestFCQueueConcurrentConservation(t *testing.T) {
-	q := NewQueue[int]()
+	for _, be := range contend.Backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			testFCQueueConservation(t, be)
+		})
+	}
+}
+
+func testFCQueueConservation(t *testing.T, be contend.Backend) {
+	q := NewQueue[int](WithBackend(be))
 	producers := runtime.GOMAXPROCS(0)
 	const perProducer = 10000
 	total := producers * perProducer

@@ -11,6 +11,7 @@ import (
 	cds "github.com/cds-suite/cds"
 	"github.com/cds-suite/cds/cache"
 	"github.com/cds-suite/cds/cmap"
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/counter"
 	"github.com/cds-suite/cds/deque"
 	"github.com/cds-suite/cds/dual"
@@ -398,6 +399,15 @@ func TestLinearizableDeques(t *testing.T) {
 		"Mutex":    func() cds.Deque[int] { return deque.NewMutex[int]() },
 		"ChaseLev": func() cds.Deque[int] { return deque.NewChaseLev[int](8) },
 		"FC":       func() cds.Deque[int] { return deque.NewFC[int]() },
+		// The combining-backend variants re-verify the same sequential deque
+		// under the CC-Synch/DSM-Synch delegation protocols: the windows
+		// exercise the tail-swap/handoff transitions under real concurrency.
+		"FC/CC-Synch": func() cds.Deque[int] {
+			return deque.NewFC[int](deque.WithBackend(contend.BackendCCSynch))
+		},
+		"FC/DSM-Synch": func() cds.Deque[int] {
+			return deque.NewFC[int](deque.WithBackend(contend.BackendDSMSynch))
+		},
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {
@@ -438,6 +448,14 @@ func TestLinearizablePriorityQueues(t *testing.T) {
 		"SkipListPQ": func() cds.PriorityQueue[int] { return pqueue.NewSkipList[int]() },
 		"FCHeap": func() cds.PriorityQueue[int] {
 			return pqueue.NewFC[int](func(a, b int) bool { return a < b })
+		},
+		"FCHeap/CC-Synch": func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b },
+				pqueue.WithBackend(contend.BackendCCSynch))
+		},
+		"FCHeap/DSM-Synch": func() cds.PriorityQueue[int] {
+			return pqueue.NewFC[int](func(a, b int) bool { return a < b },
+				pqueue.WithBackend(contend.BackendDSMSynch))
 		},
 	}
 	for name, mk := range impls {

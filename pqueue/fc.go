@@ -7,20 +7,22 @@ import (
 
 var _ cds.PriorityQueue[int] = (*FC[int])(nil)
 
-// FC is a flat-combining priority queue: a plain sequential binary heap
-// concurrent through contend.Combiner. A priority queue is combining's
-// natural habitat — every DeleteMin serialises on the minimum anyway, so
-// instead of p threads taking turns pulling the heap's cache lines through
-// a lock, one combiner applies a whole batch of inserts and deleteMins
-// against a heap that stays resident in its cache. The Synch framework
-// (Kallimanis) reports exactly this shape winning for heaps at scale.
+// FC is a combining priority queue: a plain sequential binary heap made
+// concurrent through a contend.Delegator backend (flat combining by
+// default; CC-Synch or DSM-Synch via WithBackend). A priority queue is
+// combining's natural habitat — every DeleteMin serialises on the minimum
+// anyway, so instead of p threads taking turns pulling the heap's cache
+// lines through a lock, one combiner applies a whole batch of inserts and
+// deleteMins against a heap that stays resident in its cache. The Synch
+// framework (Kallimanis) reports exactly this shape winning for heaps at
+// scale, with the CC-Synch backends ahead at high core counts.
 //
 // less defines the priority order: less(a, b) means a comes out first.
 //
 // Progress: blocking in the small (a stalled combiner delays its batch) but
-// the combiner role is claimed by CAS and held only for a bounded batch.
+// the combiner role is held only for a bounded batch.
 type FC[T any] struct {
-	c *contend.Combiner[*seqHeap[T]]
+	c contend.Delegator[*seqHeap[T]]
 }
 
 type seqHeap[T any] struct {
@@ -28,10 +30,30 @@ type seqHeap[T any] struct {
 	items []T
 }
 
-// NewFC returns an empty flat-combining priority queue ordered by less.
-func NewFC[T any](less func(a, b T) bool) *FC[T] {
-	return &FC[T]{c: contend.NewCombiner(&seqHeap[T]{less: less})}
+// Option configures the combining priority queue at construction.
+type Option func(*fcConfig)
+
+type fcConfig struct {
+	backend contend.Backend
 }
+
+// WithBackend selects the combining backend (flat combining default,
+// CC-Synch, DSM-Synch); see contend.Backend.
+func WithBackend(b contend.Backend) Option {
+	return func(c *fcConfig) { c.backend = b }
+}
+
+// NewFC returns an empty combining priority queue ordered by less.
+func NewFC[T any](less func(a, b T) bool, opts ...Option) *FC[T] {
+	var cfg fcConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &FC[T]{c: contend.NewDelegator(cfg.backend, &seqHeap[T]{less: less})}
+}
+
+// Stats reports the combining-backend gauges (batches, ops, handoffs).
+func (q *FC[T]) Stats() contend.DelegatorStats { return q.c.Stats() }
 
 // Insert adds v.
 func (q *FC[T]) Insert(v T) {

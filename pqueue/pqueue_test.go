@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	cds "github.com/cds-suite/cds"
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/internal/xrand"
 )
 
@@ -26,6 +27,12 @@ func implementations() []struct {
 		{name: "SkipList", mk: func() cds.PriorityQueue[int] { return NewSkipList[int]() }},
 		{name: "FCHeap", mk: func() cds.PriorityQueue[int] {
 			return NewFC[int](func(a, b int) bool { return a < b })
+		}},
+		{name: "FCHeap/CC-Synch", mk: func() cds.PriorityQueue[int] {
+			return NewFC[int](func(a, b int) bool { return a < b }, WithBackend(contend.BackendCCSynch))
+		}},
+		{name: "FCHeap/DSM-Synch", mk: func() cds.PriorityQueue[int] {
+			return NewFC[int](func(a, b int) bool { return a < b }, WithBackend(contend.BackendDSMSynch))
 		}},
 	}
 }
