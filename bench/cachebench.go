@@ -49,11 +49,12 @@ type cacheBackend interface {
 // cdsCache adapts cache.Cache to the backend interface.
 type cdsCache struct{ c *cache.Cache[uint64, uint64] }
 
-func newCDSCache(p cache.Policy, shards int) cacheBackend {
+func newCDSCache(p cache.Policy, shards int, extra ...cache.Option) cacheBackend {
 	opts := []cache.Option{cache.WithPolicy(p), cache.WithTTL(cacheTTL)}
 	if shards > 0 {
 		opts = append(opts, cache.WithShards(shards))
 	}
+	opts = append(opts, extra...)
 	return cdsCache{cache.New[uint64, uint64](cacheCap, opts...)}
 }
 
@@ -74,6 +75,10 @@ func (b cdsCache) gauges() map[string]float64 {
 		"expired":             float64(st.Expired),
 		"loads":               float64(st.Loads),
 		"stampede_suppressed": float64(st.StampedeSuppressed),
+		"weight_resident":     float64(st.WeightResident),
+		"max_weight":          float64(b.c.MaxWeight()),
+		"admission_rejects":   float64(st.AdmissionRejects),
+		"evict_considered":    float64(st.EvictConsidered),
 	}
 }
 
@@ -129,6 +134,10 @@ func (b *syncMapTTL) gauges() map[string]float64 {
 		"expired":             float64(b.expired.Load()),
 		"loads":               float64(b.loads.Load()),
 		"stampede_suppressed": 0,
+		"weight_resident":     0,
+		"max_weight":          0,
+		"admission_rejects":   0,
+		"evict_considered":    0,
 	}
 }
 
@@ -246,6 +255,84 @@ func runCacheStampede(mk func() cacheBackend, cfg Config, th int) Result {
 	return res
 }
 
+// Loopy-trace parameters (the S17 admission cell): a small Zipf hot set
+// that always fits, interleaved 1:1 with a sequential loop whose range
+// exceeds the capacity left after the hot set. Every loop key's reuse
+// distance beats any recency policy — retained-by-recency loop keys never
+// hit — but a frequency-sketch admission filter freezes a resident loop
+// subset that then hits on every lap. This is the cell where
+// SIEVE+TinyLFU must beat plain SIEVE on hit_rate (the seeded regression
+// test in package cache pins the same mechanism at smaller scale).
+const (
+	cacheLoopHotKeys = cacheCap / 4 // Zipf working set, far under capacity
+	cacheLoopRange   = 2 * cacheCap // loop reuse distance > spare capacity
+)
+
+// runCacheLoopy measures cache-aside traffic (get; set on miss) over the
+// hot-set + loop interleave. Workers share the key space but walk
+// phase-shifted loop positions, keeping the loop sequential per worker.
+func runCacheLoopy(mk func() cacheBackend, cfg Config, th int) Result {
+	b := mk()
+	defer b.close()
+	for k := uint64(0); k < cacheLoopHotKeys; k++ {
+		b.set(k, k) // warm the hot set; loop keys start cold
+	}
+	var ctr cacheCounters
+	ops := cfg.ops(1 << 16)
+	res := RunLatency(th, ops, func(w int) func(int) {
+		keys, err := NewKeyStream(cacheLoopHotKeys, 0.99, uint64(w)*7919+1)
+		if err != nil {
+			panic(err) // static parameters; cannot fail at runtime
+		}
+		loop := uint64(w) * 977 // phase-shift workers around the loop
+		hits, misses := 0, 0
+		var once sync.Once
+		fold := func() {
+			ctr.hits.Add(int64(hits))
+			ctr.misses.Add(int64(misses))
+		}
+		return func(i int) {
+			var k uint64
+			if i&1 == 0 {
+				// Loop keys live above the hot-set range.
+				k = cacheLoopHotKeys + loop%cacheLoopRange
+				loop++
+			} else {
+				k = keys.Next()
+			}
+			if _, ok := b.get(k); ok {
+				hits++
+			} else {
+				misses++
+				b.set(k, k)
+			}
+			if i == ops-1 {
+				once.Do(fold)
+			}
+		}
+	})
+	res.Gauges = ctr.gauges(b)
+	return res
+}
+
+// cacheEntryWeight derives a deterministic heavy-tailed weight from the
+// key for the weighted S17 cell: mostly small objects (1..16), with ~1 in
+// 128 keys a 512-unit giant — the distribution that makes multi-victim
+// evictions routine.
+func cacheEntryWeight(k uint64, _ uint64) int64 {
+	x := k + 1
+	h := xrand.SplitMix64(&x)
+	if h%128 == 0 {
+		return 512
+	}
+	return int64(1 + h%16)
+}
+
+// cacheWeightBudget keeps the weighted cells at roughly the same resident
+// entry count as the counted cells: mean weight is ≈ 12 (16/2 plus the
+// giants' contribution), so budget = 12 × capacity.
+const cacheWeightBudget = 12 * cacheCap
+
 // cacheAlgos is the S17 implementation sweep: the two scan-resistant
 // policies (sharded), the single-lock LRU, and the sync.Map baseline.
 func cacheAlgos(run func(mk func() cacheBackend, cfg Config, th int) Result) []ScenarioAlgo {
@@ -265,6 +352,54 @@ func cacheAlgos(run func(mk func() cacheBackend, cfg Config, th int) Result) []S
 	}
 }
 
+// cacheAdmissionAlgos is the loopy-trace sweep: each scan-resistant
+// policy with and without the TinyLFU admission filter, so the hit_rate
+// column isolates what admission buys on a loop-heavy trace.
+func cacheAdmissionAlgos(run func(mk func() cacheBackend, cfg Config, th int) Result) []ScenarioAlgo {
+	tiny := cache.WithAdmission(cache.TinyLFU)
+	return []ScenarioAlgo{
+		{Label: "SIEVE", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend { return newCDSCache(cache.SIEVE, 0) }, cfg, th)
+		}},
+		{Label: "SIEVE+TinyLFU", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend { return newCDSCache(cache.SIEVE, 0, tiny) }, cfg, th)
+		}},
+		{Label: "S3-FIFO", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend { return newCDSCache(cache.S3FIFO, 0) }, cfg, th)
+		}},
+		{Label: "S3-FIFO+TinyLFU", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend { return newCDSCache(cache.S3FIFO, 0, tiny) }, cfg, th)
+		}},
+	}
+}
+
+// cacheWeightedAlgos is the weighted sweep: the bounded policies under a
+// byte-like weight budget with heavy-tailed entry weights (one giant can
+// evict dozens of small victims), plus the unbounded sync.Map baseline
+// for contrast.
+func cacheWeightedAlgos(run func(mk func() cacheBackend, cfg Config, th int) Result) []ScenarioAlgo {
+	weighted := []cache.Option{
+		cache.WithMaxWeight(cacheWeightBudget),
+		cache.WithWeigher(cacheEntryWeight),
+	}
+	return []ScenarioAlgo{
+		{Label: "SIEVE+weights", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend { return newCDSCache(cache.SIEVE, 0, weighted...) }, cfg, th)
+		}},
+		{Label: "S3-FIFO+weights", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend { return newCDSCache(cache.S3FIFO, 0, weighted...) }, cfg, th)
+		}},
+		{Label: "SIEVE+TinyLFU+weights", Run: func(cfg Config, th int) Result {
+			return run(func() cacheBackend {
+				return newCDSCache(cache.SIEVE, 0, append([]cache.Option{cache.WithAdmission(cache.TinyLFU)}, weighted...)...)
+			}, cfg, th)
+		}},
+		{Label: "SyncMapTTL", Run: func(cfg Config, th int) Result {
+			return run(newSyncMapTTL, cfg, th)
+		}},
+	}
+}
+
 // cacheScenarios is experiment S17: the bounded cache against the
 // locked-LRU and sync.Map baselines.
 func cacheScenarios() []Scenario {
@@ -277,5 +412,7 @@ func cacheScenarios() []Scenario {
 		{Family: "cache", Name: "zipf-0.99-get90-set10", Algos: cacheAlgos(mix(90, 10))},
 		{Family: "cache", Name: "zipf-0.99-get50-set50", Algos: cacheAlgos(mix(50, 50))},
 		{Family: "cache", Name: "stampede-cold-keys", Algos: cacheAlgos(runCacheStampede)},
+		{Family: "cache", Name: "loopy-admission", Algos: cacheAdmissionAlgos(runCacheLoopy)},
+		{Family: "cache", Name: "weighted-heavy-tail-get90-set10", Algos: cacheWeightedAlgos(mix(90, 10))},
 	}
 }

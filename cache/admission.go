@@ -1,0 +1,35 @@
+package cache
+
+import "github.com/cds-suite/cds/internal/sketch"
+
+// admitter is one shard's W-TinyLFU admission filter: a count-min sketch
+// (with doorkeeper and periodic aging — see internal/sketch) fed by every
+// lookup and insert on the shard, consulted at the eviction boundary. The
+// shard hashes keys once for placement; the same 64-bit hash indexes the
+// sketch, so admission costs no extra hashing.
+type admitter struct {
+	sk *sketch.Sketch
+}
+
+// newAdmitter sizes the sketch to the shard: one counter per cacheable
+// entry is the standard TinyLFU provisioning (the sketch rounds up to a
+// power of two with floor 16), four rows, and the default 10x-width aging
+// sample. The seed is deterministic per shard index — all randomness in
+// admission comes from the cache's seeded key hashing, which keeps
+// single-shard trace tests reproducible.
+func newAdmitter(shardCap int, shardIdx uint64) *admitter {
+	return &admitter{sk: sketch.New(shardCap, 4, 0x7f4a7c15a1b2c3d4+shardIdx)}
+}
+
+// touch records an access to the key hashing to h.
+func (a *admitter) touch(h uint64) { a.sk.Touch(h) }
+
+// admit reports whether the candidate key (hash cand) should displace the
+// eviction policy's chosen victim (hash victim): admit only when the
+// candidate's estimated frequency strictly exceeds the victim's. The
+// strict comparison breaks ties in favour of residency, so a cold scan
+// (every key estimate <= 1 vs. a resident working set) is rejected
+// wholesale instead of cycling the cache.
+func (a *admitter) admit(cand, victim uint64) bool {
+	return a.sk.Estimate(cand) > a.sk.Estimate(victim)
+}

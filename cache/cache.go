@@ -36,16 +36,25 @@ var ErrLoaderPanic = errors.New("cache: loader panicked")
 // it (Close is cheap and idempotent, and a no-op when no sweeper ever
 // started).
 //
+// Two orthogonal options reshape the capacity contract. WithAdmission
+// (TinyLFU) gates the eviction boundary: a full shard consults a
+// frequency sketch and rejects inserts colder than the policy's would-be
+// victim. WithMaxWeight switches the bound from entry counts to total
+// weight (SetWeight / WithWeigher), so one insert may evict several
+// victims. Both compose with every eviction policy.
+//
 // Progress: blocking (per shard). Hits on the SIEVE and S3-FIFO policies
 // take only the shard's read lock.
 type Cache[K comparable, V any] struct {
-	hash    func(K) uint64
-	mask    uint64
-	shards  []shard[K, V]
-	cap     int
-	ttl     time.Duration
-	sweep   sweeper
-	sweepBy time.Duration
+	hash      func(K) uint64
+	mask      uint64
+	shards    []shard[K, V]
+	cap       int
+	maxWeight int64
+	weigher   func(K, V) int64
+	ttl       time.Duration
+	sweep     sweeper
+	sweepBy   time.Duration
 }
 
 // shard is one lock domain: a map from key to entry, the policy's
@@ -53,11 +62,13 @@ type Cache[K comparable, V any] struct {
 // cache's gauges. Padding keeps neighbouring shards' hot fields off one
 // cache line.
 type shard[K comparable, V any] struct {
-	mu      sync.RWMutex
-	m       map[K]*entry[K, V]
-	pol     policy[K, V]
-	cap     int
-	flights map[K]*flight[V] // lazily allocated; guarded by mu (write)
+	mu        sync.RWMutex
+	m         map[K]*entry[K, V]
+	pol       policy[K, V]
+	cap       int
+	maxWeight int64            // this shard's slice of the weight budget; 0 = count-bounded
+	adm       *admitter        // TinyLFU admission filter; nil = admit all
+	flights   map[K]*flight[V] // lazily allocated; guarded by mu (write)
 
 	stats shardStats
 	_     pad.CacheLinePad
@@ -83,19 +94,40 @@ func New[K comparable, V any](capacity int, opts ...Option) *Cache[K, V] {
 	for n > capacity {
 		n >>= 1 // at least one entry per shard
 	}
+	for cfg.maxWeight > 0 && int64(n) > cfg.maxWeight {
+		n >>= 1 // at least one weight unit per shard
+	}
 	c := &Cache[K, V]{
-		hash:   cmap.NewHash[K](),
-		mask:   uint64(n - 1),
-		shards: make([]shard[K, V], n),
-		cap:    capacity,
-		ttl:    cfg.ttl,
+		hash:      cmap.NewHash[K](),
+		mask:      uint64(n - 1),
+		shards:    make([]shard[K, V], n),
+		cap:       capacity,
+		maxWeight: cfg.maxWeight,
+		ttl:       cfg.ttl,
+	}
+	if cfg.weigher != nil {
+		fn, ok := cfg.weigher.(func(K, V) int64)
+		if !ok {
+			panic("cache: WithWeigher type parameters do not match the cache's")
+		}
+		c.weigher = fn
 	}
 	base, extra := capacity/n, capacity%n
+	var wbase, wextra int64
+	if cfg.maxWeight > 0 {
+		wbase, wextra = cfg.maxWeight/int64(n), cfg.maxWeight%int64(n)
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.cap = base
 		if i < extra {
 			s.cap++
+		}
+		if cfg.maxWeight > 0 {
+			s.maxWeight = wbase
+			if int64(i) < wextra {
+				s.maxWeight++
+			}
 		}
 		s.m = make(map[K]*entry[K, V], s.cap)
 		switch cfg.policy {
@@ -105,6 +137,9 @@ func New[K comparable, V any](capacity int, opts ...Option) *Cache[K, V] {
 			s.pol = newLRU[K, V](s.cap)
 		default:
 			s.pol = newSieve[K, V](s.cap)
+		}
+		if cfg.admission == TinyLFU {
+			s.adm = newAdmitter(s.cap, uint64(i))
 		}
 	}
 	c.sweepBy = cfg.ttl
@@ -140,7 +175,11 @@ func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
 // set, was evicted, or has expired — an expired entry is removed on the
 // spot, so a miss is always followed by absence until the next Set.
 func (c *Cache[K, V]) Get(k K) (v V, ok bool) {
-	s := c.shardFor(k)
+	h := c.hash(k)
+	s := &c.shards[h&c.mask]
+	if s.adm != nil {
+		s.adm.touch(h) // every lookup feeds the admission sketch, hit or miss
+	}
 	if s.pol.lockedHits() {
 		s.mu.Lock()
 		e := s.m[k]
@@ -199,6 +238,7 @@ func (s *shard[K, V]) expireLazy(k K, e *entry[K, V]) {
 func (s *shard[K, V]) removeLocked(e *entry[K, V]) {
 	s.pol.remove(e)
 	delete(s.m, e.key)
+	s.stats.weightRes.Add(-e.weight)
 }
 
 // Set caches v for k with the cache's default TTL, evicting if needed.
@@ -210,40 +250,132 @@ func (c *Cache[K, V]) Set(k K, v V) {
 // means the entry never expires. Setting an existing key updates it in
 // place and counts as an access for the eviction policy.
 func (c *Cache[K, V]) SetTTL(k K, v V, ttl time.Duration) {
+	c.set(k, v, c.weigh(k, v), ttl)
+}
+
+// SetWeight caches v for k with an explicit capacity weight (for example,
+// the entry's size in bytes) and the cache's default TTL, overriding any
+// WithWeigher result for this entry. Weights below 1 clamp to 1; weights
+// only bound residency when the cache was built with WithMaxWeight. An
+// entry whose weight alone exceeds its shard's share of the weight budget
+// is rejected — caching it would pin the shard over capacity — and the
+// rejection counts in Stats.AdmissionRejects.
+func (c *Cache[K, V]) SetWeight(k K, v V, weight int64) {
+	c.set(k, v, weight, c.ttl)
+}
+
+// weigh computes the default weight for an entry: the configured weigher,
+// or 1 (plain entry counting).
+func (c *Cache[K, V]) weigh(k K, v V) int64 {
+	if c.weigher != nil {
+		return c.weigher(k, v)
+	}
+	return 1
+}
+
+// set is the common insert path: hash once, feed the admission sketch (a
+// write is an access), then mutate under the shard lock.
+func (c *Cache[K, V]) set(k K, v V, w int64, ttl time.Duration) {
 	var expires int64
 	if ttl > 0 {
 		expires = time.Now().Add(ttl).UnixNano()
 		c.maybeStartSweeper()
 	}
-	s := c.shardFor(k)
+	h := c.hash(k)
+	s := &c.shards[h&c.mask]
+	if s.adm != nil {
+		s.adm.touch(h)
+	}
 	s.mu.Lock()
-	s.setLocked(k, v, expires)
+	s.setLocked(k, v, h, w, expires)
 	s.mu.Unlock()
 }
 
-// setLocked inserts or updates k under the exclusive lock and evicts down
-// to capacity.
-func (s *shard[K, V]) setLocked(k K, v V, expires int64) {
+// setLocked inserts or updates k under the exclusive lock, evicting down
+// to capacity — by entry count, or by total weight when WithMaxWeight is
+// set, in which case one insert may evict several victims. With TinyLFU
+// admission, each would-be victim is compared against the incoming key
+// first, and a colder-than-victim insert is rejected instead of evicting.
+func (s *shard[K, V]) setLocked(k K, v V, h uint64, w int64, expires int64) {
+	if w < 1 {
+		w = 1
+	}
+	infeasible := s.maxWeight > 0 && w > s.maxWeight
 	if e := s.m[k]; e != nil {
+		if infeasible {
+			// The update outgrew the shard's whole weight budget: keeping
+			// the old value would be stale (a later Get must not observe
+			// it), so the key is removed outright.
+			s.stats.evictConsidered.Add(1)
+			s.stats.admitRejects.Add(1)
+			s.removeLocked(e)
+			return
+		}
+		s.stats.weightRes.Add(w - e.weight)
+		e.weight = w
 		e.val = v
 		e.expires = expires
 		s.pol.hit(e)
+		s.shedLocked()
+		return
+	}
+	if infeasible {
+		s.stats.evictConsidered.Add(1)
+		s.stats.admitRejects.Add(1)
 		return
 	}
 	// Evict before inserting: the incoming entry must never be its own
 	// eviction's victim (SIEVE's hand would otherwise sweep onto a
 	// freshly added, necessarily unvisited entry and throw it out).
-	for len(s.m) >= s.cap {
-		victim := s.pol.evict()
+	for s.overLocked(w) {
+		victim := s.pol.victim()
 		if victim == nil {
 			break
 		}
+		s.stats.evictConsidered.Add(1)
+		if s.adm != nil && !s.adm.admit(h, victim.hash) {
+			// The incoming key is no hotter than the coldest resident:
+			// keep the residents, drop the insert.
+			s.stats.admitRejects.Add(1)
+			return
+		}
+		s.pol.evict() // settles on the same entry victim() returned
 		delete(s.m, victim.key)
+		s.stats.weightRes.Add(-victim.weight)
 		s.stats.evictions.Add(1)
 	}
-	e := &entry[K, V]{key: k, val: v, expires: expires}
+	e := &entry[K, V]{key: k, val: v, hash: h, weight: w, expires: expires}
 	s.m[k] = e
 	s.pol.add(e)
+	s.stats.weightRes.Add(w)
+}
+
+// overLocked reports whether inserting a new entry of weight w would
+// exceed the shard's bound: resident weight under WithMaxWeight, entry
+// count otherwise.
+func (s *shard[K, V]) overLocked(w int64) bool {
+	if s.maxWeight > 0 {
+		return s.stats.weightRes.Load()+w > s.maxWeight
+	}
+	return len(s.m) >= s.cap
+}
+
+// shedLocked evicts until the resident weight fits the shard's budget
+// again: an in-place update that grew an entry can push the shard over
+// without inserting anything. The freshly updated entry was just hit, so
+// every policy prefers other victims; admission is not consulted — the
+// update is already resident.
+func (s *shard[K, V]) shedLocked() {
+	for s.maxWeight > 0 && s.stats.weightRes.Load() > s.maxWeight {
+		victim := s.pol.evict()
+		if victim == nil {
+			return
+		}
+		delete(s.m, victim.key)
+		s.stats.weightRes.Add(-victim.weight)
+		s.stats.evictConsidered.Add(1)
+		s.stats.evictions.Add(1)
+	}
 }
 
 // Delete removes k, reporting whether a live entry was present (an entry
@@ -281,6 +413,10 @@ func (c *Cache[K, V]) Len() int {
 // Cap reports the capacity the cache was constructed with.
 func (c *Cache[K, V]) Cap() int { return c.cap }
 
+// MaxWeight reports the weight bound set by WithMaxWeight, or 0 when the
+// cache bounds entry counts instead.
+func (c *Cache[K, V]) MaxWeight() int64 { return c.maxWeight }
+
 // GetMany looks up a batch of keys, taking each touched shard's lock once
 // rather than once per key. It returns parallel value/ok slices in key
 // order.
@@ -291,8 +427,14 @@ func (c *Cache[K, V]) GetMany(keys []K) ([]V, []bool) {
 		return vals, oks
 	}
 	now := time.Now().UnixNano()
-	for si, idxs := range c.groupByShard(keys) {
+	groups, hashes := c.groupByShard(keys)
+	for si, idxs := range groups {
 		s := &c.shards[si]
+		if s.adm != nil {
+			for _, i := range idxs {
+				s.adm.touch(hashes[i])
+			}
+		}
 		var lazy []*entry[K, V]
 		locked := s.pol.lockedHits()
 		if locked {
@@ -353,25 +495,34 @@ func (c *Cache[K, V]) SetMany(keys []K, vals []V) {
 		expires = time.Now().Add(c.ttl).UnixNano()
 		c.maybeStartSweeper()
 	}
-	for si, idxs := range c.groupByShard(keys) {
+	groups, hashes := c.groupByShard(keys)
+	for si, idxs := range groups {
 		s := &c.shards[si]
+		if s.adm != nil {
+			for _, i := range idxs {
+				s.adm.touch(hashes[i])
+			}
+		}
 		s.mu.Lock()
 		for _, i := range idxs {
-			s.setLocked(keys[i], vals[i], expires)
+			s.setLocked(keys[i], vals[i], hashes[i], c.weigh(keys[i], vals[i]), expires)
 		}
 		s.mu.Unlock()
 	}
 }
 
 // groupByShard buckets key positions by shard index so the batch
-// operations lock each shard exactly once.
-func (c *Cache[K, V]) groupByShard(keys []K) map[uint64][]int {
+// operations lock each shard exactly once, returning each key's hash
+// alongside so callers hash exactly once per key.
+func (c *Cache[K, V]) groupByShard(keys []K) (map[uint64][]int, []uint64) {
 	groups := make(map[uint64][]int)
+	hashes := make([]uint64, len(keys))
 	for i, k := range keys {
-		si := c.hash(k) & c.mask
+		hashes[i] = c.hash(k)
+		si := hashes[i] & c.mask
 		groups[si] = append(groups[si], i)
 	}
-	return groups
+	return groups, hashes
 }
 
 // flight is one in-progress load: the leader fills val/err and closes
@@ -456,6 +607,11 @@ func (c *Cache[K, V]) GetOrLoad(ctx context.Context, k K, load func(context.Cont
 // shards' counters on separate cache lines.
 type shardStats struct {
 	hits, misses, evictions, expired, loads, suppressed atomic.Int64
+
+	// weightRes is a gauge, not a counter: the shard's resident weight,
+	// mutated only under the exclusive lock (atomic so Stats can read it
+	// without one). The admission pair are counters like the rest.
+	weightRes, admitRejects, evictConsidered atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the cache's gauges. Counts are
@@ -474,6 +630,17 @@ type Stats struct {
 	// in-flight load instead of issuing their own. Suppressed callers
 	// missed first, so StampedeSuppressed <= Misses.
 	Loads, StampedeSuppressed int64
+	// WeightResident is the total weight of resident entries — at most
+	// MaxWeight when WithMaxWeight bounds the cache, and simply the entry
+	// count otherwise (every unweighted entry weighs 1).
+	WeightResident int64
+	// EvictConsidered counts victims examined at the eviction boundary
+	// (including rejected inserts whose weight alone exceeded a shard's
+	// budget); AdmissionRejects counts the inserts the admission filter —
+	// or the weight-feasibility check — turned away instead of evicting
+	// for. Every rejection considered a victim first, so
+	// AdmissionRejects <= EvictConsidered.
+	EvictConsidered, AdmissionRejects int64
 }
 
 // Lookups returns the total completed lookups (Hits + Misses).
@@ -498,6 +665,9 @@ func (c *Cache[K, V]) Stats() Stats {
 		t.Expired += st.expired.Load()
 		t.Loads += st.loads.Load()
 		t.StampedeSuppressed += st.suppressed.Load()
+		t.WeightResident += st.weightRes.Load()
+		t.EvictConsidered += st.evictConsidered.Load()
+		t.AdmissionRejects += st.admitRejects.Load()
 	}
 	return t
 }

@@ -20,6 +20,21 @@
 //     one-hit wonders.
 //   - LRU: locked move-to-front list; the reference baseline.
 //
+// Two capacity features layer over the policies. WithAdmission(TinyLFU)
+// adds a W-TinyLFU admission filter: every lookup touches a per-shard
+// frequency sketch (4-bit count-min counters plus a doorkeeper, aged by
+// periodic halving — see internal/sketch), and an insert that would
+// force an eviction is admitted only when the sketch estimates the
+// candidate strictly more frequent than the would-be victim, so
+// one-touch scan keys bounce off the resident working set instead of
+// churning it. WithMaxWeight bounds the cache by total entry weight
+// rather than entry count: SetWeight (or a WithWeigher function applied
+// on every insert) assigns costs, an oversized insert evicts as many
+// victims as it needs, and an entry exceeding a shard's whole budget is
+// rejected (a rejected update removes the stale entry rather than keep
+// serving it). Stats exposes the accounting: WeightResident never
+// exceeds MaxWeight, and AdmissionRejects never exceeds EvictConsidered.
+//
 // Entries may carry a time-to-live (WithTTL for a default, SetTTL per
 // entry). Expired entries are misses the moment their deadline passes —
 // readers detect and remove them lazily — and a background sweeper

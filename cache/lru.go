@@ -30,6 +30,10 @@ func (p *lru[K, V]) add(e *entry[K, V]) {
 	p.l.pushFront(e)
 }
 
+func (p *lru[K, V]) victim() *entry[K, V] {
+	return p.l.tail
+}
+
 func (p *lru[K, V]) evict() *entry[K, V] {
 	return p.l.popTail()
 }

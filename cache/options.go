@@ -37,15 +37,50 @@ func (p Policy) String() string {
 	}
 }
 
+// Admission selects the admission filter consulted at the eviction
+// boundary: when a shard is full, the filter decides whether the incoming
+// key is worth evicting the policy's chosen victim for.
+type Admission int
+
+const (
+	// AdmitAll is the default: every insert is admitted and the policy
+	// evicts unconditionally — the pre-admission behaviour.
+	AdmitAll Admission = iota
+	// TinyLFU admits an incoming key only when its sketched frequency
+	// strictly exceeds the would-be victim's (Einziger, Friedman & Manes,
+	// ACM TOS 2017). Every lookup feeds a per-shard count-min sketch with
+	// doorkeeper and periodic aging (internal/sketch); a full shard then
+	// rejects colder-than-victim inserts outright, which is what keeps a
+	// sequential scan from flushing a working set that SIEVE or S3-FIFO
+	// alone would slowly surrender. Rejected inserts count in
+	// Stats.AdmissionRejects.
+	TinyLFU
+)
+
+// String names the admission filter for logs and benchmark labels.
+func (a Admission) String() string {
+	switch a {
+	case AdmitAll:
+		return "admit-all"
+	case TinyLFU:
+		return "TinyLFU"
+	default:
+		return "unknown"
+	}
+}
+
 // Option configures a cache constructor.
 type Option func(*config)
 
 type config struct {
-	policy   Policy
-	shards   int
-	ttl      time.Duration
-	sweep    time.Duration
-	sweepSet bool
+	policy    Policy
+	shards    int
+	ttl       time.Duration
+	sweep     time.Duration
+	sweepSet  bool
+	admission Admission
+	maxWeight int64
+	weigher   any // func(K, V) int64; asserted in New
 }
 
 // WithPolicy selects the eviction policy (default SIEVE).
@@ -68,6 +103,35 @@ func WithShards(n int) Option {
 // entries never expire. Per-entry deadlines go through SetTTL.
 func WithTTL(d time.Duration) Option {
 	return func(c *config) { c.ttl = d }
+}
+
+// WithAdmission selects the admission filter (default AdmitAll).
+func WithAdmission(a Admission) Option {
+	return func(c *config) { c.admission = a }
+}
+
+// WithMaxWeight switches the cache's capacity bound from entry counts to
+// total weight: eviction then runs until the resident weight plus the
+// incoming entry's weight fits under w, which may claim several victims
+// for one insert (or none, when the incoming entry replaces enough). The
+// constructor capacity still sizes the shard tables and policies, but no
+// longer bounds the entry count. Per-entry weights come from SetWeight or
+// WithWeigher and default to 1; an entry whose weight alone exceeds the
+// per-shard share of w is rejected rather than admitted unevictable.
+// w <= 0 disables the weight bound (the default, counting entries).
+func WithMaxWeight(w int64) Option {
+	return func(c *config) { c.maxWeight = w }
+}
+
+// WithWeigher installs a function that computes every stored entry's
+// weight from its key and value (for example, bytes of both). It is
+// generic where Option is not, so the type parameters must match the
+// cache being constructed — New panics otherwise. SetWeight overrides the
+// weigher for individual entries; weights below 1 are clamped to 1.
+// A weigher is only consulted when WithMaxWeight enables weight-bounded
+// capacity.
+func WithWeigher[K comparable, V any](fn func(K, V) int64) Option {
+	return func(c *config) { c.weigher = fn }
 }
 
 // WithSweepInterval sets how often the background sweeper scans for

@@ -13,7 +13,9 @@ import "sync/atomic"
 type entry[K comparable, V any] struct {
 	key     K
 	val     V
-	expires int64 // unix nanoseconds; 0 = never expires
+	hash    uint64 // the key's shard-placement hash, kept for the admission sketch
+	weight  int64  // capacity charge (1 unless SetWeight/WithWeigher said otherwise)
+	expires int64  // unix nanoseconds; 0 = never expires
 
 	// Intrusive doubly-linked list position: prev points toward the head
 	// (newer), next toward the tail (older). Guarded by the shard lock.
@@ -45,6 +47,13 @@ type policy[K comparable, V any] interface {
 	hit(e *entry[K, V])
 	// add admits a newly inserted entry.
 	add(e *entry[K, V])
+	// victim returns the entry evict would unlink next, or nil if empty,
+	// without unlinking it — the peek the W-TinyLFU admission filter
+	// compares the incoming candidate against before anything is
+	// removed. Policies may perform the same internal relocations evict
+	// does (SIEVE's bit-clearing sweep, S3-FIFO's promotions), so an
+	// evict immediately after settles on the same entry in O(1).
+	victim() *entry[K, V]
 	// evict unlinks and returns the next victim, or nil if empty. It is
 	// called only when the shard is over capacity; policies may relocate
 	// entries internally (SIEVE's second chance, S3-FIFO's promotions)

@@ -54,37 +54,55 @@ func (p *s3fifo[K, V]) add(e *entry[K, V]) {
 	p.small.pushFront(e)
 }
 
-func (p *s3fifo[K, V]) evict() *entry[K, V] {
-	// Each iteration either returns a victim, moves an entry from small to
-	// main, or decrements a nonzero frequency in main — all three are
-	// bounded, so the loop terminates.
+// victim performs the promotion/decrement relocations until a settled
+// victim sits at the tail of its queue, and returns it without unlinking
+// (and without ghosting): evict after it settles on the same entry in
+// O(1). Each iteration either returns, moves an entry from small to main,
+// or decrements a nonzero frequency in main — all three are bounded, so
+// the loop terminates.
+func (p *s3fifo[K, V]) victim() *entry[K, V] {
 	for {
 		if p.small.n > p.smallCap || p.main.n == 0 {
-			e := p.small.popTail()
+			e := p.small.tail
 			if e == nil {
 				return nil // both queues empty
 			}
 			if e.freq.Load() > 1 {
 				// Reused while on probation: promote instead of evicting.
+				p.small.remove(e)
 				e.freq.Store(0)
 				e.region = regionMain
 				p.main.pushFront(e)
 				continue
 			}
-			// Evicted from probation: remember the key so a quick
-			// re-insert skips straight to main.
-			p.ghost.add(e.key)
 			return e
 		}
-		e := p.main.popTail()
+		e := p.main.tail
 		if e.freq.Load() > 0 {
 			// Still warm: one more lap through main.
+			p.main.remove(e)
 			e.freq.Add(-1)
 			p.main.pushFront(e)
 			continue
 		}
 		return e
 	}
+}
+
+func (p *s3fifo[K, V]) evict() *entry[K, V] {
+	e := p.victim()
+	if e == nil {
+		return nil
+	}
+	if e.region == regionSmall {
+		p.small.remove(e)
+		// Evicted from probation: remember the key so a quick re-insert
+		// skips straight to main.
+		p.ghost.add(e.key)
+		return e
+	}
+	p.main.remove(e)
+	return e
 }
 
 func (p *s3fifo[K, V]) remove(e *entry[K, V]) {

@@ -29,7 +29,10 @@ func (p *sieve[K, V]) add(e *entry[K, V]) {
 	p.l.pushFront(e)
 }
 
-func (p *sieve[K, V]) evict() *entry[K, V] {
+// victim runs the hand walk and parks the hand on the unvisited entry it
+// settles on, without unlinking it: evict resumes from there in O(1), and
+// the admission filter can inspect the would-be victim first.
+func (p *sieve[K, V]) victim() *entry[K, V] {
 	e := p.hand
 	if e == nil {
 		e = p.l.tail
@@ -44,6 +47,12 @@ func (p *sieve[K, V]) evict() *entry[K, V] {
 			e = p.l.tail
 		}
 	}
+	p.hand = e // nil when the list is empty
+	return e
+}
+
+func (p *sieve[K, V]) evict() *entry[K, V] {
+	e := p.victim()
 	if e == nil {
 		return nil
 	}

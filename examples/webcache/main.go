@@ -12,10 +12,23 @@
 // The cache package fixes the second structurally: capacity-bounded
 // shards evict with SIEVE, TTL expiry removes stale entries (lazily on
 // read plus a background sweeper), and GetOrLoad collapses concurrent
-// misses on a hot key into one origin fetch. The example asserts both
-// properties at the end of the run — accounting must balance exactly, and
-// the steady-state size must stay within capacity even though the key
-// space is orders of magnitude larger.
+// misses on a hot key into one origin fetch. This revision also uses the
+// two capacity features a real web cache needs:
+//
+//   - weighted entries: origin objects are not uniformly sized (most are
+//     small, a few are giants), so the cache is bounded by a byte budget
+//     (WithMaxWeight + WithWeigher) rather than an entry count — one
+//     giant displaces many small objects instead of occupying one slot;
+//   - TinyLFU admission (WithAdmission): the long Zipf tail is full of
+//     one-touch keys, and admitting each one would evict an object with
+//     a real reuse chance. The frequency sketch turns those cold inserts
+//     away at the eviction boundary instead.
+//
+// The example asserts the regression properties at the end of the run —
+// accounting must balance exactly, the steady-state size must stay within
+// capacity even though the key space is orders of magnitude larger, and
+// the weight/admission gauges must respect their invariants (resident
+// weight <= budget, rejects <= victims considered).
 //
 // The simulated clients draw keys from a Zipfian distribution, as real
 // content popularity does.
@@ -30,17 +43,31 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/cds-suite/cds/cache"
 	"github.com/cds-suite/cds/internal/exampleenv"
+	"github.com/cds-suite/cds/internal/xrand"
 	"github.com/cds-suite/cds/internal/zipf"
 )
 
 // requests is the simulated load; CDS_EXAMPLE_OPS overrides it so CI can
 // smoke-run the example without paying for the full demonstration.
 var requests = exampleenv.Ops(200000)
+
+// payloadSize is the origin object's size for a key: deterministic,
+// mostly small (64..1023 bytes), with ~1 in 128 keys a 16 KiB giant.
+// The heavy tail is what makes a byte budget differ from an entry count.
+func payloadSize(key uint64) int {
+	s := key + 1
+	h := xrand.SplitMix64(&s)
+	if h%128 == 0 {
+		return 16 << 10
+	}
+	return 64 + int(h%960)
+}
 
 // splitRequests divides total across clients so every request is issued:
 // each client gets the base share and the first total%clients clients
@@ -60,15 +87,21 @@ func splitRequests(total, clients int) []int {
 // runStats is what one simulation reports; main prints it, the smoke test
 // asserts on it.
 type runStats struct {
-	stats   cache.Stats
-	size    int
-	elapsed time.Duration
+	stats     cache.Stats
+	size      int
+	maxWeight int64
+	elapsed   time.Duration
 }
 
 // run drives clients workers through the cache for the given total
 // request count and returns the final accounting.
-func run(total, clients, keySpace, capacity int, ttl time.Duration) runStats {
-	c := cache.New[uint64, string](capacity, cache.WithTTL(ttl))
+func run(total, clients, keySpace, capacity int, budget int64, ttl time.Duration) runStats {
+	c := cache.New[uint64, string](capacity,
+		cache.WithTTL(ttl),
+		cache.WithMaxWeight(budget),
+		cache.WithWeigher(func(_ uint64, v string) int64 { return int64(len(v)) }),
+		cache.WithAdmission(cache.TinyLFU),
+	)
 	defer c.Close()
 
 	origin := func(_ context.Context, key uint64) (string, error) {
@@ -82,7 +115,8 @@ func run(total, clients, keySpace, capacity int, ttl time.Duration) runStats {
 		if x == 0 { // never true; defeats dead-code elimination
 			return "", nil
 		}
-		return fmt.Sprintf("content-%d", key), nil
+		header := fmt.Sprintf("content-%d:", key)
+		return header + strings.Repeat("x", payloadSize(key)-len(header)), nil
 	}
 
 	t0 := time.Now()
@@ -105,13 +139,15 @@ func run(total, clients, keySpace, capacity int, ttl time.Duration) runStats {
 	wg.Wait()
 
 	return runStats{
-		stats:   c.Stats(),
-		size:    c.Len(),
-		elapsed: time.Since(t0),
+		stats:     c.Stats(),
+		size:      c.Len(),
+		maxWeight: c.MaxWeight(),
+		elapsed:   time.Since(t0),
 	}
 }
 
-// check verifies the two regression properties the old example violated.
+// check verifies the two regression properties the old example violated,
+// plus the weight/admission invariants the byte-budgeted rewrite added.
 func (r runStats) check(total, capacity int) error {
 	if got := r.stats.Lookups(); got != int64(total) {
 		return fmt.Errorf("accounting: hits(%d) + misses(%d) = %d, want exactly %d requests",
@@ -120,18 +156,27 @@ func (r runStats) check(total, capacity int) error {
 	if r.size > capacity {
 		return fmt.Errorf("unbounded growth: %d resident entries, capacity %d", r.size, capacity)
 	}
+	if r.stats.WeightResident > r.maxWeight {
+		return fmt.Errorf("weight overrun: %d resident bytes, budget %d",
+			r.stats.WeightResident, r.maxWeight)
+	}
+	if r.stats.AdmissionRejects > r.stats.EvictConsidered {
+		return fmt.Errorf("admission accounting: %d rejects > %d victims considered",
+			r.stats.AdmissionRejects, r.stats.EvictConsidered)
+	}
 	return nil
 }
 
 func main() {
 	const (
 		keySpace = 100000
-		capacity = 4096 // deliberately far smaller than the key space
+		capacity = 4096    // deliberately far smaller than the key space
+		budget   = 1 << 20 // 1 MiB byte budget: binds before the entry count does
 		ttl      = 500 * time.Millisecond
 	)
 	clients := runtime.GOMAXPROCS(0)
 
-	r := run(requests, clients, keySpace, capacity, ttl)
+	r := run(requests, clients, keySpace, capacity, budget, ttl)
 	st := r.stats
 
 	total := st.Lookups()
@@ -143,6 +188,9 @@ func main() {
 		st.Loads, st.StampedeSuppressed)
 	fmt.Printf("cache size: %d entries (capacity %d, %d evicted, %d expired)\n",
 		r.size, capacity, st.Evictions, st.Expired)
+	fmt.Printf("weight:     %d / %d bytes resident\n", st.WeightResident, r.maxWeight)
+	fmt.Printf("admission:  %d cold inserts rejected (%d victims considered)\n",
+		st.AdmissionRejects, st.EvictConsidered)
 
 	if err := r.check(requests, capacity); err != nil {
 		fmt.Fprintln(os.Stderr, "FAIL:", err)

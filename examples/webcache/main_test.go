@@ -36,22 +36,27 @@ func TestSplitRequestsKeepsRemainder(t *testing.T) {
 	}
 }
 
-// TestRunSmoke runs the simulation at smoke scale and asserts the two
-// regression properties: exact hit/miss accounting (no dropped requests)
-// and a steady-state size bounded by capacity despite a key space far
-// larger than the cache.
+// TestRunSmoke runs the simulation at smoke scale and asserts the
+// regression properties: exact hit/miss accounting (no dropped requests),
+// a steady-state size bounded by capacity despite a key space far larger
+// than the cache, and the weight/admission invariants of the
+// byte-budgeted configuration.
 func TestRunSmoke(t *testing.T) {
 	const (
 		total    = 5003 // prime: never divides evenly across clients
 		clients  = 4
 		keySpace = 10000
 		capacity = 256
+		budget   = 64 << 10 // small enough that the byte budget binds
 	)
-	r := run(total, clients, keySpace, capacity, 50*time.Millisecond)
+	r := run(total, clients, keySpace, capacity, budget, 50*time.Millisecond)
 	if err := r.check(total, capacity); err != nil {
 		t.Fatal(err)
 	}
 	if r.stats.Loads == 0 {
 		t.Fatal("simulation performed no origin fetches")
+	}
+	if r.stats.WeightResident == 0 {
+		t.Fatal("simulation left no resident weight despite caching loads")
 	}
 }

@@ -1,0 +1,227 @@
+// Package sketch implements the frequency machinery behind W-TinyLFU
+// admission (Einziger, Friedman & Manes, "TinyLFU: A Highly Efficient
+// Cache Admission Policy", ACM TOS 2017): a count-min sketch with
+// saturating 4-bit counters, fronted by a doorkeeper bloom filter, with
+// periodic halving ("aging") keyed to a sample size.
+//
+// The sketch approximates each key's access frequency in O(1) space per
+// counter with one-sided error: an estimate may exceed the true count
+// (hash collisions add, never subtract) but — below counter saturation
+// and between agings — never falls short of it. The doorkeeper absorbs
+// each key's first occurrence since the last aging, so the sea of
+// one-hit-wonder keys a scan drags past the cache costs one bloom bit
+// each instead of polluting the counters. Aging halves every counter and
+// clears the doorkeeper once Touch has been called sample-size times,
+// which turns the lifetime counts into an exponentially decayed recency-
+// weighted frequency — the property that lets a newly hot key overtake a
+// formerly hot one.
+//
+// All operations are safe for concurrent use: counters and doorkeeper
+// bits are updated with atomic read-modify-write loops, and a Touch that
+// races with Age may lose an increment or be halved twice — acceptable
+// for a heuristic whose consumers compare estimates, not exact counts.
+package sketch
+
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pow2"
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// counterMax saturates the packed 4-bit counters. Four bits are enough to
+// separate the reuse classes TinyLFU admission distinguishes, and the low
+// ceiling bounds how long a formerly hot key can outvote the working set
+// after going cold (one aging halves 15 to 7).
+const counterMax = 15
+
+// doorBitsPerCounter sizes the doorkeeper relative to the sketch: eight
+// bloom bits per counter keeps the false-positive rate low at the ~10x
+// sample the sketch ages on (two probes into 8w bits over ~10w distinct
+// touches).
+const doorBitsPerCounter = 8
+
+// Sketch is a count-min frequency sketch with a doorkeeper. Construct
+// with New; the zero value is not usable.
+type Sketch struct {
+	rows  [][]uint64 // depth rows of width packed 4-bit counters
+	seeds []uint64   // per-row index-mixing seeds
+	door  []uint64   // doorkeeper bloom bits
+	mask  uint64     // width - 1
+	dmask uint64     // doorkeeper bit count - 1
+
+	sample atomic.Int64 // touches between agings
+	adds   atomic.Int64 // touches since the last aging
+	ages   atomic.Int64 // agings performed
+}
+
+// New returns a sketch of depth rows of width 4-bit counters, with the
+// doorkeeper sized proportionally and the aging sample defaulting to
+// 10x width (override with SetSample). Width is rounded up to a power of
+// two (minimum 16); depth is clamped to [1, 8]. The seed derives every
+// row's index mixing, so equal seeds give equal estimate streams.
+func New(width, depth int, seed uint64) *Sketch {
+	width = pow2.RoundUp(width, 16)
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 8 {
+		depth = 8
+	}
+	s := &Sketch{
+		rows:  make([][]uint64, depth),
+		seeds: make([]uint64, depth),
+		door:  make([]uint64, width*doorBitsPerCounter/64),
+		mask:  uint64(width - 1),
+		dmask: uint64(width*doorBitsPerCounter - 1),
+	}
+	sm := seed
+	for r := range s.rows {
+		s.rows[r] = make([]uint64, width/16) // 16 nibbles per word
+		s.seeds[r] = xrand.SplitMix64(&sm)
+	}
+	s.sample.Store(int64(10 * width))
+	return s
+}
+
+// Width reports the (rounded) counter count per row.
+func (s *Sketch) Width() int { return int(s.mask) + 1 }
+
+// Depth reports the number of rows.
+func (s *Sketch) Depth() int { return len(s.rows) }
+
+// Ages reports how many agings (halvings) have run.
+func (s *Sketch) Ages() int64 { return s.ages.Load() }
+
+// SetSample overrides how many Touch calls separate agings. n <= 0
+// disables automatic aging (Age can still be called directly); the
+// counter of touches since the last aging is reset either way.
+func (s *Sketch) SetSample(n int64) {
+	s.sample.Store(n)
+	s.adds.Store(0)
+}
+
+// Touch records one access to the key whose 64-bit hash is h. The first
+// touch of a key since the last aging only marks the doorkeeper (the
+// one-shot that keeps single-occurrence keys out of the counters); later
+// touches increment the key's count-min counters, saturating at 15.
+func (s *Sketch) Touch(h uint64) {
+	if s.doorAdd(h) {
+		for r := range s.rows {
+			s.bump(r, h)
+		}
+	}
+	if n := s.sample.Load(); n > 0 {
+		if a := s.adds.Add(1); a >= n && s.adds.CompareAndSwap(a, 0) {
+			s.Age()
+		}
+	}
+}
+
+// Estimate returns the sketch's frequency estimate for the key whose
+// hash is h: the minimum counter across rows, plus one if the doorkeeper
+// has seen the key since the last aging. Estimates never underestimate
+// the key's true Touch count below saturation (15 + the doorkeeper bit)
+// between agings; collisions can only inflate them.
+func (s *Sketch) Estimate(h uint64) int {
+	est := counterMax
+	for r := range s.rows {
+		if c := s.read(r, h); c < est {
+			est = c
+		}
+	}
+	if s.doorHas(h) {
+		est++
+	}
+	return est
+}
+
+// Age halves every counter (floor division; saturated counters drop to
+// 7) and clears the doorkeeper, decaying history so recent frequency
+// dominates stale frequency. Relative order is preserved: halving never
+// inverts two keys' estimates, only shrinks their gap.
+func (s *Sketch) Age() {
+	for _, row := range s.rows {
+		for i := range row {
+			for {
+				old := atomic.LoadUint64(&row[i])
+				// Shift every nibble right by one; the mask discards the
+				// bit each nibble's shift borrowed from its neighbour.
+				if atomic.CompareAndSwapUint64(&row[i], old, (old>>1)&0x7777777777777777) {
+					break
+				}
+			}
+		}
+	}
+	for i := range s.door {
+		atomic.StoreUint64(&s.door[i], 0)
+	}
+	s.adds.Store(0)
+	s.ages.Add(1)
+}
+
+// index maps hash h to row r's counter index.
+func (s *Sketch) index(r int, h uint64) uint64 {
+	x := h ^ s.seeds[r]
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	return x & s.mask
+}
+
+// bump increments row r's counter for h, saturating at counterMax.
+func (s *Sketch) bump(r int, h uint64) {
+	i := s.index(r, h)
+	word, shift := &s.rows[r][i>>4], (i&15)*4
+	for {
+		old := atomic.LoadUint64(word)
+		if (old>>shift)&0xf >= counterMax {
+			return
+		}
+		if atomic.CompareAndSwapUint64(word, old, old+1<<shift) {
+			return
+		}
+	}
+}
+
+// read returns row r's counter for h.
+func (s *Sketch) read(r int, h uint64) int {
+	i := s.index(r, h)
+	return int(atomic.LoadUint64(&s.rows[r][i>>4]) >> ((i & 15) * 4) & 0xf)
+}
+
+// doorBits derives the two doorkeeper probe positions for h.
+func (s *Sketch) doorBits(h uint64) (b1, b2 uint64) {
+	x := h * 0x9e3779b97f4a7c15
+	return h & s.dmask, (x ^ x>>32) & s.dmask
+}
+
+// doorAdd marks h in the doorkeeper, reporting whether it was already
+// fully marked (i.e. the key has been touched since the last aging, so
+// the caller should count this touch in the sketch proper).
+func (s *Sketch) doorAdd(h uint64) bool {
+	b1, b2 := s.doorBits(h)
+	had := setBit(&s.door[b1>>6], b1&63)
+	return setBit(&s.door[b2>>6], b2&63) && had
+}
+
+// setBit sets bit in *word atomically, reporting whether it was already
+// set.
+func setBit(word *uint64, bit uint64) bool {
+	mask := uint64(1) << bit
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask != 0 {
+			return true
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|mask) {
+			return false
+		}
+	}
+}
+
+// doorHas reports whether h is marked in the doorkeeper, without marking.
+func (s *Sketch) doorHas(h uint64) bool {
+	b1, b2 := s.doorBits(h)
+	return atomic.LoadUint64(&s.door[b1>>6])&(1<<(b1&63)) != 0 &&
+		atomic.LoadUint64(&s.door[b2>>6])&(1<<(b2&63)) != 0
+}

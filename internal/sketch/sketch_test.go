@@ -1,0 +1,221 @@
+package sketch
+
+import (
+	"testing"
+
+	"github.com/cds-suite/cds/internal/xrand"
+)
+
+// TestSketchProperties sweeps a seeded (width, depth, keys) grid — the
+// same shape as internal/zipf's property sweep — and asserts, together on
+// the same parameters, the three properties W-TinyLFU admission leans on:
+//
+//  1. no underestimation: for every key, Estimate is at least the
+//     smaller of the true touch count and 16 — count-min collisions and doorkeeper
+//     false positives inflate estimates but can never deflate them, and
+//     15 (counter saturation) + 1 (doorkeeper) caps what a 4-bit sketch
+//     can report;
+//  2. halving preserves relative order: if Estimate(a) > Estimate(b)
+//     before Age, then after Age Estimate(a) >= Estimate(b) — aging
+//     shrinks gaps and may create ties, but never inverts a strict
+//     ordering, so an admission decision cannot flip *toward* the stale
+//     key;
+//  3. determinism: a twin sketch fed the same touch stream reports the
+//     same estimate for every key.
+func TestSketchProperties(t *testing.T) {
+	for _, width := range []int{16, 64, 256} {
+		for _, depth := range []int{1, 2, 4} {
+			for _, keys := range []int{8, 64, 500} {
+				for _, seed := range []uint64{1, 99} {
+					s := New(width, depth, seed)
+					twin := New(width, depth, seed)
+					s.SetSample(0) // no aging mid-stream: property 1 is pre-aging
+					twin.SetSample(0)
+
+					// Skewed true counts: key k is touched keys-k times, so
+					// ranks are strict and known exactly.
+					rng := xrand.New(seed * 7919)
+					hash := make([]uint64, keys)
+					truth := make([]int, keys)
+					for k := range hash {
+						hash[k] = rng.Uint64()
+					}
+					var stream []int
+					for k := 0; k < keys; k++ {
+						for i := 0; i < keys-k; i++ {
+							stream = append(stream, k)
+						}
+					}
+					// Fisher-Yates over the stream: interleaved touches, same
+					// permutation for both sketches.
+					for i := len(stream) - 1; i > 0; i-- {
+						j := rng.Intn(i + 1)
+						stream[i], stream[j] = stream[j], stream[i]
+					}
+					for _, k := range stream {
+						s.Touch(hash[k])
+						twin.Touch(hash[k])
+						truth[k]++
+					}
+
+					before := make([]int, keys)
+					for k := range hash {
+						before[k] = s.Estimate(hash[k])
+						floor := truth[k]
+						if floor > counterMax+1 {
+							floor = counterMax + 1
+						}
+						if before[k] < floor {
+							t.Fatalf("w=%d d=%d keys=%d seed=%d: key %d touched %d times, Estimate = %d < %d",
+								width, depth, keys, seed, k, truth[k], before[k], floor)
+						}
+						if tw := twin.Estimate(hash[k]); tw != before[k] {
+							t.Fatalf("w=%d d=%d keys=%d seed=%d: twin diverged on key %d: %d vs %d",
+								width, depth, keys, seed, k, tw, before[k])
+						}
+					}
+
+					s.Age()
+					after := make([]int, keys)
+					for k := range hash {
+						after[k] = s.Estimate(hash[k])
+					}
+					for a := 0; a < keys; a++ {
+						for b := 0; b < keys; b++ {
+							if before[a] > before[b] && after[a] < after[b] {
+								t.Fatalf("w=%d d=%d keys=%d seed=%d: aging inverted keys %d (%d->%d) and %d (%d->%d)",
+									width, depth, keys, seed, a, before[a], after[a], b, before[b], after[b])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDoorkeeperOneShot pins the doorkeeper protocol on an isolated key
+// (fresh sketch, no collision noise): the first touch lives only in the
+// doorkeeper (Estimate 1, counters untouched), the second starts the
+// count-min counters, and an aging — which clears the doorkeeper and
+// halves the single counter increment to zero — forgets a key seen less
+// than twice entirely.
+func TestDoorkeeperOneShot(t *testing.T) {
+	s := New(64, 4, 7)
+	s.SetSample(0)
+	const h = 0xdeadbeefcafef00d
+	if got := s.Estimate(h); got != 0 {
+		t.Fatalf("fresh key Estimate = %d, want 0", got)
+	}
+	s.Touch(h)
+	if got := s.Estimate(h); got != 1 {
+		t.Fatalf("after first touch Estimate = %d, want 1 (doorkeeper only)", got)
+	}
+	s.Touch(h)
+	if got := s.Estimate(h); got != 2 {
+		t.Fatalf("after second touch Estimate = %d, want 2 (doorkeeper + one counter)", got)
+	}
+	s.Age()
+	// Counter 1 halves to 0 and the doorkeeper bit is gone: the one
+	// counted touch does not survive an aging.
+	if got := s.Estimate(h); got != 0 {
+		t.Fatalf("after aging Estimate = %d, want 0", got)
+	}
+	// Post-aging the doorkeeper is one-shot again.
+	s.Touch(h)
+	if got := s.Estimate(h); got != 1 {
+		t.Fatalf("post-aging first touch Estimate = %d, want 1", got)
+	}
+}
+
+// TestSaturationAndAging pins the 4-bit ceiling: estimates cap at 16
+// (15 saturated + doorkeeper), and one aging takes a saturated key to
+// 7 — the decay that lets a newly hot key overtake a stale one.
+func TestSaturationAndAging(t *testing.T) {
+	s := New(64, 4, 3)
+	s.SetSample(0)
+	const h = 42
+	for i := 0; i < 100; i++ {
+		s.Touch(h)
+	}
+	if got := s.Estimate(h); got != counterMax+1 {
+		t.Fatalf("saturated Estimate = %d, want %d", got, counterMax+1)
+	}
+	s.Age()
+	if got := s.Estimate(h); got != counterMax/2 {
+		t.Fatalf("post-aging Estimate = %d, want %d", got, counterMax/2)
+	}
+}
+
+// TestAutomaticAging checks the sample trigger: the sample-size'th touch
+// runs an aging, visible through Ages and through the decayed estimates.
+func TestAutomaticAging(t *testing.T) {
+	s := New(16, 4, 5)
+	s.SetSample(100)
+	const h = 9
+	for i := 0; i < 99; i++ {
+		s.Touch(h)
+	}
+	if got := s.Ages(); got != 0 {
+		t.Fatalf("Ages = %d before the sample boundary, want 0", got)
+	}
+	if got := s.Estimate(h); got != counterMax+1 {
+		t.Fatalf("pre-aging Estimate = %d, want %d", got, counterMax+1)
+	}
+	s.Touch(h) // 100th touch: aging fires
+	if got := s.Ages(); got != 1 {
+		t.Fatalf("Ages = %d after the sample boundary, want 1", got)
+	}
+	if got := s.Estimate(h); got != counterMax/2 {
+		t.Fatalf("post-aging Estimate = %d, want %d", got, counterMax/2)
+	}
+}
+
+// TestSizingClamps pins the constructor's rounding: width rounds up to a
+// power of two with floor 16, depth clamps to [1, 8].
+func TestSizingClamps(t *testing.T) {
+	tests := []struct {
+		width, depth         int
+		wantWidth, wantDepth int
+	}{
+		{1, 0, 16, 1},
+		{16, 4, 16, 4},
+		{17, 4, 32, 4},
+		{100, 9, 128, 8},
+	}
+	for _, tt := range tests {
+		s := New(tt.width, tt.depth, 1)
+		if s.Width() != tt.wantWidth || s.Depth() != tt.wantDepth {
+			t.Fatalf("New(%d, %d) sized (%d, %d), want (%d, %d)",
+				tt.width, tt.depth, s.Width(), s.Depth(), tt.wantWidth, tt.wantDepth)
+		}
+	}
+}
+
+// TestConcurrentTouch hammers Touch/Estimate/Age from many goroutines;
+// under -race this is the atomics regression test. Counts are heuristic
+// under contention, so only the structural invariants are asserted.
+func TestConcurrentTouch(t *testing.T) {
+	s := New(64, 4, 11)
+	s.SetSample(256)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed uint64) {
+			rng := xrand.New(seed)
+			for i := 0; i < 5000; i++ {
+				h := rng.Uint64n(32)
+				s.Touch(h)
+				if est := s.Estimate(h); est < 0 || est > counterMax+1 {
+					t.Errorf("Estimate = %d out of [0, %d]", est, counterMax+1)
+				}
+			}
+			done <- struct{}{}
+		}(uint64(w) + 1)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if s.Ages() == 0 {
+		t.Fatal("no aging fired over 20000 touches at sample 256")
+	}
+}

@@ -362,6 +362,69 @@ func TestLinearizableCaches(t *testing.T) {
 	}
 }
 
+// TestLinearizableWeightedCaches re-runs the cache windows with the
+// capacity bound switched to weights (WithMaxWeight) and random per-entry
+// weights, under every policy and with TinyLFU admission layered on top.
+// The weighted paths the checker exercises beyond the plain windows: one
+// Set may evict several victims (all must linearize as losses that stay
+// gone), an entry whose weight exceeds the budget is rejected (legal only
+// as Set-then-immediate-loss — a later hit on the *old* value would be a
+// stale read the model rejects), and TinyLFU admission rejections
+// likewise linearize as instant losses.
+func TestLinearizableWeightedCaches(t *testing.T) {
+	impls := map[string]func() *cache.Cache[int, int]{
+		"SIEVE": func() *cache.Cache[int, int] {
+			return cache.New[int, int](8, cache.WithShards(1), cache.WithMaxWeight(4))
+		},
+		"S3FIFO": func() *cache.Cache[int, int] {
+			return cache.New[int, int](8, cache.WithShards(1), cache.WithMaxWeight(4),
+				cache.WithPolicy(cache.S3FIFO))
+		},
+		"LRU": func() *cache.Cache[int, int] {
+			return cache.New[int, int](8, cache.WithShards(1), cache.WithMaxWeight(4),
+				cache.WithPolicy(cache.LRU))
+		},
+		"SIEVE+TinyLFU": func() *cache.Cache[int, int] {
+			return cache.New[int, int](8, cache.WithShards(1), cache.WithMaxWeight(4),
+				cache.WithAdmission(cache.TinyLFU))
+		},
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			runWindows(t, lincheck.CacheModel(), func(int) func(int, *xrand.Rand, *lincheck.Recorder) {
+				c := mk()
+				return func(client int, rng *xrand.Rand, rec *lincheck.Recorder) {
+					for i := 0; i < linOpsPerCli; i++ {
+						k := rng.Intn(linKeyRange)
+						switch rng.Intn(4) {
+						case 0:
+							p := rec.Begin(client, lincheck.CacheDelete{Key: k})
+							p.End(c.Delete(k))
+						case 1, 2:
+							v := rng.Intn(linValueRange)
+							// Weights 1..3 fit the budget of 4 (a 3 evicts
+							// several weight-1 residents); 5 exceeds it and
+							// must reject — including removing an existing
+							// entry rather than leaving its stale value.
+							w := int64(1 + rng.Intn(5))
+							if w == 4 {
+								w = 5
+							}
+							p := rec.Begin(client, lincheck.CacheSet{Key: k, Value: v})
+							c.SetWeight(k, v, w)
+							p.End(nil)
+						default:
+							p := rec.Begin(client, lincheck.CacheGet{Key: k})
+							v, ok := c.Get(k)
+							p.End(lincheck.ValueOK{Value: v, OK: ok})
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
 func TestLinearizableCounters(t *testing.T) {
 	impls := map[string]func() cds.Counter{
 		"Locked": func() cds.Counter { return new(counter.Locked) },

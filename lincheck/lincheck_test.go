@@ -309,6 +309,71 @@ func TestCacheModelLossySemantics(t *testing.T) {
 	}
 }
 
+// TestCacheModelWeightRejection pins how the weighted cache's rejection
+// paths map onto the lossy model: a Set whose weight exceeds the budget
+// linearizes as Set-then-immediate-loss (legal), a rejected *update* must
+// take the old value with it (a later hit on it is a stale read), and a
+// multi-victim eviction is just several independent losses, each of which
+// must stay gone.
+func TestCacheModelWeightRejection(t *testing.T) {
+	// An over-weight insert never becomes readable: Set, then misses
+	// forever (until re-Set) — the history the weighted cache produces.
+	good := []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2), // weight > budget: rejected
+		h(1, CacheGet{Key: 1}, ValueOK{}, 3, 4),
+		h(1, CacheGet{Key: 1}, ValueOK{}, 5, 6),
+	}
+	if res := Check(CacheModel(), good); !res.Ok {
+		t.Fatalf("weight-rejected insert history rejected: %s", res.Info)
+	}
+	// A rejected update removes the old entry. If the implementation kept
+	// it, a later Get would return the value the second Set overwrote —
+	// exactly the stale-read history the model must refuse.
+	bad := []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),               // admitted
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 3, 4), // resident
+		h(0, CacheSet{Key: 1, Value: 20}, nil, 5, 6),               // update outgrew the budget
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 7, 8), // stale survivor: illegal
+	}
+	if res := Check(CacheModel(), bad); res.Ok {
+		t.Fatal("stale value surviving a weight-rejected update accepted")
+	}
+	// The same history with the rejected update observed as a miss is the
+	// correct outcome.
+	good = []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 3, 4),
+		h(0, CacheSet{Key: 1, Value: 20}, nil, 5, 6),
+		h(1, CacheGet{Key: 1}, ValueOK{}, 7, 8),
+	}
+	if res := Check(CacheModel(), good); !res.Ok {
+		t.Fatalf("weight-rejected update history rejected: %s", res.Info)
+	}
+	// One heavy insert evicting two victims: both losses are legal, and
+	// both keys must then stay gone while the heavy entry serves hits.
+	good = []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(0, CacheSet{Key: 2, Value: 20}, nil, 3, 4),
+		h(0, CacheSet{Key: 3, Value: 30}, nil, 5, 6), // heavy: evicts 1 and 2
+		h(1, CacheGet{Key: 1}, ValueOK{}, 7, 8),
+		h(1, CacheGet{Key: 2}, ValueOK{}, 9, 10),
+		h(1, CacheGet{Key: 3}, ValueOK{Value: 30, OK: true}, 11, 12),
+		h(1, CacheGet{Key: 1}, ValueOK{}, 13, 14), // evicted keys stay gone
+	}
+	if res := Check(CacheModel(), good); !res.Ok {
+		t.Fatalf("multi-victim eviction history rejected: %s", res.Info)
+	}
+	bad = []Operation{
+		h(0, CacheSet{Key: 1, Value: 10}, nil, 1, 2),
+		h(0, CacheSet{Key: 3, Value: 30}, nil, 3, 4), // heavy: evicts 1
+		h(1, CacheGet{Key: 1}, ValueOK{}, 5, 6),
+		h(1, CacheGet{Key: 1}, ValueOK{Value: 10, OK: true}, 7, 8), // resurrection: illegal
+	}
+	if res := Check(CacheModel(), bad); res.Ok {
+		t.Fatal("victim resurrected after a multi-victim eviction accepted")
+	}
+}
+
 func TestInvalidOperationTimes(t *testing.T) {
 	bad := []Operation{h(0, RegisterRead{}, 0, 5, 5)}
 	if res := Check(RegisterModel(), bad); res.Ok {
