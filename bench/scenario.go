@@ -1016,6 +1016,7 @@ func reclaimStructScenarios() []Scenario {
 					if stall != nil {
 						stall.Enter()
 					}
+					//cdsvet:ignore guardexit stalled-reader scenario: the guard deliberately stays entered across the factory return to pin reclamation
 					return func(int) {
 						s.Contains(rng.Intn(keyRange))
 						count++
@@ -1023,7 +1024,7 @@ func reclaimStructScenarios() []Scenario {
 							stall.Exit()
 							stall.Enter()
 						}
-					}
+					} //cdsvet:ignore guardexit stalled-reader scenario: the worker exits and re-enters only every stallBatch ops, holding the guard between calls on purpose
 				}
 				mix := NewMixGen(uint64(w)*61+31, 50, 50)
 				rng := xrand.New(uint64(w)*7919 + 5)

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/reclaim"
 )
 
@@ -169,6 +170,7 @@ func (m *SplitOrdered[K, V]) initBucket(g reclaim.Guard, b uint64, slot *atomic.
 	parentSentinel := m.getBucket(g, parent)
 
 	soKey := soSentinelKey(b)
+	var bo contend.Backoff
 	for {
 		pred, predRef, curr, found := m.find(g, parentSentinel, soKey, nil)
 		if found {
@@ -183,6 +185,7 @@ func (m *SplitOrdered[K, V]) initBucket(g reclaim.Guard, b uint64, slot *atomic.
 			slot.CompareAndSwap(nil, n)
 			return slot.Load()
 		}
+		bo.Pause() // lost the window; back off before re-resolving it
 	}
 }
 
@@ -200,6 +203,7 @@ func (m *SplitOrdered[K, V]) initBucket(g reclaim.Guard, b uint64, slot *atomic.
 func (m *SplitOrdered[K, V]) find(g reclaim.Guard, start *soNode[K, V], soKey uint64, key *K) (pred *soNode[K, V], predRef *soRef[K, V], curr *soNode[K, V], found bool) {
 	hp := g != nil && g.Protects()
 retry:
+	//cdsvet:ignore spinpace helping traversal: a restart follows a snip or revalidation failure, both of which prove another operation progressed
 	for {
 		pred = start
 		predRef = pred.ref.Load()
@@ -207,6 +211,7 @@ retry:
 			g.Protect(0, nil)
 		}
 		curr = predRef.next
+		//cdsvet:ignore spinpace helping traversal: each iteration advances curr or snips a marked node, so the walk is bounded by list length
 		for {
 			if curr == nil {
 				return pred, predRef, nil, false
@@ -286,6 +291,7 @@ func (m *SplitOrdered[K, V]) upsert(k K, v V, overwrite bool) (actual V, loaded 
 	defer m.release(g)
 	h := m.hash(k)
 	soKey := soRegularKey(h)
+	var b contend.Backoff
 	var n *soNode[K, V] // lazily prepared insert node, reused across retries
 	for {
 		start := m.startFor(g, h)
@@ -318,6 +324,7 @@ func (m *SplitOrdered[K, V]) upsert(k K, v V, overwrite bool) (actual V, loaded 
 			m.grew()
 			return v, false
 		}
+		b.Pause() // lost the window; back off before re-resolving it
 	}
 }
 
@@ -327,6 +334,7 @@ func (m *SplitOrdered[K, V]) Delete(k K) bool {
 	defer m.release(g)
 	h := m.hash(k)
 	soKey := soRegularKey(h)
+	var b contend.Backoff
 	for {
 		start := m.startFor(g, h)
 		pred, predRef, curr, found := m.find(g, start, soKey, &k)
@@ -338,6 +346,7 @@ func (m *SplitOrdered[K, V]) Delete(k K) bool {
 			continue // raced with another deleter; re-resolve via find
 		}
 		if !curr.ref.CompareAndSwap(currRef, &soRef[K, V]{next: currRef.next, marked: true}) {
+			b.Pause() // lost the marking race; back off before retrying
 			continue
 		}
 		// Physical unlink is best-effort; find() helps later on failure,

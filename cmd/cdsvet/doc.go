@@ -1,0 +1,29 @@
+// Command cdsvet runs the repo's concurrency lint suite: five
+// go/analysis-style checkers, built purely on the standard library,
+// that machine-check the invariants ARCHITECTURE.md states in prose —
+// no mixed plain/atomic access (atomicmix), reclaim guards exited on
+// every path and never held across a parking operation (guardexit),
+// pad-separated hot fields actually on distinct cache lines
+// (padlayout), CAS retry loops paced by contend.Backoff or a yield
+// (spinpace), and package comments everywhere (docgate).
+//
+// Usage:
+//
+//	cdsvet [-list] [pattern ...]
+//
+// With no patterns (or ./...) the whole module is checked. A pattern
+// like ./queue/... restricts which packages' findings are reported; the
+// whole module still loads, because the invariants are cross-package.
+// Intentional exceptions are annotated inline:
+//
+//	//cdsvet:ignore <analyzer> <reason>
+//
+// on (or directly above) the reported line. The reason is mandatory and
+// reviewed like code: it must state why the invariant does not apply
+// (single-owner access, deliberate stalled-reader scenario, ...). A
+// malformed pragma, or one that suppresses nothing, is itself an error.
+//
+// Exit status is 0 when no findings survive suppression, 1 otherwise,
+// 2 on a load failure. CI runs `cdsvet ./...` before the build step,
+// gating every PR the same way go vet does.
+package main

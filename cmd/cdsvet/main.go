@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/cds-suite/cds/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cdsvet [-list] [pattern ...]\n\npatterns are ./...-style package path prefixes; default is the whole module\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdsvet:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdsvet:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(prog, analysis.All())
+	diags = filterPatterns(root, diags, flag.Args())
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cdsvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPatterns keeps diagnostics whose file falls under one of the
+// ./...-style patterns. No patterns (or ./...) keeps everything.
+func filterPatterns(root string, diags []analysis.Diagnostic, patterns []string) []analysis.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		p = strings.TrimPrefix(p, "./")
+		if p == "" || p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, filepath.Join(root, filepath.FromSlash(p)))
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		for _, pre := range prefixes {
+			if d.Pos.Filename == pre || strings.HasPrefix(d.Pos.Filename, pre+string(filepath.Separator)) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -51,6 +51,7 @@ type CCSynch[S any] struct {
 type ccNode[S any] struct {
 	apply func(S)
 	next  atomic.Pointer[ccNode[S]]
+	//cdsvet:ignore padlayout next and state are both touched once per handoff by the combiner; the pad separates distinct waiters' nodes, the boundary the CC-Synch layout needs
 	state atomic.Uint32
 	// Each waiter spins on its own node's state; padding keeps two
 	// waiters' spin targets off one line.

@@ -55,6 +55,12 @@ func NewCombiner[S any](seq S) *Combiner[S] {
 // which are safe to read once Do returns (the combiner's completion store
 // synchronises with the caller's observation of it).
 func (c *Combiner[S]) Do(apply func(S)) {
+	// Both loops use the package's own Backoff pacing — the same
+	// spin-wait discipline as the CCSynch/DSMSynch waiters — instead of a
+	// bare busy-wait: randomized growth spreads the re-check stampede and
+	// the built-in yield threshold keeps a spinner from occupying the OS
+	// thread a stalled combiner needs.
+	var b Backoff
 	r := &record[S]{apply: apply}
 	for {
 		old := c.head.Load()
@@ -62,13 +68,8 @@ func (c *Combiner[S]) Do(apply func(S)) {
 		if c.head.CompareAndSwap(old, r) {
 			break
 		}
+		b.Pause()
 	}
-	// The wait loop uses the package's own Backoff pacing — the same
-	// spin-wait discipline as the CCSynch/DSMSynch waiters — instead of a
-	// bare busy-wait: randomized growth spreads the re-check stampede and
-	// the built-in yield threshold keeps a spinner from occupying the OS
-	// thread a stalled combiner needs.
-	var b Backoff
 	for {
 		if r.done.Load() {
 			return

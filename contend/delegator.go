@@ -126,6 +126,7 @@ func (d *delegStats) endBatch(served uint64, handoff bool) {
 	}
 	d.batches.Add(1)
 	d.ops.Add(served)
+	//cdsvet:ignore spinpace monotonic max update: a failed CAS means another batch raised the bar, so the loop converges in at most a few steps
 	for {
 		cur := d.maxBatch.Load()
 		if served <= cur || d.maxBatch.CompareAndSwap(cur, served) {

@@ -34,6 +34,7 @@ type DSMSynch[S any] struct {
 type dsmNode[S any] struct {
 	apply func(S)
 	next  atomic.Pointer[dsmNode[S]]
+	//cdsvet:ignore padlayout next and state are both touched once per handoff by the combiner; the pad separates distinct waiters' nodes, the boundary the DSM-Synch layout needs
 	state atomic.Uint32
 	// Each waiter spins on the node it allocated; padding keeps two
 	// waiters' spin targets off one line.

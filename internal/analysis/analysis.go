@@ -1,0 +1,187 @@
+// Package analysis is the engine behind cmd/cdsvet: a go/analysis-style
+// checker suite, implemented purely on the standard library (go/parser,
+// go/types, go/importer — the module has no dependencies and stays that
+// way), that loads every package in the module and machine-checks the
+// concurrency conventions ARCHITECTURE.md states in prose.
+//
+// Five analyzers encode the repo's invariants:
+//
+//   - atomicmix: a struct field (or package-level variable) whose address
+//     is passed to a sync/atomic function anywhere must never be read or
+//     written plainly elsewhere. This is the class of the PR 7 MPMC
+//     false-empty bug: one plain observation of an atomically-written
+//     slot word.
+//   - guardexit: every reclaim guard Enter must reach Exit on all
+//     control-flow paths, and no parking operation (internal/park call,
+//     channel operation, mutex acquisition, sleep) may run while a guard
+//     is live — a pinned epoch would stall the whole domain.
+//   - padlayout: structs that use internal/pad must actually separate
+//     their atomically-accessed fields into distinct cache lines
+//     (computed from types.Sizes), and array/slice element structs with
+//     two or more atomic fields and no padding are flagged for false
+//     sharing.
+//   - spinpace: unbounded for-CAS retry loops whose body has no pacing
+//     (contend.Backoff, runtime.Gosched, parking, channel op) are
+//     flagged as priority-inversion livelock risks.
+//   - docgate: every package carries a package comment; non-main
+//     packages start it with "Package <name>". This replaces the CI
+//     shell loop over `go list -f '{{.Doc}}'` and, unlike it, covers
+//     cmd/* and internal/* too.
+//
+// Intentional exceptions are annotated in the source with
+//
+//	//cdsvet:ignore <analyzer> <reason>
+//
+// on (or immediately above) the offending line. The reason is mandatory:
+// a pragma with no reason, an unknown analyzer name, or a pragma that
+// suppresses nothing is itself reported. The analyzers are deliberately
+// conservative and intraprocedural-plus-summaries: they track direct
+// field paths and one level of helper functions (guard producers and
+// releasers, blocking-call summaries computed to a fixpoint across the
+// module), not general aliasing — a convention the code under analysis
+// follows anyway, because humans reviewing it need the same locality.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// An Analyzer is one checker. Run inspects the whole Program and reports
+// findings through report; the driver owns pragma suppression and output
+// ordering, so Run just reports everything it sees.
+type Analyzer struct {
+	// Name is the identifier pragmas and diagnostics use.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run reports every raw finding in the program.
+	Run func(prog *Program, report func(pos token.Pos, format string, args ...any))
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		GuardExit,
+		PadLayout,
+		SpinPace,
+		DocGate,
+	}
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checking results for Files.
+	Info *types.Info
+}
+
+// A Program is the loaded module: every package type-checked against one
+// shared FileSet, plus the cross-package fact tables the analyzers
+// share. Analyzers run against the whole Program so whole-module rules
+// (a field accessed atomically in one file and plainly in another) see
+// every use at once.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Packages lists the module's packages in topological (dependency)
+	// order.
+	Packages []*Package
+	// Sizes is the layout model padlayout computes offsets with.
+	Sizes types.Sizes
+
+	atomicOnce  sync.Once
+	atomicFacts *atomicFacts
+
+	blockOnce  sync.Once
+	blockFacts *blockFacts
+}
+
+// Run executes the analyzers over prog, applies //cdsvet:ignore
+// suppression, reports pragma errors (missing reason, unknown analyzer,
+// suppressing nothing), and returns the surviving diagnostics sorted by
+// position.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	pragmas, pragmaErrs := collectPragmas(prog, known)
+
+	var (
+		mu  sync.Mutex
+		raw []Diagnostic
+	)
+	var wg sync.WaitGroup
+	for _, a := range analyzers {
+		wg.Add(1)
+		go func(a *Analyzer) {
+			defer wg.Done()
+			a.Run(prog, func(pos token.Pos, format string, args ...any) {
+				d := Diagnostic{
+					Pos:      prog.Fset.Position(pos),
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf(format, args...),
+				}
+				mu.Lock()
+				raw = append(raw, d)
+				mu.Unlock()
+			})
+		}(a)
+	}
+	wg.Wait()
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if pragmas.suppresses(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, pragmaErrs...)
+	out = append(out, pragmas.unused()...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// inTestdata reports whether a file path belongs to a testdata fixture
+// tree (the analyzers' own golden packages, loaded only by tests).
+func inTestdata(filename string) bool {
+	return strings.Contains(filename, "/testdata/")
+}

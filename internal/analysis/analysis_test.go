@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The whole suite shares one Program: the module plus every fixture
+// package under testdata/src, loaded and analyzed once. The golden
+// tests slice the diagnostics by fixture directory; TestSelfRun slices
+// out everything else.
+var (
+	loadOnce  sync.Once
+	loadErr   error
+	sharedOut []Diagnostic
+)
+
+func analyzed(t *testing.T) []Diagnostic {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			loadErr = err
+			return
+		}
+		fixtures, err := fixtureDirs()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		prog, err := LoadModule(root, fixtures...)
+		if err != nil {
+			loadErr = err
+			return
+		}
+		sharedOut = Run(prog, All())
+	})
+	if loadErr != nil {
+		t.Fatalf("loading module + fixtures: %v", loadErr)
+	}
+	return sharedOut
+}
+
+// fixtureDirs lists every directory under testdata/src holding a .go
+// file, absolute.
+func fixtureDirs() ([]string, error) {
+	var dirs []string
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		return nil, err
+	}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// want is one expectation parsed from a fixture comment of the form
+//
+//	// want "regex"
+//
+// attached to the line it sits on.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regex: %v", path, line, err)
+				}
+				wants = append(wants, &want{file: path, line: line, re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runGolden checks one analyzer against its fixture subtree: every want
+// comment must be matched by a diagnostic on its line, and every
+// diagnostic the analyzer produced there must be wanted.
+func runGolden(t *testing.T, analyzer, subdir string) {
+	t.Helper()
+	diags := analyzed(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", subdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", subdir)
+	}
+
+	for _, d := range diags {
+		if d.Analyzer != analyzer || !strings.HasPrefix(d.Pos.Filename, dir+string(filepath.Separator)) {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q, got no matching %s finding", w.file, w.line, w.re, analyzer)
+		}
+	}
+}
+
+func TestAtomicMixGolden(t *testing.T) { runGolden(t, "atomicmix", "atomicmix") }
+func TestGuardExitGolden(t *testing.T) { runGolden(t, "guardexit", "guardexit") }
+func TestPadLayoutGolden(t *testing.T) { runGolden(t, "padlayout", "padlayout") }
+func TestSpinPaceGolden(t *testing.T)  { runGolden(t, "spinpace", "spinpace") }
+func TestDocGateGolden(t *testing.T)   { runGolden(t, "docgate", "docgate") }
+
+// TestPragmaMachinery pins the pragma pseudo-analyzer: malformed
+// pragmas, unknown analyzer names, missing reasons, and pragmas that
+// suppress nothing are each reported from the pragmafix fixture.
+func TestPragmaMachinery(t *testing.T) {
+	diags := analyzed(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "pragmafix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		if !strings.HasPrefix(d.Pos.Filename, dir+string(filepath.Separator)) {
+			continue
+		}
+		if d.Analyzer != pragmaAnalyzer {
+			t.Errorf("unexpected non-pragma finding in pragmafix: %s", d)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	expects := []string{
+		"needs an analyzer name and a reason",
+		"names unknown analyzer nosuchanalyzer",
+		"carries no reason",
+		"suppresses nothing",
+	}
+	for _, sub := range expects {
+		found := false
+		for _, m := range got {
+			if strings.Contains(m, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("pragmafix: no pragma finding containing %q (got %q)", sub, got)
+		}
+	}
+	if len(got) != len(expects) {
+		t.Errorf("pragmafix: got %d pragma findings, want %d: %q", len(got), len(expects), got)
+	}
+}
+
+// TestSelfRun is the gate CI relies on: the repo itself must be
+// finding-free. Every intentional exception carries a pragma, so
+// deleting any one pragma makes this test fail with the uncovered
+// finding (and a fixed exception whose pragma went stale fails as
+// "suppresses nothing").
+func TestSelfRun(t *testing.T) {
+	diags := analyzed(t)
+	for _, d := range diags {
+		if inTestdata(d.Pos.Filename) {
+			continue
+		}
+		t.Errorf("repo finding: %s", d)
+	}
+}

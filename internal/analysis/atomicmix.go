@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AtomicMix enforces the repo's oldest rule: a storage location accessed
+// through sync/atomic anywhere must never be read or written plainly
+// anywhere else. One plain observation of an atomically-written word is
+// exactly the PR 7 MPMC false-empty bug — the race detector only
+// catches it when a schedule happens to expose it, but the mixed-access
+// pattern is visible statically.
+//
+// The checker keys on direct paths: struct fields and package-level
+// variables, optionally indexed (s.word, s.slots[i], s.rows[r][i]).
+// The index depth is part of the key, so writing the slice header
+// s.rows[r] plainly while the words s.rows[r][i] are atomic is fine.
+// Aliases through locals (p := &s.word) are invisible by design —
+// the codebase's convention is direct field paths, and the analyzer
+// checks the convention. Typed atomics (atomic.Int64 and friends) are
+// exempt: the type system already forbids plain access to them.
+//
+// Single-owner exceptions — a field written plainly by its one owning
+// goroutine and atomically elsewhere — carry a
+// //cdsvet:ignore atomicmix <reason> pragma naming the ownership
+// argument.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must not also be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	facts := prog.atomics()
+	if len(facts.uses) == 0 {
+		return
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			// Writes: collect assignment/IncDec targets so the access kind
+			// names the hazard precisely.
+			writes := make(map[ast.Node]bool)
+			addrOf := make(map[ast.Node]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						writes[ast.Unparen(lhs)] = true
+					}
+				case *ast.IncDecStmt:
+					writes[ast.Unparen(n.X)] = true
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						// Taking the address is not a value access: the
+						// pointer may legitimately feed an atomic helper.
+						// Aliased plain use through it is out of scope.
+						addrOf[ast.Unparen(n.X)] = true
+					}
+				}
+				return true
+			})
+
+			var visit func(n ast.Node) bool
+			visit = func(n ast.Node) bool {
+				if facts.blessed[n] {
+					return false // the &arg of a sync/atomic call
+				}
+				expr, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				key, ok := fieldPath(pkg.Info, expr)
+				if !ok {
+					return true
+				}
+				atomicAt, isAtomic := facts.uses[key]
+				if !isAtomic {
+					return true
+				}
+				if addrOf[ast.Unparen(expr)] {
+					return false
+				}
+				kind := "read"
+				if writes[ast.Unparen(expr)] {
+					kind = "write"
+				}
+				report(expr.Pos(), "plain %s of %s, which is accessed atomically at %s",
+					kind, describeKey(key), prog.Fset.Position(atomicAt))
+				return false // don't re-report the path's subexpressions
+			}
+			ast.Inspect(file, visit)
+		}
+	}
+}

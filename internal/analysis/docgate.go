@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// DocGate ports CI's shell docs gate (the `go list -f '{{.Doc}}'` loop)
+// into the suite, with two upgrades: it covers every package — cmd/*
+// and internal/* included, where the shell loop's internal filter
+// skipped them — and it checks the comment's convention, not just its
+// presence. Every package must carry a package comment; for non-main
+// packages it must start "Package <name> ", the form go doc renders and
+// the rest of the repo follows. Command and example packages (package
+// main) may open however they like ("Command cdsbench ...",
+// "Webcache: ..."), as long as the comment exists.
+var DocGate = &Analyzer{
+	Name: "docgate",
+	Doc:  "every package carries a package comment; non-main packages start it with 'Package <name>'",
+	Run:  runDocGate,
+}
+
+func runDocGate(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range prog.Packages {
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		var docText string
+		var docPos token.Pos
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				docText = f.Doc.Text()
+				docPos = f.Package
+				break
+			}
+		}
+		if docText == "" {
+			report(pkg.Files[0].Package, "package %s has no package comment; add a doc.go (see ARCHITECTURE.md conventions)", pkg.Types.Name())
+			continue
+		}
+		if pkg.Types.Name() == "main" {
+			continue
+		}
+		want := "Package " + pkg.Types.Name() + " "
+		if !strings.HasPrefix(docText, want) {
+			report(docPos, "package comment for %s should start %q (go doc convention)", pkg.Types.Name(), strings.TrimSpace(want))
+		}
+	}
+}

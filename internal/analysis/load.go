@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LoadModule discovers, parses, and type-checks every package under
+// root (the directory holding go.mod), excluding testdata trees and
+// _test.go files, and returns them in dependency order. extraDirs may
+// name additional package directories to load on top of the module —
+// the analyzer tests use this to pull their testdata fixture packages
+// into the same Program as the module they import from.
+//
+// Loading is concurrent across packages: files parse in parallel, and
+// type-checking runs packages concurrently as soon as their module
+// dependencies are checked (go/types supports checking distinct
+// packages in parallel when the importer is safe; the stdlib importer
+// here is serialized by a mutex). All positions land in one shared
+// FileSet.
+func LoadModule(root string, extraDirs ...string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := discoverPackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range extraDirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, abs)
+	}
+
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modulePath,
+		Sizes:      types.SizesFor("gc", runtime.GOARCH),
+	}
+	if prog.Sizes == nil {
+		prog.Sizes = types.SizesFor("gc", "amd64")
+	}
+
+	// Parse every package's files concurrently.
+	pkgs := make([]*loadPkg, len(dirs))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			pkgs[i] = parsePackage(prog.Fset, root, modulePath, dir)
+		}(i, dir)
+	}
+	wg.Wait()
+
+	byPath := make(map[string]*loadPkg)
+	var all []*loadPkg
+	for _, lp := range pkgs {
+		if lp == nil {
+			continue // no buildable files in dir
+		}
+		if lp.err != nil {
+			return nil, lp.err
+		}
+		byPath[lp.path] = lp
+		all = append(all, lp)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].path < all[j].path })
+
+	// Wire module-internal dependency edges and topologically sort so
+	// cycles fail loudly instead of deadlocking the checkers below.
+	for _, lp := range all {
+		for imp := range lp.imports {
+			if dep, ok := byPath[imp]; ok {
+				lp.deps = append(lp.deps, dep)
+			}
+		}
+	}
+	order, err := toposort(all)
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check: one goroutine per package, gated on its dependencies'
+	// done channels. Stdlib imports go through one shared, serialized
+	// importer so every package sees identical types.Package objects.
+	std := newStdImporter(prog.Fset)
+	for _, lp := range all {
+		lp.done = make(chan struct{})
+	}
+	for _, lp := range order {
+		wg.Add(1)
+		go func(lp *loadPkg) {
+			defer wg.Done()
+			defer close(lp.done)
+			for _, dep := range lp.deps {
+				<-dep.done
+				if dep.err != nil {
+					lp.err = fmt.Errorf("%s: dependency %s failed to load", lp.path, dep.path)
+					return
+				}
+			}
+			lp.check(prog, std, byPath)
+		}(lp)
+	}
+	wg.Wait()
+
+	for _, lp := range order {
+		if lp.err != nil {
+			return nil, lp.err
+		}
+		prog.Packages = append(prog.Packages, &Package{
+			Path:  lp.path,
+			Dir:   lp.dir,
+			Files: lp.files,
+			Types: lp.types,
+			Info:  lp.info,
+		})
+	}
+	return prog, nil
+}
+
+type loadPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports map[string]bool
+	deps    []*loadPkg
+	done    chan struct{}
+
+	types *types.Package
+	info  *types.Info
+	err   error
+}
+
+// discoverPackageDirs walks the module tree for directories holding at
+// least one non-test .go file, skipping testdata, vendored, hidden, and
+// underscore-prefixed trees.
+func discoverPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+func parsePackage(fset *token.FileSet, root, modulePath, dir string) *loadPkg {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return &loadPkg{dir: dir, err: err}
+	}
+	lp := &loadPkg{
+		dir:     dir,
+		path:    importPathFor(root, modulePath, dir),
+		imports: make(map[string]bool),
+	}
+	for _, e := range ents {
+		if !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			lp.err = err
+			return lp
+		}
+		lp.files = append(lp.files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				lp.imports[p] = true
+			}
+		}
+	}
+	if len(lp.files) == 0 {
+		return nil
+	}
+	return lp
+}
+
+func importPathFor(root, modulePath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+func toposort(pkgs []*loadPkg) ([]*loadPkg, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[*loadPkg]int, len(pkgs))
+	var order []*loadPkg
+	var visit func(lp *loadPkg) error
+	visit = func(lp *loadPkg) error {
+		switch state[lp] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", lp.path)
+		}
+		state[lp] = visiting
+		for _, dep := range lp.deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[lp] = done
+		order = append(order, lp)
+		return nil
+	}
+	for _, lp := range pkgs {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// check type-checks one package. Module-internal imports resolve to
+// already-checked sibling packages; everything else goes to the stdlib
+// importer.
+func (lp *loadPkg) check(prog *Program, std *stdImporter, byPath map[string]*loadPkg) {
+	lp.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Sizes: prog.Sizes,
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if dep, ok := byPath[path]; ok {
+				if dep.types == nil {
+					return nil, fmt.Errorf("module package %s not yet checked (missing dep edge?)", path)
+				}
+				return dep.types, nil
+			}
+			return std.Import(path)
+		}),
+	}
+	lp.types, lp.err = conf.Check(lp.path, prog.Fset, lp.files, lp.info)
+	if lp.err != nil {
+		lp.err = fmt.Errorf("type-checking %s: %w", lp.path, lp.err)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdImporter resolves non-module imports. It tries compiled export data
+// first (fast, matches the compiler's view) and falls back to
+// type-checking the package from GOROOT source; both paths are memoized
+// and serialized, so concurrent package checks may share it.
+type stdImporter struct {
+	mu   sync.Mutex
+	gc   types.Importer
+	src  types.Importer
+	fset *token.FileSet
+	seen map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{fset: fset, seen: make(map[string]*types.Package)}
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if pkg, ok := si.seen[path]; ok {
+		return pkg, nil
+	}
+	if si.gc == nil {
+		si.gc = importer.ForCompiler(si.fset, "gc", nil)
+	}
+	pkg, err := si.gc.Import(path)
+	if err != nil {
+		if si.src == nil {
+			si.src = importer.ForCompiler(si.fset, "source", nil)
+		}
+		var srcErr error
+		pkg, srcErr = si.src.Import(path)
+		if srcErr != nil {
+			return nil, fmt.Errorf("import %q: %v (source fallback: %v)", path, err, srcErr)
+		}
+	}
+	si.seen[path] = pkg
+	return pkg, nil
+}

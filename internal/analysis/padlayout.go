@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PadLayout checks that internal/pad is doing the job its users think
+// it does. Two rules, both computed from types.Sizes offsets:
+//
+//  1. A struct that embeds pad.CacheLinePad (or pad.Padded) claims its
+//     hot fields live on separate cache lines — so any two
+//     atomically-accessed fields that still land on the same 64-byte
+//     line mean the padding is in the wrong place or a refactor moved a
+//     field past it.
+//  2. An array or slice whose element struct has two or more
+//     atomically-accessed fields and no padding at all invites false
+//     sharing between neighbouring elements — the sharded/per-worker
+//     slot layouts (striped counters, elimination arrays) are exactly
+//     where this matters.
+//
+// "Atomically accessed" means a field of a sync/atomic type, or a plain
+// field whose address feeds sync/atomic calls (the atomicmix fact set).
+// Offsets for generic structs are computed with the gc layout model's
+// defaults for type parameters, which is exact whenever the atomic
+// fields precede any type-parameter-typed field (the layout the
+// codebase uses).
+var PadLayout = &Analyzer{
+	Name: "padlayout",
+	Doc:  "pad-using structs must separate atomic fields into distinct cache lines",
+	Run:  runPadLayout,
+}
+
+// cacheLine mirrors pad.CacheLineSize; the analyzer states the
+// convention rather than importing the package it checks.
+const cacheLine = 64
+
+func runPadLayout(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	atomics := prog.atomics()
+	padPath := prog.ModulePath + "/internal/pad"
+
+	for _, pkg := range prog.Packages {
+		if pkg.Path == padPath {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Defs[ts.Name]
+				if !ok {
+					return true
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					return true
+				}
+				styp, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				checkPaddedStruct(prog, atomics, padPath, ts.Name.Name, st, styp, report)
+				return true
+			})
+			checkElementTypes(prog, pkg, file, atomics, padPath, report)
+		}
+	}
+}
+
+// checkPaddedStruct applies rule 1 to one struct declaration.
+func checkPaddedStruct(prog *Program, atomics *atomicFacts, padPath, name string, decl *ast.StructType, styp *types.Struct, report func(pos token.Pos, format string, args ...any)) {
+	if !usesPad(styp, padPath) {
+		return
+	}
+	leaves := atomicLeaves(prog, atomics, styp, 0)
+	if len(leaves) < 2 {
+		return
+	}
+	offsets := structOffsets(prog.Sizes, styp)
+	if offsets == nil {
+		return
+	}
+	for i := 1; i < len(leaves); i++ {
+		prev, cur := leaves[i-1], leaves[i]
+		if prev.offset/cacheLine == cur.offset/cacheLine {
+			report(fieldPos(decl, styp, cur.topIndex), "%s uses internal/pad but atomic fields %s (offset %d) and %s (offset %d) share a %d-byte cache line",
+				name, prev.path, prev.offset, cur.path, cur.offset, cacheLine)
+		}
+	}
+}
+
+// checkElementTypes applies rule 2: flag []T / [N]T composite fields
+// whose element struct packs ≥2 atomic fields with no padding.
+func checkElementTypes(prog *Program, pkg *Package, file *ast.File, atomics *atomicFacts, padPath string, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			var elem types.Type
+			switch t := tv.Type.Underlying().(type) {
+			case *types.Slice:
+				elem = t.Elem()
+			case *types.Array:
+				elem = t.Elem()
+			default:
+				continue
+			}
+			es, ok := elem.Underlying().(*types.Struct)
+			if !ok {
+				continue // pointers and scalars don't share element lines
+			}
+			if usesPad(es, padPath) || isPadded(elem, padPath) {
+				continue
+			}
+			if leaves := atomicLeaves(prog, atomics, es, 0); len(leaves) >= 2 {
+				report(field.Pos(), "element type %s packs %d atomic fields with no internal/pad separation; neighbouring elements will false-share",
+					types.TypeString(elem, types.RelativeTo(pkg.Types)), len(leaves))
+			}
+		}
+		return true
+	})
+}
+
+type atomicLeaf struct {
+	path     string
+	offset   int64
+	topIndex int // index of the top-level field this leaf lives under
+}
+
+// atomicLeaves flattens a struct (recursing through embedded value
+// structs) into its atomically-accessed leaf fields with cumulative
+// offsets, in declaration order.
+func atomicLeaves(prog *Program, atomics *atomicFacts, styp *types.Struct, base int64) []atomicLeaf {
+	offsets := structOffsets(prog.Sizes, styp)
+	if offsets == nil {
+		return nil
+	}
+	var leaves []atomicLeaf
+	for i := 0; i < styp.NumFields(); i++ {
+		f := styp.Field(i)
+		switch {
+		case isAtomicField(prog, atomics, f):
+			leaves = append(leaves, atomicLeaf{f.Name(), base + offsets[i], i})
+		default:
+			// Recurse into module-defined value structs only: external
+			// types (a sync.RWMutex, say) contain atomics the user cannot
+			// re-pad, so they stay opaque.
+			if !isModuleStruct(prog, f.Type()) {
+				continue
+			}
+			if sub, ok := f.Type().Underlying().(*types.Struct); ok {
+				for _, leaf := range atomicLeaves(prog, atomics, sub, base+offsets[i]) {
+					leaf.path = f.Name() + "." + leaf.path
+					leaf.topIndex = i
+					leaves = append(leaves, leaf)
+				}
+			}
+		}
+	}
+	return leaves
+}
+
+// isModuleStruct reports whether t is a struct type defined inside the
+// module (or an anonymous struct literal, which has no package).
+func isModuleStruct(prog *Program, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		_, anon := t.Underlying().(*types.Struct)
+		return anon
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == prog.ModulePath || strings.HasPrefix(pkg.Path(), prog.ModulePath+"/")
+}
+
+// isAtomicField reports whether f is atomic data: a sync/atomic typed
+// field or a member of the sync/atomic-call fact set.
+func isAtomicField(prog *Program, atomics *atomicFacts, f *types.Var) bool {
+	if isAtomicType(f.Type()) {
+		return true
+	}
+	for key := range atomics.uses {
+		if key.obj == f && key.depth == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	// Exported only: sync/atomic's private helpers (noCopy, align64)
+	// are layout glue, not atomic data.
+	return pkg != nil && pkg.Path() == "sync/atomic" && named.Obj().Exported()
+}
+
+// usesPad reports whether styp has a direct field of a pad type.
+func usesPad(styp *types.Struct, padPath string) bool {
+	for i := 0; i < styp.NumFields(); i++ {
+		if isPadded(styp.Field(i).Type(), padPath) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPadded(t types.Type, padPath string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == padPath
+}
+
+// structOffsets wraps Sizes.Offsetsof, absorbing the panic go/types
+// raises for layouts it cannot size (exotic type-parameter cases).
+func structOffsets(sizes types.Sizes, styp *types.Struct) (offsets []int64) {
+	defer func() {
+		if recover() != nil {
+			offsets = nil
+		}
+	}()
+	fields := make([]*types.Var, styp.NumFields())
+	for i := range fields {
+		fields[i] = styp.Field(i)
+	}
+	return sizes.Offsetsof(fields)
+}
+
+// fieldPos locates the declaration position of top-level field i, for
+// pragma-friendly reporting; falls back to the struct position.
+func fieldPos(decl *ast.StructType, styp *types.Struct, i int) token.Pos {
+	idx := 0
+	for _, field := range decl.Fields.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // embedded
+		}
+		if i < idx+n {
+			return field.Pos()
+		}
+		idx += n
+	}
+	return decl.Pos()
+}

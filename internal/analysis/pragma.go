@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// pragmaPrefix introduces an inline suppression:
+//
+//	//cdsvet:ignore <analyzer> <reason>
+//
+// placed on the offending line or on its own line immediately above.
+// The analyzer name must be one of the suite's; the reason is mandatory
+// and free-form — it is the reviewer-facing justification for why the
+// invariant does not apply (single-owner field, deliberate stalled
+// reader, ...).
+const pragmaPrefix = "cdsvet:ignore"
+
+// pragmaAnalyzer labels the pseudo-analyzer that reports malformed or
+// useless pragmas. It is not suppressible.
+const pragmaAnalyzer = "pragma"
+
+type pragma struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+type pragmaIndex struct {
+	// byLine keys on (filename, line) of the pragma comment itself.
+	byLine map[string]map[int][]*pragma
+	all    []*pragma
+}
+
+// collectPragmas scans every comment in the program for cdsvet:ignore
+// pragmas. Malformed pragmas (unknown analyzer, empty reason) are
+// returned as diagnostics immediately; well-formed ones go into the
+// index for suppression matching.
+func collectPragmas(prog *Program, known map[string]bool) (*pragmaIndex, []Diagnostic) {
+	idx := &pragmaIndex{byLine: make(map[string]map[int][]*pragma)}
+	var errs []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, pragmaPrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, pragmaPrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					switch {
+					case name == "":
+						errs = append(errs, Diagnostic{pos, pragmaAnalyzer,
+							"cdsvet:ignore needs an analyzer name and a reason"})
+						continue
+					case !known[name]:
+						errs = append(errs, Diagnostic{pos, pragmaAnalyzer,
+							"cdsvet:ignore names unknown analyzer " + name})
+						continue
+					case reason == "":
+						errs = append(errs, Diagnostic{pos, pragmaAnalyzer,
+							"cdsvet:ignore " + name + " carries no reason; justify the exception"})
+						continue
+					}
+					p := &pragma{pos: pos, analyzer: name, reason: reason}
+					lines := idx.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*pragma)
+						idx.byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], p)
+					idx.all = append(idx.all, p)
+				}
+			}
+		}
+	}
+	return idx, errs
+}
+
+// suppresses reports whether a pragma covers d: same analyzer, same
+// file, on d's line or the line directly above it. Matching pragmas are
+// marked used.
+func (idx *pragmaIndex) suppresses(d Diagnostic) bool {
+	if d.Analyzer == pragmaAnalyzer {
+		return false
+	}
+	lines := idx.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, p := range lines[line] {
+			if p.analyzer == d.Analyzer {
+				p.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// unused reports every pragma that suppressed nothing: a stale pragma
+// means either the exception was fixed (delete the pragma) or the pragma
+// sits on the wrong line (move it), and both deserve a failing gate.
+func (idx *pragmaIndex) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, p := range idx.all {
+		if !p.used {
+			out = append(out, Diagnostic{p.pos, pragmaAnalyzer,
+				"cdsvet:ignore " + p.analyzer + " suppresses nothing; delete or move it"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpinPace flags unbounded CAS-retry loops with no pacing: a `for` loop
+// that retries a CompareAndSwap and whose body neither backs off
+// (contend.Backoff), yields (runtime.Gosched), sleeps, parks, nor
+// performs a channel operation. On a loaded machine such a loop is a
+// priority-inversion livelock risk — the spinner can occupy the OS
+// thread that the thread it is waiting on needs (the scenario
+// contend.Backoff's spinsBeforeYield threshold exists for).
+//
+// A loop with a bound (a real loop condition that is not itself the CAS
+// retry) or whose body always leaves the loop is not a spin. Calls to
+// module functions that transitively pace (a helper that calls
+// Backoff.Pause) count as pacing; calls through interfaces do not, so a
+// loop that paces behind an interface needs a
+// //cdsvet:ignore spinpace <reason> pragma — as does a genuinely
+// lock-free retry whose CAS failure proves a competitor made progress
+// and which the author judges tight enough to spin bare.
+var SpinPace = &Analyzer{
+	Name: "spinpace",
+	Doc:  "unbounded CAS retry loops must pace with contend.Backoff, Gosched, or parking",
+	Run:  runSpinPace,
+}
+
+func runSpinPace(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	paceFns := pacingFuncs(prog)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				condCAS := loop.Cond != nil && containsCAS(pkg.Info, loop.Cond)
+				if loop.Cond != nil && !condCAS {
+					return true // bounded by a non-CAS condition
+				}
+				if !condCAS && !containsCAS(pkg.Info, loop.Body) {
+					return true // not a CAS retry loop
+				}
+				if !loopsBack(loop.Body) {
+					return true // every path leaves the loop on first pass
+				}
+				if hasPacing(prog, pkg, paceFns, loop) {
+					return true
+				}
+				report(loop.Pos(), "unbounded CAS retry loop with no pacing (contend.Backoff, Gosched, park, or channel op)")
+				return true
+			})
+		}
+	}
+}
+
+// containsCAS reports whether the node performs a compare-and-swap:
+// the sync/atomic CompareAndSwap* functions or the CompareAndSwap /
+// CompareAndDelete methods of the typed atomics.
+func containsCAS(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !strings.HasPrefix(sel.Sel.Name, "CompareAnd") {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "sync/atomic" {
+				found = true
+				return false
+			}
+		}
+		// Typed atomics: method CompareAndSwap on a sync/atomic receiver
+		// (including fields of that type).
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			if isAtomicType(derefType(selection.Recv())) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// loopsBack reports whether the body can reach the loop's bottom (or a
+// continue) — i.e. whether a second iteration is possible. A body whose
+// last statement unconditionally breaks or returns, with no continue
+// anywhere, runs at most once.
+func loopsBack(body *ast.BlockStmt) bool {
+	hasContinue := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.CONTINUE {
+				hasContinue = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // continue in a nested loop targets that loop
+		}
+		return true
+	})
+	if hasContinue {
+		return true
+	}
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.BranchStmt:
+		return last.Tok != token.BREAK
+	}
+	return true
+}
+
+// hasPacing reports whether the loop body (or condition) contains a
+// pacing operation.
+func hasPacing(prog *Program, pkg *Package, paceFns map[*types.Func]bool, loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isPacingCall(prog, pkg.Info, paceFns, n) {
+				found = true
+			}
+		}
+		return !found
+	}
+	ast.Inspect(loop.Body, check)
+	if !found && loop.Cond != nil {
+		ast.Inspect(loop.Cond, check)
+	}
+	if !found && loop.Post != nil {
+		ast.Inspect(loop.Post, check)
+	}
+	return found
+}
+
+func isPacingCall(prog *Program, info *types.Info, paceFns map[*types.Func]bool, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if ok {
+		if fn, okU := info.Uses[sel.Sel].(*types.Func); okU && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "runtime":
+				if fn.Name() == "Gosched" {
+					return true
+				}
+			case "time":
+				if fn.Name() == "Sleep" {
+					return true
+				}
+			case "sync":
+				// Blocking on a lock is pacing (the scheduler gets the
+				// thread back).
+				if fn.Name() == "Lock" || fn.Name() == "RLock" || fn.Name() == "Wait" {
+					return true
+				}
+			case prog.ModulePath + "/contend":
+				// Any contend call in a retry loop is contention
+				// management: Backoff.Pause above all, but the exchanger /
+				// delegation entry points pace too.
+				return true
+			case prog.ModulePath + "/internal/park":
+				return true
+			}
+		}
+	}
+	// Module helpers that transitively pace or block.
+	if fn := staticCallee(info, call); fn != nil {
+		if paceFns[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// pacingFuncs computes, to a fixpoint, the module functions whose call
+// amounts to pacing: they block (per the guardexit summaries) or they
+// reach a pacing primitive like Backoff.Pause or Gosched.
+func pacingFuncs(prog *Program) map[*types.Func]bool {
+	bf := prog.blocks()
+	paced := make(map[*types.Func]bool)
+	type declInfo struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+		pkg  *Package
+	}
+	var decls []declInfo
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						decls = append(decls, declInfo{fn, fd.Body, pkg})
+						if facts, ok := bf.byFunc[fn]; ok && facts.mayBlock {
+							paced[fn] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, di := range decls {
+			if paced[di.fn] {
+				continue
+			}
+			hit := false
+			ast.Inspect(di.body, func(n ast.Node) bool {
+				if hit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPacingCall(prog, di.pkg.Info, paced, call) {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				paced[di.fn] = true
+				changed = true
+			}
+		}
+	}
+	return paced
+}

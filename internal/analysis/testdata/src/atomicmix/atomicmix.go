@@ -1,0 +1,43 @@
+// Package atomicmix is a golden fixture for the atomicmix analyzer:
+// fields accessed through sync/atomic must never be read or written
+// plainly elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	cold  uint64
+	plain uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.cold, 1)
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "plain write of .*hits, which is accessed atomically at"
+}
+
+func (c *counters) read() uint64 {
+	return c.hits // want "plain read of .*hits, which is accessed atomically at"
+}
+
+// peek is a clean use: cold is only ever touched atomically.
+func (c *counters) peek() uint64 {
+	return atomic.LoadUint64(&c.cold)
+}
+
+// total is clean the other way round: plain never meets sync/atomic.
+func (c *counters) total() uint64 {
+	c.plain++
+	return c.plain
+}
+
+// drainOwner is the single-owner exception the pragma machinery exists
+// for: deleting the pragma below must make this fixture fail.
+func (c *counters) drainOwner() uint64 {
+	//cdsvet:ignore atomicmix fixture: snapshot taken by the single owner after all workers have stopped
+	return c.hits
+}

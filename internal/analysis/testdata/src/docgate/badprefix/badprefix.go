@@ -1,0 +1,4 @@
+// Wrong opener for a library package.
+package badprefix // want "package comment for badprefix should start .Package badprefix."
+
+func unused() {}

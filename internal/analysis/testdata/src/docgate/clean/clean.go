@@ -1,0 +1,5 @@
+// Package clean is the docgate negative: a conventional package
+// comment that opens with the package name.
+package clean
+
+func unused() {}

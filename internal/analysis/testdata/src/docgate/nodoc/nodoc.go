@@ -1,0 +1,3 @@
+package nodoc // want "package nodoc has no package comment"
+
+func unused() {}

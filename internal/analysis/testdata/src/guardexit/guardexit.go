@@ -1,0 +1,101 @@
+// Package guardexit is a golden fixture for the guardexit analyzer:
+// every reclaim guard Enter must reach Exit on all paths, and nothing
+// may park while a guard is live.
+package guardexit
+
+import (
+	"sync"
+
+	"github.com/cds-suite/cds/reclaim"
+)
+
+func leakOnReturn(dom reclaim.Domain, empty bool) {
+	g := dom.NewGuard(0)
+	g.Enter()
+	if empty {
+		return // want "guard g may still be in a section on this return path"
+	}
+	g.Exit()
+}
+
+func receiveWhileLive(dom reclaim.Domain, ch chan int) int {
+	g := dom.NewGuard(0)
+	g.Enter()
+	defer g.Exit()
+	return <-ch // want "channel receive may park while guard g is live"
+}
+
+func lockWhileLive(dom reclaim.Domain, mu *sync.Mutex) {
+	g := dom.NewGuard(0)
+	g.Enter()
+	mu.Lock() // want "Lock may park while guard g is live"
+	mu.Unlock()
+	g.Exit()
+}
+
+// deferred is clean: the defer covers every return path.
+func deferredExit(dom reclaim.Domain, work []int) int {
+	g := dom.NewGuard(0)
+	g.Enter()
+	defer g.Exit()
+	sum := 0
+	for _, w := range work {
+		sum += w
+	}
+	return sum
+}
+
+// exitBothPaths is clean: every path exits explicitly.
+func exitBothPaths(dom reclaim.Domain, empty bool) {
+	g := dom.NewGuard(0)
+	g.Enter()
+	if empty {
+		g.Exit()
+		return
+	}
+	g.Exit()
+}
+
+// receiveAfterExit is clean: the section closes before the park.
+func receiveAfterExit(dom reclaim.Domain, ch chan int) int {
+	g := dom.NewGuard(0)
+	g.Enter()
+	g.Exit()
+	return <-ch
+}
+
+// enter is a producer: returning a live guard hands the section to the
+// caller, which is the dual-structure idiom, not a leak.
+func enter(dom reclaim.Domain) reclaim.Guard {
+	g := dom.NewGuard(0)
+	g.Enter()
+	return g
+}
+
+// release is a releaser: it exits a guard passed in by the caller.
+func release(g reclaim.Guard) {
+	if g != nil {
+		g.Exit()
+	}
+}
+
+// useProducer is clean: the produced guard is exited locally.
+func useProducer(dom reclaim.Domain) {
+	g := enter(dom)
+	g.Exit()
+}
+
+// useReleaser is clean: the helper's summary shows it exits its argument.
+func useReleaser(dom reclaim.Domain) {
+	g := enter(dom)
+	release(g)
+}
+
+// forgetProduced leaks a guard obtained through the producer summary.
+func forgetProduced(dom reclaim.Domain, empty bool) {
+	g := enter(dom)
+	if empty {
+		return // want "guard g may still be in a section on this return path"
+	}
+	g.Exit()
+}

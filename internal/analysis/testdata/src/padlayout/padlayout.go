@@ -1,0 +1,53 @@
+// Package padlayout is a golden fixture for the padlayout analyzer:
+// pad-using structs must actually separate their atomic fields into
+// distinct cache lines, and unpadded array elements with several atomic
+// fields false-share.
+package padlayout
+
+import (
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/internal/pad"
+)
+
+type sharedLine struct {
+	head atomic.Uint64
+	tail atomic.Uint64 // want "sharedLine uses internal/pad but atomic fields head .* and tail .* share a 64-byte cache line"
+	_    pad.CacheLinePad
+}
+
+// separated is the layout sharedLine should have used.
+type separated struct {
+	head atomic.Uint64
+	_    pad.CacheLinePad
+	tail atomic.Uint64
+	_    pad.CacheLinePad
+}
+
+type hotSlot struct {
+	enq atomic.Uint64
+	deq atomic.Uint64
+}
+
+type falseShare struct {
+	slots [4]hotSlot // want "element type hotSlot packs 2 atomic fields with no internal/pad separation"
+}
+
+type paddedSlot struct {
+	enq atomic.Uint64
+	_   pad.CacheLinePad
+	deq atomic.Uint64
+	_   pad.CacheLinePad
+}
+
+// separatedArray is clean: the element type pads its hot words apart.
+type separatedArray struct {
+	slots [4]paddedSlot
+}
+
+var (
+	_ = sharedLine{}
+	_ = separated{}
+	_ = falseShare{}
+	_ = separatedArray{}
+)

@@ -1,0 +1,15 @@
+// Package pragmafix exercises the pragma machinery itself: malformed
+// pragmas, unknown analyzers, missing reasons, and pragmas that
+// suppress nothing are all findings of the non-suppressible "pragma"
+// pseudo-analyzer. The expectations live in analysis_test.go, not in
+// want comments, because the findings land on the pragma lines
+// themselves.
+package pragmafix
+
+//cdsvet:ignore
+
+//cdsvet:ignore nosuchanalyzer because reasons
+
+//cdsvet:ignore spinpace
+
+//cdsvet:ignore spinpace fixture pragma parked on a line with no finding

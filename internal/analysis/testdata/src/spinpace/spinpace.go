@@ -1,0 +1,83 @@
+// Package spinpace is a golden fixture for the spinpace analyzer:
+// unbounded CAS retry loops must pace with contend.Backoff, a yield, or
+// a parking operation.
+package spinpace
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/cds-suite/cds/contend"
+)
+
+func bareSpin(word *atomic.Uint64) {
+	for { // want "unbounded CAS retry loop with no pacing"
+		old := word.Load()
+		if word.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+// pacedSpin is clean: the retry path backs off.
+func pacedSpin(word *atomic.Uint64) {
+	var b contend.Backoff
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old+1) {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// yieldSpin is clean: a bare yield is pacing too.
+func yieldSpin(word *atomic.Uint64) {
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// bounded is clean: a non-CAS loop condition bounds the retries.
+func bounded(word *atomic.Uint64) bool {
+	for i := 0; i < 8; i++ {
+		old := word.Load()
+		if word.CompareAndSwap(old, old+1) {
+			return true
+		}
+	}
+	return false
+}
+
+func pauseHelper(b *contend.Backoff) {
+	b.Pause()
+}
+
+// helperPaced is clean through the transitive-pacing fixpoint: the
+// helper reaches Backoff.Pause.
+func helperPaced(word *atomic.Uint64) {
+	var b contend.Backoff
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old+1) {
+			return
+		}
+		pauseHelper(&b)
+	}
+}
+
+// monotonicMax is the annotated exception: the pragma below must keep
+// suppressing a real finding, or the fixture fails as unused.
+func monotonicMax(word *atomic.Uint64, v uint64) {
+	//cdsvet:ignore spinpace fixture: monotonic max update converges, a failed CAS means another writer raised the bar
+	for {
+		cur := word.Load()
+		if v <= cur || word.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

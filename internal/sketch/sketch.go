@@ -143,6 +143,7 @@ func (s *Sketch) Estimate(h uint64) int {
 func (s *Sketch) Age() {
 	for _, row := range s.rows {
 		for i := range row {
+			//cdsvet:ignore spinpace single-word decay RMW: a failed CAS reflects a competitor's completed update, and Age runs on the sampled maintenance path, never in a hot loop
 			for {
 				old := atomic.LoadUint64(&row[i])
 				// Shift every nibble right by one; the mask discards the
@@ -172,6 +173,7 @@ func (s *Sketch) index(r int, h uint64) uint64 {
 func (s *Sketch) bump(r int, h uint64) {
 	i := s.index(r, h)
 	word, shift := &s.rows[r][i>>4], (i&15)*4
+	//cdsvet:ignore spinpace saturating counter RMW: a failed CAS means a competitor bumped the word, and each nibble saturates after counterMax increments
 	for {
 		old := atomic.LoadUint64(word)
 		if (old>>shift)&0xf >= counterMax {
@@ -208,6 +210,7 @@ func (s *Sketch) doorAdd(h uint64) bool {
 // set.
 func setBit(word *uint64, bit uint64) bool {
 	mask := uint64(1) << bit
+	//cdsvet:ignore spinpace idempotent bit-set RMW: a failed CAS means the word changed underneath, and once the bit reads as set the loop exits
 	for {
 		old := atomic.LoadUint64(word)
 		if old&mask != 0 {

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"sync/atomic"
 
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/reclaim"
 )
 
@@ -113,6 +114,7 @@ func (s *Harris[K]) retire(g reclaim.Guard, n *harrisNode[K]) {
 func (s *Harris[K]) find(g reclaim.Guard, k K) (pred *harrisNode[K], predRef *harrisRef[K], curr *harrisNode[K]) {
 	hp := g != nil && g.Protects()
 retry:
+	//cdsvet:ignore spinpace helping traversal: a restart follows a snip or revalidation failure, both of which prove another operation progressed
 	for {
 		pred = s.head
 		predRef = pred.ref.Load()
@@ -120,6 +122,7 @@ retry:
 			g.Protect(0, nil) // head is immortal; no protection needed
 		}
 		curr = predRef.next
+		//cdsvet:ignore spinpace helping traversal: each iteration advances curr or snips a marked node, so the walk is bounded by list length
 		for {
 			if curr == nil {
 				return pred, predRef, nil
@@ -162,6 +165,7 @@ retry:
 func (s *Harris[K]) Add(k K) bool {
 	g := s.acquire()
 	defer s.release(g)
+	var b contend.Backoff
 	var n *harrisNode[K] // lazily prepared insert node, reused across retries
 	for {
 		pred, predRef, curr := s.find(g, k)
@@ -182,6 +186,7 @@ func (s *Harris[K]) Add(k K) bool {
 			}
 			return true
 		}
+		b.Pause() // lost the window; back off before re-resolving it
 	}
 }
 
@@ -189,6 +194,7 @@ func (s *Harris[K]) Add(k K) bool {
 func (s *Harris[K]) Remove(k K) bool {
 	g := s.acquire()
 	defer s.release(g)
+	var b contend.Backoff
 	for {
 		pred, predRef, curr := s.find(g, k)
 		if curr == nil || curr.key != k {
@@ -202,6 +208,7 @@ func (s *Harris[K]) Remove(k K) bool {
 		}
 		// Logical delete: replace curr's ref with a marked copy.
 		if !curr.ref.CompareAndSwap(currRef, &harrisRef[K]{next: currRef.next, marked: true}) {
+			b.Pause() // lost the marking race; back off before retrying
 			continue
 		}
 		if s.nodes != nil {

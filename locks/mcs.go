@@ -27,7 +27,8 @@ type MCSLock struct {
 
 // MCSNode is an MCS queue node: the handle returned by Lock.
 type MCSNode struct {
-	next   atomic.Pointer[MCSNode]
+	next atomic.Pointer[MCSNode]
+	//cdsvet:ignore padlayout the predecessor writes locked exactly once while the owner spins; the pad separates distinct waiters' nodes, the MCS false-sharing boundary
 	locked atomic.Uint32
 	_      pad.CacheLinePad
 }

@@ -56,6 +56,7 @@ func (l *RWSpinLock) TryLock() bool {
 
 // Unlock releases a writer acquisition.
 func (l *RWSpinLock) Unlock() {
+	//cdsvet:ignore spinpace owner-only bit clear: only the writer runs this loop and failures reflect reader-count churn, which RLock's own backoff bounds
 	for {
 		s := l.state.Load()
 		if s&rwWriterBit == 0 {

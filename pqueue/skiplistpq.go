@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/internal/xrand"
 )
 
@@ -125,6 +126,7 @@ retry:
 func (s *SkipList[P]) Insert(v P) {
 	seq := s.seq.Add(1)
 	topLevel := s.randomLevel()
+	var b contend.Backoff
 	var preds, succs [pqMaxLevel]*pqNode[P]
 	var predRefs [pqMaxLevel]*pqRef[P]
 	for {
@@ -134,6 +136,7 @@ func (s *SkipList[P]) Insert(v P) {
 			n.next[level].Store(&pqRef[P]{next: succs[level]})
 		}
 		if !preds[0].next[0].CompareAndSwap(predRefs[0], &pqRef[P]{next: n}) {
+			b.Pause() // lost the window; back off before re-resolving it
 			continue
 		}
 		s.size.Add(1)
@@ -153,6 +156,7 @@ func (s *SkipList[P]) Insert(v P) {
 				if preds[level].next[level].CompareAndSwap(predRefs[level], &pqRef[P]{next: n}) {
 					break
 				}
+				b.Pause() // lost the window; back off before re-resolving it
 				s.find(v, seq, &preds, &predRefs, &succs)
 				if succs[0] != n {
 					return // unlinked meanwhile; stop
@@ -167,6 +171,7 @@ func (s *SkipList[P]) Insert(v P) {
 // queue was observed empty. See the type comment for the relaxed ordering
 // between concurrent calls.
 func (s *SkipList[P]) TryDeleteMin() (v P, ok bool) {
+	var b contend.Backoff
 	for {
 		curr := s.head.next[0].Load().next
 		for curr != nil {
@@ -192,7 +197,9 @@ func (s *SkipList[P]) TryDeleteMin() (v P, ok bool) {
 				s.find(curr.prio, curr.seq, &preds, &predRefs, &succs)
 				return curr.prio, true
 			}
-			// Lost the claim race (or curr's successor changed): reload.
+			// Lost the claim race (or curr's successor changed): back off,
+			// then reload curr's record.
+			b.Pause()
 		}
 		if curr == nil {
 			return v, false

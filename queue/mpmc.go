@@ -41,7 +41,8 @@ type MPMC[T any] struct {
 	_       pad.CacheLinePad
 	dequeue atomic.Uint64
 	_       pad.CacheLinePad
-	stats   mpmcCounters
+	//cdsvet:ignore padlayout CAS-miss telemetry counters share one line by design; they are only touched on the contended slow path the pads keep off the cursors
+	stats mpmcCounters
 }
 
 // mpmcCounters sit behind Stats; they are touched only on the CAS-miss

@@ -176,6 +176,7 @@ type segCore[T any] struct {
 	mem   *reclaim.Pool
 	segs  *reclaim.Recycler[segment[T]]
 	count atomic.Int64 // maintained only when recycling (Len cannot traverse reused segments)
+	//cdsvet:ignore padlayout count and the stats gauges are touched only on segment-boundary crossings; the pads above isolate head and tail, the per-operation hot words
 	stats segCounters
 }
 

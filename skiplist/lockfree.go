@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"sync/atomic"
 
+	"github.com/cds-suite/cds/contend"
 	"github.com/cds-suite/cds/reclaim"
 )
 
@@ -156,6 +157,7 @@ func (s *LockFree[K]) Add(k K) bool {
 	g := s.acquire()
 	defer s.release(g)
 	topLevel := s.levels.next() - 1
+	var b contend.Backoff
 	var preds, succs [maxLevel]*lfNode[K]
 	var predRefs [maxLevel]*lfRef[K]
 	for {
@@ -168,7 +170,8 @@ func (s *LockFree[K]) Add(k K) bool {
 		}
 		// Level 0 is the linearization point.
 		if !preds[0].next[0].CompareAndSwap(predRefs[0], &lfRef[K]{next: n}) {
-			continue // window changed; retry whole insert
+			b.Pause() // lost the window; back off before re-resolving it
+			continue  // window changed; retry whole insert
 		}
 		s.size.Add(1)
 
@@ -189,6 +192,7 @@ func (s *LockFree[K]) Add(k K) bool {
 				if preds[level].next[level].CompareAndSwap(predRefs[level], &lfRef[K]{next: n}) {
 					break
 				}
+				b.Pause() // lost the window; back off before re-resolving it
 				// Window stale: recompute and retry this level.
 				if s.find(g, k, &preds, &succs, &predRefs); succs[0] != n {
 					return true // n already unlinked; stop
@@ -220,6 +224,7 @@ func (s *LockFree[K]) Remove(k K) bool {
 	}
 
 	// Level 0 mark decides who removed it: the linearization point.
+	var b contend.Backoff
 	for {
 		ref := victim.next[0].Load()
 		if ref.marked {
@@ -236,6 +241,7 @@ func (s *LockFree[K]) Remove(k K) bool {
 			}
 			return true
 		}
+		b.Pause() // lost the marking race; back off before retrying
 	}
 }
 
